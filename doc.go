@@ -1,0 +1,40 @@
+// Package genmp implements generalized multipartitioning of
+// multi-dimensional arrays, reproducing Darte, Chavarría-Miranda, Fowler
+// and Mellor-Crummey, "Generalized Multipartitioning for Multi-dimensional
+// Arrays" (IPDPS 2002).
+//
+// Multipartitioning is a data-distribution strategy for computations that
+// solve 1-D recurrences (line sweeps) along each dimension of a
+// d-dimensional array — ADI integration, the NAS SP/BT benchmarks, and
+// other implicit methods. A multipartitioning cuts the array into a
+// γ₁×…×γ_d grid of tiles and assigns tiles to p processors so that
+//
+//   - in every slab of tiles along any partitioned dimension, every
+//     processor owns the same number of tiles (the balance property), so a
+//     sweep keeps all processors busy in every one of its pipeline phases;
+//   - for each processor and each coordinate direction, the neighbor tiles
+//     of all its tiles belong to a single other processor (the neighbor
+//     property), so each sweep phase needs only one aggregated message per
+//     processor.
+//
+// Classical diagonal multipartitionings exist in 3-D only when √p is
+// integral. This package implements the paper's generalization to any p
+// and d ≥ 2: an optimal tile-grid search driven by a communication cost
+// model (paper Section 3) and a constructive modular-mapping assignment of
+// tiles to processors (Section 4, Figure 3), valid exactly when every slab
+// tile count is a multiple of p.
+//
+// The top-level API wraps the implementation packages:
+//
+//   - partitioning search: OptimalPartitioning, ElementaryPartitionings,
+//     IsValidPartitioning and the Objective constructors;
+//   - mappings: New, NewOptimal, Diagonal, Johnsson2D, GrayCode3D, all
+//     returning a *Multipartitioning whose Verify method checks both
+//     properties exhaustively;
+//   - the Section 3.1 cost model and Section 6 compact-partitioning
+//     advisor: CostModel, NewOrigin2000Model.
+//
+// The runnable examples under examples/ and the cmd/ tools demonstrate the
+// distributed execution substrate (virtual-time machine, sweep executors,
+// ADI and NAS-SP-style applications) that reproduces the paper's Table 1.
+package genmp

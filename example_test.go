@@ -1,0 +1,99 @@
+package genmp_test
+
+import (
+	"fmt"
+	"os"
+
+	"genmp"
+)
+
+// The paper's flagship capability: a 3-D multipartitioning for a processor
+// count that is not a perfect square.
+func ExampleOptimalPartitioning() {
+	gamma, cost, err := genmp.OptimalPartitioning(12, 3, genmp.UniformObjective(3))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(gamma, cost)
+	// Output: [2 6 6] 14
+}
+
+func ExampleNew() {
+	m, err := genmp.New(8, []int{4, 4, 2})
+	if err != nil {
+		panic(err)
+	}
+	if err := m.Verify(); err != nil {
+		panic(err)
+	}
+	fmt.Println("tiles per processor:", m.TilesPerProc())
+	fmt.Println("tiles per slab along x:", m.TilesPerSlab(0))
+	// Output:
+	// tiles per processor: 4
+	// tiles per slab along x: 1
+}
+
+func ExampleIsValidPartitioning() {
+	// 4×4×2 works for 8 processors (every slab holds a multiple of 8
+	// tiles); 4×2×2 does not.
+	fmt.Println(genmp.IsValidPartitioning(8, []int{4, 4, 2}))
+	fmt.Println(genmp.IsValidPartitioning(8, []int{4, 2, 2}))
+	// Output:
+	// true
+	// false
+}
+
+func ExampleJohnsson2D() {
+	m, err := genmp.Johnsson2D(3)
+	if err != nil {
+		panic(err)
+	}
+	m.RenderSlices(os.Stdout)
+	// Output:
+	// 0 2 1
+	// 1 0 2
+	// 2 1 0
+}
+
+func ExampleVolumeObjective() {
+	// On a skewed domain the optimizer avoids cutting the short dimension
+	// (the paper's Section 3.1 remark).
+	gamma, _, err := genmp.OptimalPartitioning(4, 3, genmp.VolumeObjective([]int{500, 500, 100}))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(gamma)
+	// Output: [4 4 1]
+}
+
+func ExampleMultipartitioning_SweepSchedule() {
+	m, err := genmp.New(4, []int{4, 4, 1})
+	if err != nil {
+		panic(err)
+	}
+	for _, ph := range m.SweepSchedule(0, 0, false) {
+		fmt.Printf("slab %d: %d tile(s), send to %d\n", ph.Slab, len(ph.Tiles), ph.SendTo)
+	}
+	// Output:
+	// slab 0: 1 tile(s), send to 1
+	// slab 1: 1 tile(s), send to 1
+	// slab 2: 1 tile(s), send to 1
+	// slab 3: 1 tile(s), send to -1
+}
+
+func ExampleParseHPF() {
+	dirs, err := genmp.ParseHPF(`
+!HPF$ PROCESSORS P(6)
+!HPF$ TEMPLATE T(36, 36, 36)
+!HPF$ DISTRIBUTE T(MULTI, MULTI, MULTI) ONTO P
+`)
+	if err != nil {
+		panic(err)
+	}
+	plan, err := dirs.PlanTemplate("T", nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(plan.Multi.Name())
+	// Output: generalized 2×3×6 on 6
+}

@@ -1,0 +1,39 @@
+// skewed reproduces the Section 3.1 remark: on a 3-D domain whose third
+// dimension is short, a 2-D partitioning of the long dimensions
+// communicates less than the classical 3-D partitioning, with the
+// crossover at aspect ratio 4.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"genmp"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const p = 4
+	base := 100
+	fmt.Printf("optimal partitioning of a (r·%d)×(r·%d)×%d domain on p = %d\n", base, base, base, p)
+	fmt.Printf("(volume objective: λᵢ = η/ηᵢ — communicated hyper-surface area)\n\n")
+	fmt.Printf("%8s  %10s  %14s  %14s\n", "ratio r", "optimal γ", "cost(4×4×1)", "cost(2×2×2)")
+
+	for _, ratio := range []int{1, 2, 3, 4, 5, 6, 8, 12} {
+		eta := []int{ratio * base, ratio * base, base}
+		obj := genmp.VolumeObjective(eta)
+		gamma, _, err := genmp.OptimalPartitioning(p, 3, obj)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d  %10s  %14.4g  %14.4g\n",
+			ratio, fmt.Sprintf("%d×%d×%d", gamma[0], gamma[1], gamma[2]),
+			obj.Cost([]int{4, 4, 1}), obj.Cost([]int{2, 2, 2}))
+	}
+
+	fmt.Println("\nBelow ratio 4 the classical 2×2×2 wins; above it, 4×4×1: the extra")
+	fmt.Println("communication sweeping the two long dimensions is offset by a fully")
+	fmt.Println("local sweep along the short one. At exactly 4 the two tie — the")
+	fmt.Println("paper's remark says η₁, η₂ ≥ 4·η₃ makes the 2-D partitioning preferable.")
+}

@@ -1,0 +1,123 @@
+package genmp
+
+import (
+	"genmp/internal/core"
+	"genmp/internal/cost"
+	"genmp/internal/hpf"
+	"genmp/internal/modmap"
+	"genmp/internal/partition"
+)
+
+// Objective is the linear cost Σᵢ γᵢ·λᵢ minimized by the partitioning
+// search, where γᵢ is the number of cuts along dimension i and λᵢ the
+// per-phase cost of communicating along that dimension (paper Section 3.1).
+type Objective = partition.Objective
+
+// UniformObjective weights every dimension equally (minimizes the total
+// number of computation phases Σγᵢ).
+func UniformObjective(d int) Objective { return partition.UniformObjective(d) }
+
+// VolumeObjective weights dimension i by η/ηᵢ (minimizes communicated
+// volume; larger dimensions receive relatively more cuts).
+func VolumeObjective(eta []int) Objective { return partition.VolumeObjective(eta) }
+
+// MachineObjective is the full Section 3.1 per-phase cost
+// λᵢ = K₂ + K₃·η/ηᵢ with start-up cost K₂ and per-element transfer cost K₃.
+func MachineObjective(eta []int, k2, k3 float64) Objective {
+	return partition.MachineObjective(eta, k2, k3)
+}
+
+// IsValidPartitioning reports whether cutting a d-dimensional array into
+// the tile grid gamma admits a balanced multipartitioning on p processors:
+// for every dimension i, p divides ∏_{j≠i} γⱼ. The paper proves this
+// obvious necessary condition is also sufficient.
+func IsValidPartitioning(p int, gamma []int) bool { return partition.IsValid(p, gamma) }
+
+// OptimalPartitioning returns a tile grid for p processors over d
+// dimensions minimizing obj, via the paper's optimized exhaustive search
+// over elementary partitionings, together with its cost.
+func OptimalPartitioning(p, d int, obj Objective) (gamma []int, costValue float64, err error) {
+	res, err := partition.Optimal(p, d, obj)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Gamma, res.Cost, nil
+}
+
+// ElementaryPartitionings enumerates every elementary partitioning of p
+// over d dimensions — the candidates among which an optimal partitioning
+// always lies (paper Lemma 1).
+func ElementaryPartitionings(p, d int) [][]int { return partition.Elementary(p, d) }
+
+// CountElementaryPartitionings returns the search-space size without
+// materializing it.
+func CountElementaryPartitionings(p, d int) int { return partition.CountElementary(p, d) }
+
+// Multipartitioning is a tile grid plus a tile-to-processor mapping with
+// the balance and neighbor properties; see the methods on
+// internal/core.Multipartitioning (Proc, TilesOf, SweepSchedule,
+// NeighborProc, Verify, RenderSlices, …).
+type Multipartitioning = core.Multipartitioning
+
+// ModularMapping is the paper's Section 4 mapping object: the matrix M and
+// modulo vector m⃗ with θ(tile) = (M·tile) mod m⃗.
+type ModularMapping = modmap.Mapping
+
+// New builds the generalized multipartitioning for p processors over the
+// tile grid gamma (which must be a valid partitioning), using the paper's
+// Figure 3 modular-mapping construction.
+func New(p int, gamma []int) (*Multipartitioning, error) {
+	return core.NewGeneralized(p, gamma)
+}
+
+// NewOptimal searches the optimal partitioning under obj and builds its
+// generalized multipartitioning.
+func NewOptimal(p, d int, obj Objective) (*Multipartitioning, error) {
+	return core.NewOptimal(p, d, obj)
+}
+
+// Diagonal builds Naik et al.'s diagonal multipartitioning (one tile per
+// processor per slab); requires p^(1/(d−1)) integral.
+func Diagonal(p, d int) (*Multipartitioning, error) { return core.NewDiagonal(p, d) }
+
+// Johnsson2D builds Johnsson, Saad and Schultz's 2-D latin-square
+// multipartitioning θ(i,j) = (i−j) mod p, valid for any p.
+func Johnsson2D(p int) (*Multipartitioning, error) { return core.NewJohnsson2D(p) }
+
+// GrayCode3D builds Bruno and Cappello's hypercube multipartitioning of
+// 2^k×2^k×2^k tiles on 2^(2k) processors; tiles adjacent along the first
+// two dimensions map to hypercube-adjacent processors.
+func GrayCode3D(k int) (*Multipartitioning, error) { return core.NewGrayCode3D(k) }
+
+// CostModel is the Section 3.1 analytic execution-time model
+// Tᵢ(p) = K₁·η/p + (γᵢ−1)(K₂ + K₃(p)·η/ηᵢ), with the Section 6
+// compact-partitioning advisor (Advise).
+type CostModel = cost.Model
+
+// NewOrigin2000Model returns constants loosely calibrated to the paper's
+// SGI Origin 2000 testbed.
+func NewOrigin2000Model() CostModel { return cost.Origin2000() }
+
+// Advice is the outcome of the Section 6 advisor: the processor count and
+// partitioning with the smallest modeled time.
+type Advice = cost.Advice
+
+// HPFDirectives is a parsed set of HPF directives (PROCESSORS, TEMPLATE,
+// DISTRIBUTE with MULTI/BLOCK/*, ALIGN, SHADOW, ON_HOME, LOCAL) — the
+// Section 5 front end. Use its PlanTemplate method to turn a MULTI
+// distribution into a generalized multipartitioning.
+type HPFDirectives = hpf.Directives
+
+// HPFPlan is the runtime distribution planned from a DISTRIBUTE directive.
+type HPFPlan = hpf.Plan
+
+// ParseHPF parses HPF directive lines (non-directive lines are ignored, so
+// whole Fortran sources can be fed in).
+func ParseHPF(src string) (*HPFDirectives, error) { return hpf.Parse(src) }
+
+// MappingAlternatives returns up to max distinct legal tile-to-processor
+// mappings for the partitioning (the construction is one of a family; all
+// carry the balance and neighbor properties).
+func MappingAlternatives(p int, gamma []int, max int) ([]*ModularMapping, error) {
+	return modmap.Alternatives(p, gamma, max)
+}

@@ -1,0 +1,129 @@
+package genmp
+
+import (
+	"testing"
+
+	"genmp/internal/numutil"
+)
+
+func TestFacadeOptimalPartitioning(t *testing.T) {
+	gamma, c, err := OptimalPartitioning(8, 3, UniformObjective(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numutil.EqualInts(numutil.SortedCopy(gamma), []int{2, 4, 4}) {
+		t.Errorf("γ = %v, want a permutation of [2 4 4]", gamma)
+	}
+	if c != 10 {
+		t.Errorf("cost = %g, want 10", c)
+	}
+	if !IsValidPartitioning(8, gamma) {
+		t.Error("optimal partitioning must be valid")
+	}
+}
+
+func TestFacadeNewAndVerify(t *testing.T) {
+	m, err := New(30, []int{10, 15, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Error(err)
+	}
+	if m.TilesPerProc() != 30 {
+		t.Errorf("tiles per proc = %d, want 30", m.TilesPerProc())
+	}
+}
+
+func TestFacadeNewOptimal(t *testing.T) {
+	m, err := NewOptimal(50, 3, VolumeObjective([]int{102, 102, 102}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := numutil.SortedCopy(m.Gamma()); !numutil.EqualInts(got, []int{5, 10, 10}) {
+		t.Errorf("γ for p=50 on 102³ = %v, want a permutation of [5 10 10]", m.Gamma())
+	}
+}
+
+func TestFacadePriorArt(t *testing.T) {
+	if _, err := Diagonal(16, 3); err != nil {
+		t.Error(err)
+	}
+	if _, err := Diagonal(8, 3); err == nil {
+		t.Error("Diagonal(8, 3) should fail")
+	}
+	if _, err := Johnsson2D(7); err != nil {
+		t.Error(err)
+	}
+	if _, err := GrayCode3D(2); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeElementary(t *testing.T) {
+	if got := len(ElementaryPartitionings(8, 3)); got != 6 {
+		t.Errorf("p=8 d=3: %d elementary partitionings, want 6", got)
+	}
+	if got := CountElementaryPartitionings(30, 3); got != 27 {
+		t.Errorf("count = %d, want 27", got)
+	}
+}
+
+func TestFacadeCostModel(t *testing.T) {
+	model := NewOrigin2000Model()
+	eta := []int{102, 102, 102}
+	adv, err := model.Advise(16, eta, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.UseProcs < 1 || adv.UseProcs > 16 {
+		t.Errorf("advice %d out of range", adv.UseProcs)
+	}
+	var _ Advice = adv
+}
+
+func TestFacadeHPF(t *testing.T) {
+	dirs, err := ParseHPF(`
+!HPF$ PROCESSORS P(6)
+!HPF$ TEMPLATE T(24, 24, 24)
+!HPF$ DISTRIBUTE T(MULTI, MULTI, MULTI) ONTO P
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plan *HPFPlan
+	plan, err = dirs.PlanTemplate("T", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Multi == nil || plan.Multi.P() != 6 {
+		t.Error("HPF plan should carry a 6-processor multipartitioning")
+	}
+	if err := plan.Multi.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeMappingAlternatives(t *testing.T) {
+	alts, err := MappingAlternatives(16, []int{4, 4, 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alts) < 2 {
+		t.Errorf("expected multiple alternatives, got %d", len(alts))
+	}
+}
+
+func TestFacadeMappingAccess(t *testing.T) {
+	m, err := New(16, []int{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mm *ModularMapping = m.Mapping()
+	if mm == nil {
+		t.Fatal("generalized multipartitioning must expose its modular mapping")
+	}
+	if numutil.Prod(mm.Mod...) != 16 {
+		t.Errorf("∏m = %d, want 16", numutil.Prod(mm.Mod...))
+	}
+}

@@ -1,0 +1,3 @@
+module genmp
+
+go 1.22

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"genmp/internal/numutil"
+	"genmp/internal/partition"
+)
+
+func TestBlockRangeQuickProperties(t *testing.T) {
+	// For any n ≥ parts ≥ 1: the ranges tile [0, n) contiguously with sizes
+	// differing by at most one, larger blocks first.
+	f := func(nRaw, partsRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		parts := int(partsRaw)%n + 1
+		prev := 0
+		prevSize := -1
+		for idx := 0; idx < parts; idx++ {
+			lo, hi := BlockRange(n, parts, idx)
+			if lo != prev || hi <= lo {
+				return false
+			}
+			size := hi - lo
+			if prevSize >= 0 && size > prevSize {
+				return false // sizes must be non-increasing
+			}
+			prevSize = size
+			prev = hi
+		}
+		return prev == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiagonalQuickBalance(t *testing.T) {
+	// For any side c ∈ [1, 6] and d ∈ {2, 3, 4}: the diagonal
+	// multipartitioning of c^d tiles on c^(d−1) processors is balanced with
+	// exactly one tile per processor per slab.
+	f := func(cRaw, dRaw uint8) bool {
+		c := int(cRaw)%6 + 1
+		d := int(dRaw)%3 + 2
+		p := numutil.Pow(c, d-1)
+		m, err := NewDiagonal(p, d)
+		if err != nil {
+			return false
+		}
+		for dim := 0; dim < d; dim++ {
+			if m.TilesPerSlab(dim) != 1 {
+				return false
+			}
+		}
+		return m.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneralizedQuickOverElementary(t *testing.T) {
+	// Random (p, elementary index) draws: every constructed generalized
+	// multipartitioning verifies.
+	f := func(pRaw, pick uint8) bool {
+		p := int(pRaw)%24 + 1
+		elems := partition.Elementary(p, 3)
+		if len(elems) == 0 {
+			return p != 1 // only d=1-style failures; p=1 always has one
+		}
+		gamma := elems[int(pick)%len(elems)]
+		if numutil.Prod(gamma...) > 50000 {
+			return true // skip pathologically large grids in quick mode
+		}
+		m, err := NewGeneralized(p, gamma)
+		if err != nil {
+			return false
+		}
+		return m.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExhaustiveVerificationWide(t *testing.T) {
+	// The wide sweep of the §4 theorem: every elementary partitioning for
+	// every p up to 64 in 3-D (bounded tile counts). Slow; skipped in
+	// -short runs.
+	if testing.Short() {
+		t.Skip("wide verification sweep skipped in -short mode")
+	}
+	for p := 37; p <= 64; p++ {
+		for _, gamma := range partition.Elementary(p, 3) {
+			if numutil.Prod(gamma...) > 200000 {
+				continue
+			}
+			m, err := NewGeneralized(p, gamma)
+			if err != nil {
+				t.Fatalf("p=%d γ=%v: %v", p, gamma, err)
+			}
+			if err := m.Verify(); err != nil {
+				t.Fatalf("p=%d γ=%v: %v", p, gamma, err)
+			}
+		}
+	}
+}
+
+func TestSweepScheduleQuickConsistency(t *testing.T) {
+	// For random valid partitionings: forward and backward schedules visit
+	// the same tiles, in reversed slab order.
+	f := func(pick uint8) bool {
+		cases := []struct {
+			p     int
+			gamma []int
+		}{
+			{8, []int{4, 4, 2}}, {16, []int{4, 4, 4}}, {30, []int{10, 15, 6}},
+			{6, []int{6, 6, 1}}, {12, []int{6, 6, 2}},
+		}
+		c := cases[int(pick)%len(cases)]
+		m, err := NewGeneralized(c.p, c.gamma)
+		if err != nil {
+			return false
+		}
+		for q := 0; q < c.p; q++ {
+			for dim := 0; dim < 3; dim++ {
+				fwd := m.SweepSchedule(q, dim, false)
+				bwd := m.SweepSchedule(q, dim, true)
+				if len(fwd) != len(bwd) {
+					return false
+				}
+				for k := range fwd {
+					if fwd[k].Slab != bwd[len(bwd)-1-k].Slab {
+						return false
+					}
+					if len(fwd[k].Tiles) != len(bwd[len(bwd)-1-k].Tiles) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,192 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"genmp/internal/numutil"
+)
+
+func testModel() Model {
+	return Model{K1: 1e-6, K2: 20e-6, K3: ScalableNetwork(80e-9)}
+}
+
+func TestSweepTimeFormula(t *testing.T) {
+	m := testModel()
+	eta := []int{100, 100, 100}
+	gamma := []int{4, 4, 2}
+	p := 8
+	etaTotal := 1e6
+	want := m.K1*etaTotal/8 + 3*(m.K2+(80e-9/8)*etaTotal/100)
+	if got := m.SweepTime(p, eta, gamma, 0); math.Abs(got-want) > 1e-15 {
+		t.Errorf("SweepTime = %g, want %g", got, want)
+	}
+	// γᵢ = 1: no communication phases at all.
+	gamma = []int{1, 8, 8}
+	want = m.K1 * etaTotal / 8
+	if got := m.SweepTime(p, eta, gamma, 0); math.Abs(got-want) > 1e-15 {
+		t.Errorf("SweepTime with γ=1 = %g, want %g", got, want)
+	}
+}
+
+func TestTotalTimeIsSumOfSweeps(t *testing.T) {
+	m := testModel()
+	eta := []int{64, 32, 16}
+	gamma := []int{4, 4, 2}
+	sum := 0.0
+	for dim := 0; dim < 3; dim++ {
+		sum += m.SweepTime(8, eta, gamma, dim)
+	}
+	if got := m.TotalTime(8, eta, gamma); math.Abs(got-sum) > 1e-15 {
+		t.Errorf("TotalTime = %g, want %g", got, sum)
+	}
+}
+
+func TestSpeedupMonotoneOnSquares(t *testing.T) {
+	// On perfect squares with diagonal partitionings, speedup should grow
+	// with p for a class-B-sized domain.
+	m := Origin2000()
+	eta := []int{102, 102, 102}
+	prev := 0.0
+	for _, p := range []int{1, 4, 9, 16, 25, 36, 49, 64, 81} {
+		res, err := m.BestPartitioning(p, eta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := m.Speedup(p, eta, res.Gamma)
+		if s <= prev {
+			t.Errorf("speedup not increasing at p=%d: %g after %g", p, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestSpeedupNearLinearAtModerateP(t *testing.T) {
+	m := Origin2000()
+	eta := []int{102, 102, 102}
+	res, err := m.BestPartitioning(16, eta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Speedup(16, eta, res.Gamma)
+	if s < 12 || s > 16.5 {
+		t.Errorf("speedup at p=16 = %g, expected near-linear (12–16.5)", s)
+	}
+}
+
+func TestObjectivePrefersFewerCutsOfSmallDims(t *testing.T) {
+	// The model objective must reproduce the skewed-domain remark.
+	m := Origin2000()
+	eta := []int{500, 500, 100}
+	res, err := m.BestPartitioning(4, eta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numutil.EqualInts(res.Gamma, []int{4, 4, 1}) {
+		t.Errorf("skewed optimal = %v, want [4 4 1]", res.Gamma)
+	}
+}
+
+func TestAdviseFindsCompactConfiguration(t *testing.T) {
+	// With a time function that penalizes non-compact partitionings (as the
+	// paper measured for 50 vs 49), the advisor must drop back to 49.
+	m := Origin2000()
+	eta := []int{102, 102, 102}
+	timeOf := func(p int, gamma []int) float64 {
+		t := m.TotalTime(p, eta, gamma)
+		if !IsCompact(p, gamma) {
+			t *= 1.25 // non-compact penalty standing in for measured overheads
+		}
+		return t
+	}
+	adv, err := m.Advise(50, eta, timeOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.DiagonalProcs != 49 {
+		t.Errorf("DiagonalProcs = %d, want 49", adv.DiagonalProcs)
+	}
+	if adv.UseProcs != 49 {
+		t.Errorf("advisor chose p=%d (γ=%v), want 49", adv.UseProcs, adv.Gamma)
+	}
+	if !numutil.EqualInts(adv.Gamma, []int{7, 7, 7}) {
+		t.Errorf("advisor γ = %v, want [7 7 7]", adv.Gamma)
+	}
+}
+
+func TestAdviseAnalyticDefault(t *testing.T) {
+	m := Origin2000()
+	eta := []int{102, 102, 102}
+	adv, err := m.Advise(16, eta, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.UseProcs < adv.DiagonalProcs || adv.UseProcs > 16 {
+		t.Errorf("advice p=%d outside [%d, 16]", adv.UseProcs, adv.DiagonalProcs)
+	}
+	if adv.Time <= 0 {
+		t.Errorf("advice time = %g", adv.Time)
+	}
+}
+
+func TestAdviseErrors(t *testing.T) {
+	m := Origin2000()
+	if _, err := m.Advise(0, []int{10, 10}, nil); err == nil {
+		t.Error("p=0 should fail")
+	}
+	if _, err := m.Advise(4, []int{10}, nil); err == nil {
+		t.Error("d=1 should fail")
+	}
+}
+
+func TestSurfaceToVolume(t *testing.T) {
+	got := SurfaceToVolume([]int{100, 100, 100}, []int{5, 10, 10})
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("SurfaceToVolume = %g, want 0.25", got)
+	}
+}
+
+func TestIsCompact(t *testing.T) {
+	// Diagonal 7×7×7 on 49: tiles = 343 = 49^1.5 → compact.
+	if !IsCompact(49, []int{7, 7, 7}) {
+		t.Error("7×7×7 on 49 should be compact")
+	}
+	// 5×10×10 on 50: tiles = 500 > 50^1.5 ≈ 354 → not compact.
+	if IsCompact(50, []int{5, 10, 10}) {
+		t.Error("5×10×10 on 50 should not be compact")
+	}
+	// 8×8×1 on 8: tiles 64 > 8^1.5 ≈ 22.6 → not compact.
+	if IsCompact(8, []int{8, 8, 1}) {
+		t.Error("8×8×1 on 8 should not be compact")
+	}
+	// 4×4×2 on 8: tiles 32 > 22.6 → also not compact (8 is not a square).
+	if IsCompact(8, []int{4, 4, 2}) {
+		t.Error("4×4×2 on 8 is not compact either")
+	}
+}
+
+func TestBusVersusScalableNetwork(t *testing.T) {
+	eta := []int{128, 128, 128}
+	scalable := Model{K1: 1e-6, K2: 20e-6, K3: ScalableNetwork(80e-9)}
+	bus := Model{K1: 1e-6, K2: 20e-6, K3: BusNetwork(80e-9)}
+	gamma := []int{8, 8, 8}
+	p := 64
+	if scalable.TotalTime(p, eta, gamma) >= bus.TotalTime(p, eta, gamma) {
+		t.Error("scalable network should beat the bus at p=64")
+	}
+	// At p=1 they agree (no communication).
+	g1 := []int{1, 1, 1}
+	if scalable.TotalTime(1, eta, g1) != bus.TotalTime(1, eta, g1) {
+		t.Error("p=1 times should match")
+	}
+}
+
+func TestOrigin2000Constants(t *testing.T) {
+	m := Origin2000()
+	if m.K1 <= 0 || m.K2 <= 0 || m.K3(1) <= 0 {
+		t.Error("Origin2000 constants must be positive")
+	}
+	if m.K3(10) >= m.K3(1) {
+		t.Error("scalable K3 should decrease with p")
+	}
+}

@@ -1,0 +1,274 @@
+package dist
+
+import (
+	"fmt"
+
+	"genmp/internal/core"
+	"genmp/internal/grid"
+	"genmp/internal/numutil"
+	"genmp/internal/sim"
+	"genmp/internal/sweep"
+)
+
+// Block is a static block unipartitioning of a d-dimensional array: one
+// dimension (Dim) is cut into p contiguous slabs, one per processor — the
+// first of the two "standard" strategies the paper contrasts with
+// multipartitioning. Sweeps along unpartitioned dimensions are fully local;
+// sweeps along Dim are either pipelined wavefronts (static block) or
+// transpose-based (dynamic block).
+type Block struct {
+	P        int
+	Eta      []int
+	Dim      int
+	Overhead OverheadModel
+}
+
+// NewBlock builds a block unipartitioning along the given dimension.
+func NewBlock(p int, eta []int, dim int, ov OverheadModel) (*Block, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("dist: Block: p = %d must be ≥ 1", p)
+	}
+	if dim < 0 || dim >= len(eta) {
+		return nil, fmt.Errorf("dist: Block: dim %d out of range for rank %d", dim, len(eta))
+	}
+	if eta[dim] < p {
+		return nil, fmt.Errorf("dist: Block: extent η[%d] = %d smaller than p = %d", dim, eta[dim], p)
+	}
+	return &Block{P: p, Eta: numutil.CopyInts(eta), Dim: dim, Overhead: ov}, nil
+}
+
+// OwnedRange returns rank q's slab [lo, hi) along the partitioned dimension.
+func (b *Block) OwnedRange(q int) (lo, hi int) {
+	return core.BlockRange(b.Eta[b.Dim], b.P, q)
+}
+
+// ownedRect returns rank q's region of the array.
+func (b *Block) ownedRect(q int) grid.Rect {
+	lo := make([]int, len(b.Eta))
+	hi := numutil.CopyInts(b.Eta)
+	lo[b.Dim], hi[b.Dim] = b.OwnedRange(q)
+	return grid.RectOf(lo, hi)
+}
+
+// orthoLines returns the number of lines along dim crossing rank q's slab.
+func (b *Block) orthoLines(q, dim int) int {
+	rect := b.ownedRect(q)
+	n := 1
+	for j := range b.Eta {
+		if j != dim {
+			n *= rect.Hi[j] - rect.Lo[j]
+		}
+	}
+	return n
+}
+
+// ComputeOnSlab models (and, when f is non-nil, performs) a local
+// computation phase of flopsPerElement over every element of the calling
+// rank's slab.
+func (b *Block) ComputeOnSlab(r *sim.Rank, flopsPerElement float64, f func(rect grid.Rect)) {
+	rect := b.ownedRect(r.ID)
+	r.Compute(b.Overhead.PerTileVisit)
+	if f != nil {
+		f(rect)
+	}
+	r.ComputeFlops(flopsPerElement * float64(rect.Size()) * b.Overhead.ComputeFactor)
+}
+
+// OwnedRect returns rank q's region of the array.
+func (b *Block) OwnedRect(q int) grid.Rect { return b.ownedRect(q) }
+
+// LocalSweep performs a sweep along an unpartitioned dimension: every line
+// is fully local to its owner, so there is no communication at all.
+func (b *Block) LocalSweep(r *sim.Rank, dim int, solver sweep.Solver, vecs []*grid.Grid) {
+	if dim == b.Dim {
+		panic("dist: LocalSweep along the partitioned dimension; use WavefrontSweep or TransposeSweep")
+	}
+	rect := b.ownedRect(r.ID)
+	lines := b.orthoLines(r.ID, dim)
+	elements := lines * b.Eta[dim]
+	r.Compute(b.Overhead.PerTileVisit)
+	if vecs != nil {
+		solveLocalLines(solver, vecs, rect, dim)
+	}
+	r.ComputeFlops(solver.FlopsPerElement() * float64(elements) * b.Overhead.ComputeFactor)
+}
+
+// solveLocalLines runs full-line solves over every line of rect along dim.
+func solveLocalLines(solver sweep.Solver, vecs []*grid.Grid, rect grid.Rect, dim int) {
+	n := rect.Hi[dim] - rect.Lo[dim]
+	nv := solver.NumVecs()
+	chunk := make([][]float64, nv)
+	for v := range chunk {
+		chunk[v] = make([]float64, n)
+	}
+	vecs[0].EachLine(rect, dim, func(l grid.Line) {
+		for v, g := range vecs {
+			g.Gather(l, chunk[v])
+		}
+		sweep.ChunkedSolve(solver, chunk, nil)
+		for v, g := range vecs {
+			g.Scatter(l, chunk[v])
+		}
+	})
+}
+
+// WavefrontSweep performs a pipelined sweep along the partitioned
+// dimension. The lines crossing all slabs are processed in blocks of
+// grainLines; rank q handles block m only after receiving its carries from
+// rank q−1, so computation proceeds as a software pipeline whose fill and
+// drain cost shrinks with the grain while the per-message overhead grows —
+// the Section 1 tension of static block partitionings.
+func (b *Block) WavefrontSweep(r *sim.Rank, solver sweep.Solver, vecs []*grid.Grid, grainLines int) {
+	if grainLines < 1 {
+		panic("dist: WavefrontSweep: grainLines must be ≥ 1")
+	}
+	b.wavefrontPass(r, solver, vecs, grainLines, false)
+	if solver.BackwardCarryLen() > 0 || solver.BackwardFlopsPerElement() > 0 {
+		b.wavefrontPass(r, solver, vecs, grainLines, true)
+	}
+}
+
+func (b *Block) wavefrontPass(r *sim.Rank, solver sweep.Solver, vecs []*grid.Grid, grainLines int, backward bool) {
+	q := r.ID
+	carryLen := solver.ForwardCarryLen()
+	flopsPerElem := solver.ForwardFlopsPerElement()
+	if backward {
+		carryLen = solver.BackwardCarryLen()
+		flopsPerElem = solver.BackwardFlopsPerElement()
+	}
+	upstream, downstream := q-1, q+1
+	if backward {
+		upstream, downstream = q+1, q-1
+	}
+	haveUp := upstream >= 0 && upstream < b.P
+	haveDown := downstream >= 0 && downstream < b.P
+
+	rect := b.ownedRect(q)
+	chunkLen := rect.Hi[b.Dim] - rect.Lo[b.Dim]
+	totalLines := b.orthoLines(q, b.Dim)
+
+	// Collect this rank's line geometry once (identical ordering on all
+	// ranks: row-major over the full orthogonal extents).
+	var linesGeom []grid.Line
+	var chunk, views [][]float64
+	if vecs != nil {
+		vecs[0].EachLine(rect, b.Dim, func(l grid.Line) { linesGeom = append(linesGeom, l) })
+		nv := solver.NumVecs()
+		chunk = make([][]float64, nv)
+		views = make([][]float64, nv)
+		for v := range chunk {
+			chunk[v] = make([]float64, chunkLen)
+			views[v] = chunk[v]
+		}
+	}
+
+	blocks := numutil.CeilDiv(totalLines, grainLines)
+	for m := 0; m < blocks; m++ {
+		first := m * grainLines
+		count := numutil.MinInt(grainLines, totalLines-first)
+
+		var inBuf []float64
+		if haveUp && carryLen > 0 {
+			msg := r.Recv(upstream, sweepTag(b.Dim, backward, m))
+			r.Compute(b.Overhead.PerMessage)
+			inBuf = msg.Payload
+		}
+		var outBuf []float64
+		if haveDown && carryLen > 0 && vecs != nil {
+			outBuf = make([]float64, count*carryLen)
+		}
+
+		if vecs != nil {
+			for i := 0; i < count; i++ {
+				l := linesGeom[first+i]
+				for v, g := range vecs {
+					g.Gather(l, chunk[v])
+				}
+				var cIn, cOut []float64
+				if inBuf != nil {
+					cIn = inBuf[i*carryLen : (i+1)*carryLen]
+				}
+				if outBuf != nil {
+					cOut = outBuf[i*carryLen : (i+1)*carryLen]
+				}
+				if backward {
+					solver.Backward(views, cIn, cOut)
+				} else {
+					solver.Forward(views, cIn, cOut)
+				}
+				for v, g := range vecs {
+					g.Scatter(l, chunk[v])
+				}
+			}
+		}
+		r.ComputeFlops(flopsPerElem * float64(count*chunkLen) * b.Overhead.ComputeFactor)
+
+		if haveDown && carryLen > 0 {
+			r.Compute(b.Overhead.PerMessage)
+			r.Send(downstream, sweepTag(b.Dim, backward, m),
+				sim.Msg{Bytes: count * carryLen * 8, Payload: outBuf})
+		}
+	}
+}
+
+// TransposeSweep performs the dynamic-block strategy for the partitioned
+// dimension: transpose so the sweep dimension becomes local, solve whole
+// lines, transpose back. Each transpose is an all-to-all in which every
+// rank exchanges its 1/p share of the others' slabs; grids share storage in
+// this process, so the messages carry cost and ordering while the solve
+// reads whole lines directly. transposeGrids is the number of arrays that
+// must move (the solver's vec count in a real code).
+func (b *Block) TransposeSweep(r *sim.Rank, solver sweep.Solver, vecs []*grid.Grid) {
+	q := r.ID
+	nGrids := solver.NumVecs()
+
+	// Pick the dimension that becomes the distributed one after the
+	// transpose: the first dimension other than b.Dim.
+	tDim := 0
+	if b.Dim == 0 {
+		tDim = 1
+	}
+
+	b.allToAll(r, nGrids, 0)
+
+	// After the transpose rank q owns the slab [lo,hi) of tDim with the
+	// sweep dimension local: solve whole lines.
+	lo, hi := core.BlockRange(b.Eta[tDim], b.P, q)
+	rect := grid.RectOf(make([]int, len(b.Eta)), numutil.CopyInts(b.Eta))
+	rect.Lo[tDim], rect.Hi[tDim] = lo, hi
+	lines := 1
+	for j := range b.Eta {
+		if j != b.Dim {
+			lines *= rect.Hi[j] - rect.Lo[j]
+		}
+	}
+	r.Compute(b.Overhead.PerTileVisit)
+	if vecs != nil {
+		solveLocalLines(solver, vecs, rect, b.Dim)
+	}
+	r.ComputeFlops(solver.FlopsPerElement() * float64(lines*b.Eta[b.Dim]) * b.Overhead.ComputeFactor)
+
+	b.allToAll(r, nGrids, 1)
+}
+
+// allToAll models the transpose communication: every rank sends every other
+// rank its share, p−1 messages of (own elements)/p each, per grid moved.
+func (b *Block) allToAll(r *sim.Rank, nGrids, phase int) {
+	if b.P == 1 {
+		return
+	}
+	q := r.ID
+	own := b.ownedRect(q).Size()
+	bytesPerPeer := own / b.P * 8 * nGrids
+	tag := 1<<27 | phase<<20
+	for off := 1; off < b.P; off++ {
+		dst := (q + off) % b.P
+		r.Compute(b.Overhead.PerMessage)
+		r.Send(dst, tag, sim.Msg{Bytes: bytesPerPeer})
+	}
+	for off := 1; off < b.P; off++ {
+		src := (q + off) % b.P
+		r.Recv(src, tag)
+		r.Compute(b.Overhead.PerMessage)
+	}
+}

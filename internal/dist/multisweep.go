@@ -1,0 +1,205 @@
+package dist
+
+import (
+	"fmt"
+
+	"genmp/internal/grid"
+	"genmp/internal/sim"
+	"genmp/internal/sweep"
+)
+
+// MultiSweep executes a line sweep (forward elimination + back
+// substitution) along one dimension of a multipartitioned array.
+//
+// In data mode, Vecs holds Solver.NumVecs() grids of the array's extents
+// (the solver's per-line arrays; see internal/sweep for each solver's
+// layout); the solution is produced in place. In model-only mode Vecs is
+// nil and only time/bytes are accounted.
+//
+// Aggregate selects communication vectorization: when true (the behavior of
+// both dHPF-generated and hand-coded multipartitioned codes), the carries
+// of all lines of all of a processor's tiles in a slab travel in a single
+// message per phase — possible because the mapping has the neighbor
+// property; when false, one message per tile is sent (the ablation of
+// DESIGN.md §4.1).
+type MultiSweep struct {
+	Env       *Env
+	Solver    sweep.Solver
+	Vecs      []*grid.Grid
+	Aggregate bool
+}
+
+// NewMultiSweep builds a sweep executor; vecs may be nil for model-only
+// runs.
+func NewMultiSweep(env *Env, solver sweep.Solver, vecs []*grid.Grid) (*MultiSweep, error) {
+	if vecs != nil {
+		if len(vecs) != solver.NumVecs() {
+			return nil, fmt.Errorf("dist: solver %s needs %d grids, got %d", solver.Name(), solver.NumVecs(), len(vecs))
+		}
+		for i, g := range vecs {
+			for dim, e := range env.Eta {
+				if g.Shape()[dim] != e {
+					return nil, fmt.Errorf("dist: grid %d has shape %v, want %v", i, g.Shape(), env.Eta)
+				}
+			}
+		}
+	}
+	return &MultiSweep{Env: env, Solver: solver, Vecs: vecs, Aggregate: true}, nil
+}
+
+// Run performs the full sweep along dim for the calling rank: the forward
+// pass over slabs 0..γ−1 and (if the solver has one) the backward pass over
+// slabs γ−1..0.
+func (s *MultiSweep) Run(r *sim.Rank, dim int) {
+	s.pass(r, dim, false)
+	if s.Solver.BackwardCarryLen() > 0 || s.Solver.BackwardFlopsPerElement() > 0 {
+		s.pass(r, dim, true)
+	}
+}
+
+// sweepTag builds a unique message tag for (dim, pass, phase boundary),
+// offset away from application tags. Per-channel FIFO order disambiguates
+// the per-tile messages of non-aggregated mode, which share the phase tag.
+func sweepTag(dim int, backward bool, phase int) int {
+	pass := 0
+	if backward {
+		pass = 1
+	}
+	return (dim*2+pass)<<20 | phase | 1<<28
+}
+
+func (s *MultiSweep) pass(r *sim.Rank, dim int, backward bool) {
+	env := s.Env
+	q := r.ID
+	sched := env.M.SweepSchedule(q, dim, backward)
+	carryLen := s.Solver.ForwardCarryLen()
+	flopsPerElem := s.Solver.ForwardFlopsPerElement()
+	if backward {
+		carryLen = s.Solver.BackwardCarryLen()
+		flopsPerElem = s.Solver.BackwardFlopsPerElement()
+	}
+	step := 1
+	if backward {
+		step = -1
+	}
+	recvFrom := -1
+	if len(sched) > 1 {
+		recvFrom = env.M.NeighborProc(q, dim, -step)
+	}
+
+	// Scratch: per-line chunk buffers, reused across lines and tiles.
+	var chunk, views [][]float64
+	if s.Vecs != nil {
+		nv := s.Solver.NumVecs()
+		chunk = make([][]float64, nv)
+		views = make([][]float64, nv)
+		for v := range chunk {
+			chunk[v] = make([]float64, env.Eta[dim])
+		}
+	}
+
+	for k, ph := range sched {
+		// Per-tile line counts (identical on the sending and receiving side
+		// of a phase boundary: tiles correspond by a one-slab shift, which
+		// preserves both order and cross-section).
+		lines := 0
+		tileLines := make([]int, len(ph.Tiles))
+		for ti, tile := range ph.Tiles {
+			lo, hi := env.M.TileBounds(env.Eta, tile)
+			n := 1
+			for j := range env.Eta {
+				if j != dim {
+					n *= hi[j] - lo[j]
+				}
+			}
+			tileLines[ti] = n
+			lines += n
+		}
+
+		// Receive the carries produced by the upstream slab.
+		var inBuf []float64
+		if k > 0 && carryLen > 0 {
+			if s.Aggregate {
+				msg := r.Recv(recvFrom, sweepTag(dim, backward, k))
+				r.Compute(env.Overhead.PerMessage)
+				inBuf = msg.Payload
+			} else {
+				if s.Vecs != nil {
+					inBuf = make([]float64, lines*carryLen)
+				}
+				off := 0
+				for _, n := range tileLines {
+					msg := r.Recv(recvFrom, sweepTag(dim, backward, k))
+					r.Compute(env.Overhead.PerMessage)
+					if inBuf != nil {
+						copy(inBuf[off:off+n*carryLen], msg.Payload)
+					}
+					off += n * carryLen
+				}
+			}
+		}
+
+		var outBuf []float64
+		if ph.SendTo >= 0 && carryLen > 0 && s.Vecs != nil {
+			outBuf = make([]float64, lines*carryLen)
+		}
+
+		// Compute this slab's tiles.
+		elements := 0
+		inOff, outOff := 0, 0
+		for ti, tile := range ph.Tiles {
+			r.Compute(env.Overhead.PerTileVisit)
+			lo, hi := env.M.TileBounds(env.Eta, tile)
+			chunkLen := hi[dim] - lo[dim]
+			elements += chunkLen * tileLines[ti]
+			if s.Vecs == nil {
+				continue
+			}
+			rect := grid.RectOf(lo, hi)
+			s.Vecs[0].EachLine(rect, dim, func(l grid.Line) {
+				for v, g := range s.Vecs {
+					g.Gather(l, chunk[v][:chunkLen])
+					views[v] = chunk[v][:chunkLen]
+				}
+				var cIn, cOut []float64
+				if inBuf != nil {
+					cIn = inBuf[inOff : inOff+carryLen]
+					inOff += carryLen
+				}
+				if outBuf != nil {
+					cOut = outBuf[outOff : outOff+carryLen]
+					outOff += carryLen
+				}
+				if backward {
+					s.Solver.Backward(views, cIn, cOut)
+				} else {
+					s.Solver.Forward(views, cIn, cOut)
+				}
+				for v, g := range s.Vecs {
+					g.Scatter(l, chunk[v][:chunkLen])
+				}
+			})
+		}
+		r.ComputeFlops(flopsPerElem * float64(elements) * env.Overhead.ComputeFactor)
+
+		// Ship the carries downstream.
+		if ph.SendTo >= 0 && carryLen > 0 {
+			if s.Aggregate {
+				r.Compute(env.Overhead.PerMessage)
+				r.Send(ph.SendTo, sweepTag(dim, backward, k+1),
+					sim.Msg{Bytes: lines * carryLen * 8, Payload: outBuf})
+			} else {
+				off := 0
+				for _, n := range tileLines {
+					r.Compute(env.Overhead.PerMessage)
+					msg := sim.Msg{Bytes: n * carryLen * 8}
+					if outBuf != nil {
+						msg.Payload = outBuf[off : off+n*carryLen]
+					}
+					off += n * carryLen
+					r.Send(ph.SendTo, sweepTag(dim, backward, k+1), msg)
+				}
+			}
+		}
+	}
+}

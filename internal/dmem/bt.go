@@ -1,0 +1,126 @@
+package dmem
+
+import (
+	"fmt"
+
+	"genmp/internal/dist"
+	"genmp/internal/grid"
+	"genmp/internal/nas"
+	"genmp/internal/sim"
+	"genmp/internal/sweep"
+)
+
+// RunBT executes the BT pseudo-application (5×5 block tridiagonal line
+// solves) in strict distributed-memory mode. The returned grid (rank 0)
+// matches nas.BTSerialSolve elementwise.
+func RunBT(env *dist.Env, mach *sim.Machine, steps int) (*grid.Grid, sim.Result, error) {
+	const haloDepth = 2
+	gamma := env.M.Gamma()
+	for dim := range env.Eta {
+		if gamma[dim] > 1 && env.Eta[dim]/gamma[dim] < haloDepth {
+			return nil, sim.Result{}, fmt.Errorf("dmem: tiles along dim %d are thinner than the halo depth %d", dim, haloDepth)
+		}
+	}
+	const b = nas.BTBlockSize
+	bb := b * b
+	solver := sweep.NewBlockTridiag(b)
+	var out *grid.Grid
+	res, err := mach.Run(func(r *sim.Rank) {
+		u := NewField(env, r.ID, haloDepth)
+		u.FillFunc(initialAt(env.Eta))
+		rhs := NewField(env, r.ID, 0)
+		vecs := make([]*Field, solver.NumVecs())
+		for v := range vecs {
+			vecs[v] = NewField(env, r.ID, 0)
+		}
+		fvecs := vecs[3*bb:]
+
+		for step := 0; step < steps; step++ {
+			u.ExchangeHalos(r, 1<<25)
+			strictComputeRHS(u, rhs)
+			strictScatterBTRHS(rhs, fvecs)
+			r.ComputeFlops(nas.BTFlopsRHS * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
+			for dim := range env.Eta {
+				strictBuildBTLHS(dim, env.Eta[dim], vecs)
+				r.ComputeFlops(nas.BTFlopsLHSBuild * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
+				RunSweep(r, solver, vecs, dim)
+			}
+			strictAdd(u, fvecs[0])
+			r.ComputeFlops(nas.BTFlopsAdd * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
+		}
+		if g := GatherToRoot(r, u, 1<<24); g != nil {
+			out = g
+		}
+	})
+	if err != nil {
+		return nil, sim.Result{}, err
+	}
+	return out, res, nil
+}
+
+// strictScatterBTRHS copies the scalar stencil output into the B solution
+// components with the same scaling as nas.btScatterRHS.
+func strictScatterBTRHS(rhs *Field, fvecs []*Field) {
+	for i := 0; i < rhs.NumTiles(); i++ {
+		src := rhs.TileGrid(i).Data()
+		for c, f := range fvecs {
+			dst := f.TileGrid(i).Data()
+			scale := 1 + 0.1*float64(c)
+			for k, v := range src {
+				dst[k] = v * scale
+			}
+		}
+	}
+}
+
+// strictBuildBTLHS assembles the block coefficients per owned tile from the
+// same global formula as nas.BuildBlockLHS.
+func strictBuildBTLHS(dim, n int, vecs []*Field) {
+	const b = nas.BTBlockSize
+	bb := b * b
+	f := vecs[0]
+	for i := 0; i < f.NumTiles(); i++ {
+		bnd := f.GlobalBounds(i)
+		start := bnd.Lo[dim]
+		data := make([][]float64, 3*bb)
+		for v := range data {
+			data[v] = vecs[v].TileGrid(i).Data()
+		}
+		ref := f.TileGrid(i)
+		ref.EachLine(f.InteriorRect(i), dim, func(l grid.Line) {
+			off := l.Base
+			for k := 0; k < l.N; k++ {
+				g := start + k
+				for r := 0; r < b; r++ {
+					rowSum := 0.0
+					for c := 0; c < b; c++ {
+						av, cv := 0.0, 0.0
+						if g >= 1 {
+							av = nas.BTCoeff(g+dim, r, c, 0)
+						}
+						if g < n-1 {
+							cv = nas.BTCoeff(g+dim, r, c, 1)
+						}
+						data[r*b+c][off] = av
+						data[2*bb+r*b+c][off] = cv
+						rowSum += abs(av) + abs(cv)
+						if c != r {
+							bv := nas.BTCoeff(g+dim, r, c, 2)
+							data[bb+r*b+c][off] = bv
+							rowSum += abs(bv)
+						}
+					}
+					data[bb+r*b+r][off] = rowSum + 1.5
+				}
+				off += l.Stride
+			}
+		})
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,259 @@
+// Package dmem provides strict distributed-memory execution: every rank
+// owns private copies of its tiles (padded with halo shells), all boundary
+// data moves in real message payloads, and no rank ever reads another
+// rank's storage. It is the fully faithful counterpart of internal/dist's
+// shared-storage data mode (where messages carry carries and establish
+// ordering, but stencil reads go through the common backing arrays).
+//
+// The cost: extra memory for per-tile copies and pack/unpack work. The
+// payoff: an execution model identical to an MPI program's, validated
+// elementwise against the serial references by gathering the distributed
+// state back to rank 0 over messages.
+package dmem
+
+import (
+	"fmt"
+
+	"genmp/internal/dist"
+	"genmp/internal/grid"
+	"genmp/internal/numutil"
+	"genmp/internal/sim"
+)
+
+// Field is one rank's private storage for one distributed array: a padded
+// local grid per owned tile. Depth is the halo width (0 for arrays that
+// never feed a stencil).
+type Field struct {
+	Env   *dist.Env
+	Rank  int
+	Depth int
+	// tiles[i] is the padded local grid of the i-th tile in the rank's
+	// canonical (row-major) tile order; bounds[i] its global interior.
+	tiles  []*grid.Grid
+	bounds []grid.Rect
+	// index maps a tile's row-major rank in the tile grid to its position
+	// in tiles (or −1 when not owned by this rank).
+	index map[int]int
+}
+
+// NewField allocates the rank's tile storage for one array.
+func NewField(env *dist.Env, rank, depth int) *Field {
+	if depth < 0 {
+		panic("dmem: negative halo depth")
+	}
+	f := &Field{Env: env, Rank: rank, Depth: depth, index: map[int]int{}}
+	gamma := env.M.Gamma()
+	for _, tile := range env.M.TilesOf(rank) {
+		lo, hi := env.M.TileBounds(env.Eta, tile)
+		shape := make([]int, len(lo))
+		for i := range shape {
+			shape[i] = hi[i] - lo[i] + 2*depth
+		}
+		f.index[numutil.RankOf(tile, gamma)] = len(f.tiles)
+		f.tiles = append(f.tiles, grid.New(shape...))
+		f.bounds = append(f.bounds, grid.RectOf(lo, hi))
+	}
+	return f
+}
+
+// NumTiles returns the number of locally stored tiles.
+func (f *Field) NumTiles() int { return len(f.tiles) }
+
+// TileGrid returns the padded local grid of local tile i.
+func (f *Field) TileGrid(i int) *grid.Grid { return f.tiles[i] }
+
+// GlobalBounds returns the global interior region of local tile i.
+func (f *Field) GlobalBounds(i int) grid.Rect { return f.bounds[i] }
+
+// InteriorRect returns the interior region of local tile i within its
+// padded grid.
+func (f *Field) InteriorRect(i int) grid.Rect {
+	b := f.bounds[i]
+	d := len(b.Lo)
+	lo := make([]int, d)
+	hi := make([]int, d)
+	for k := 0; k < d; k++ {
+		lo[k] = f.Depth
+		hi[k] = f.Depth + b.Hi[k] - b.Lo[k]
+	}
+	return grid.RectOf(lo, hi)
+}
+
+// LocalTileOf returns the local index of the tile with the given
+// coordinates, or −1 when this rank does not own it.
+func (f *Field) LocalTileOf(tile []int) int {
+	i, ok := f.index[numutil.RankOf(tile, f.Env.M.Gamma())]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// FillFunc initializes every interior cell from its global coordinates.
+func (f *Field) FillFunc(fn func(global []int) float64) {
+	for i, g := range f.tiles {
+		b := f.bounds[i]
+		d := len(b.Lo)
+		global := make([]int, d)
+		interior := f.InteriorRect(i)
+		data := g.Data()
+		g.EachLine(interior, d-1, func(l grid.Line) {
+			f.localToGlobal(i, l.Base, global)
+			off := l.Base
+			for k := 0; k < l.N; k++ {
+				data[off] = fn(global)
+				global[d-1]++
+				off += l.Stride
+			}
+			global[d-1] -= l.N
+		})
+	}
+}
+
+// localToGlobal converts a storage offset of local tile i into global
+// coordinates (writing into dst).
+func (f *Field) localToGlobal(i, offset int, dst []int) {
+	g := f.tiles[i]
+	numutil.CoordOf(offset, g.Shape(), dst)
+	b := f.bounds[i]
+	for k := range dst {
+		dst[k] = dst[k] - f.Depth + b.Lo[k]
+	}
+}
+
+// SumSquares returns Σv² over the rank's interiors (a reduction input).
+func (f *Field) SumSquares() float64 {
+	s := 0.0
+	for i, g := range f.tiles {
+		data := g.Data()
+		d := g.Dims()
+		g.EachLine(f.InteriorRect(i), d-1, func(l grid.Line) {
+			off := l.Base
+			for k := 0; k < l.N; k++ {
+				v := data[off]
+				s += v * v
+				off += l.Stride
+			}
+		})
+	}
+	return s
+}
+
+// haloFaceRect returns, within local tile i's padded grid, either the
+// interior face of width w on the given side of dim (src = true: the data
+// to send) or the halo shell of width w beyond that side (src = false: the
+// cells to fill on receive).
+func (f *Field) haloFaceRect(i, dim, side, w int, src bool) grid.Rect {
+	interior := f.InteriorRect(i)
+	lo := numutil.CopyInts(interior.Lo)
+	hi := numutil.CopyInts(interior.Hi)
+	if side > 0 {
+		if src {
+			lo[dim] = hi[dim] - w
+		} else {
+			lo[dim] = hi[dim]
+			hi[dim] = lo[dim] + w
+		}
+	} else {
+		if src {
+			hi[dim] = lo[dim] + w
+		} else {
+			hi[dim] = lo[dim]
+			lo[dim] = hi[dim] - w
+		}
+	}
+	return grid.RectOf(lo, hi)
+}
+
+// haloTag builds per-(dim, direction) message tags.
+func haloTag(base, dim, s int) int { return base + dim*2 + s }
+
+// ExchangeHalos fills the field's halo shells with real face data from the
+// neighboring processors: one aggregated payload message per direction per
+// dimension (the neighbor property gives a single peer each way).
+func (f *Field) ExchangeHalos(r *sim.Rank, tagBase int) {
+	if f.Depth == 0 || f.Env.M.P() == 1 {
+		return
+	}
+	env := f.Env
+	gamma := env.M.Gamma()
+	for dim := range env.Eta {
+		if gamma[dim] == 1 {
+			continue
+		}
+		for s, step := range []int{1, -1} {
+			// Pack the faces of every owned tile that has an in-grid
+			// neighbor in direction step, in canonical tile order.
+			var payload []float64
+			for i := range f.tiles {
+				tile := env.M.TilesOf(f.Rank)[i]
+				n := tile[dim] + step
+				if n < 0 || n >= gamma[dim] {
+					continue
+				}
+				payload = append(payload, f.tiles[i].Extract(f.haloFaceRect(i, dim, step, f.Depth, true))...)
+			}
+			dst := env.M.NeighborProc(f.Rank, dim, step)
+			src := env.M.NeighborProc(f.Rank, dim, -step)
+			r.Compute(env.Overhead.PerMessage)
+			msg := r.SendRecv(dst, haloTag(tagBase, dim, s), sim.Msg{Payload: payload}, src, haloTag(tagBase, dim, s))
+			r.Compute(env.Overhead.PerMessage)
+			// Unpack into the halo shells on the −step side of the tiles
+			// with an in-grid neighbor that way (the shifted bijection
+			// preserves canonical order and cross-sections).
+			pos := 0
+			for i := range f.tiles {
+				tile := env.M.TilesOf(f.Rank)[i]
+				n := tile[dim] - step
+				if n < 0 || n >= gamma[dim] {
+					continue
+				}
+				rect := f.haloFaceRect(i, dim, -step, f.Depth, false)
+				size := rect.Size()
+				f.tiles[i].Inject(rect, msg.Payload[pos:pos+size])
+				pos += size
+			}
+			if pos != len(msg.Payload) {
+				panic(fmt.Sprintf("dmem: halo exchange misaligned: consumed %d of %d values (dim %d step %+d)",
+					pos, len(msg.Payload), dim, step))
+			}
+		}
+	}
+}
+
+// GatherToRoot reconstructs the global array on rank 0 from every rank's
+// interiors, over real messages. All ranks must call it; non-root ranks
+// return nil.
+func GatherToRoot(r *sim.Rank, f *Field, tag int) *grid.Grid {
+	env := f.Env
+	if r.ID != 0 {
+		var payload []float64
+		for i := range f.tiles {
+			payload = append(payload, f.tiles[i].Extract(f.InteriorRect(i))...)
+		}
+		r.Send(0, tag, sim.Msg{Payload: payload})
+		return nil
+	}
+	out := grid.New(env.Eta...)
+	inject := func(field *Field, payload []float64, owner int) {
+		pos := 0
+		for _, tile := range env.M.TilesOf(owner) {
+			lo, hi := env.M.TileBounds(env.Eta, tile)
+			rect := grid.RectOf(lo, hi)
+			size := rect.Size()
+			out.Inject(rect, payload[pos:pos+size])
+			pos += size
+		}
+	}
+	// Rank 0's own tiles.
+	var own []float64
+	for i := range f.tiles {
+		own = append(own, f.tiles[i].Extract(f.InteriorRect(i))...)
+	}
+	inject(f, own, 0)
+	for q := 1; q < env.M.P(); q++ {
+		msg := r.Recv(q, tag)
+		inject(f, msg.Payload, q)
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package dmem
+
+import (
+	"fmt"
+
+	"genmp/internal/dist"
+	"genmp/internal/grid"
+	"genmp/internal/nas"
+	"genmp/internal/sim"
+	"genmp/internal/sweep"
+)
+
+// RunSP executes the SP pseudo-application in strict distributed-memory
+// mode: every rank holds private padded copies of its tiles, stencil halos
+// and sweep carries move in real message payloads, and the final state is
+// gathered to rank 0 over messages. The returned grid (non-nil only from
+// the outer call, assembled on rank 0) matches nas.SerialSolve elementwise.
+//
+// Every tile must be at least haloDepth (2) cells thick in every cut
+// dimension so a single neighbor's face covers the stencil reach.
+func RunSP(env *dist.Env, mach *sim.Machine, steps int) (*grid.Grid, sim.Result, error) {
+	const haloDepth = 2
+	gamma := env.M.Gamma()
+	for dim := range env.Eta {
+		if gamma[dim] > 1 && env.Eta[dim]/gamma[dim] < haloDepth {
+			return nil, sim.Result{}, fmt.Errorf("dmem: tiles along dim %d are thinner than the halo depth %d", dim, haloDepth)
+		}
+	}
+	solver := sweep.NewPenta()
+	var out *grid.Grid
+	res, err := mach.Run(func(r *sim.Rank) {
+		u := NewField(env, r.ID, haloDepth)
+		u.FillFunc(initialAt(env.Eta))
+		vecs := make([]*Field, solver.NumVecs())
+		for v := range vecs {
+			vecs[v] = NewField(env, r.ID, 0)
+		}
+		rhs := vecs[5]
+
+		for step := 0; step < steps; step++ {
+			u.ExchangeHalos(r, 1<<25)
+			r.Compute(env.Overhead.PerTileVisit * float64(u.NumTiles()))
+			strictComputeRHS(u, rhs)
+			r.ComputeFlops(nas.FlopsRHS * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
+			for dim := range env.Eta {
+				strictBuildLHS(dim, env.Eta[dim], vecs)
+				r.ComputeFlops(nas.FlopsLHSBuild * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
+				RunSweep(r, solver, vecs, dim)
+			}
+			strictAdd(u, rhs)
+			r.ComputeFlops(nas.FlopsAdd * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
+		}
+		if g := GatherToRoot(r, u, 1<<24); g != nil {
+			out = g
+		}
+	})
+	if err != nil {
+		return nil, sim.Result{}, err
+	}
+	return out, res, nil
+}
+
+// initialAt evaluates nas.InitialState's formula pointwise so every rank
+// initializes its own tiles without touching shared data.
+func initialAt(eta []int) func(global []int) float64 {
+	return func(idx []int) float64 {
+		v := 1.0
+		for i, x := range idx {
+			v += float64((x+1)*(i+2)) / float64(eta[i]*(i+3))
+		}
+		return v
+	}
+}
+
+func ownedElements(f *Field) int {
+	n := 0
+	for i := 0; i < f.NumTiles(); i++ {
+		n += f.GlobalBounds(i).Size()
+	}
+	return n
+}
+
+// strictComputeRHS evaluates the SP stencil over every owned tile reading
+// only the rank's private padded storage. Domain-boundary reads clamp
+// exactly as the serial nas.ComputeRHS does.
+func strictComputeRHS(u *Field, rhs *Field) {
+	env := u.Env
+	d := len(env.Eta)
+	for i := 0; i < u.NumTiles(); i++ {
+		ug := u.TileGrid(i)
+		rg := rhs.TileGrid(i)
+		ud := ug.Data()
+		rd := rg.Data()
+		uShape := ug.Shape()
+		// Strides of the padded u grid.
+		uStride := make([]int, d)
+		s := 1
+		for k := d - 1; k >= 0; k-- {
+			uStride[k] = s
+			s *= uShape[k]
+		}
+		global := make([]int, d)
+		interiorU := u.InteriorRect(i)
+		rhsInterior := rhs.InteriorRect(i)
+		// Walk u's interior and rhs's interior in lockstep (same shape,
+		// different padding).
+		var rhsLines []grid.Line
+		rg.EachLine(rhsInterior, d-1, func(l grid.Line) { rhsLines = append(rhsLines, l) })
+		li := 0
+		ug.EachLine(interiorU, d-1, func(l grid.Line) {
+			rl := rhsLines[li]
+			li++
+			u.localToGlobal(i, l.Base, global)
+			uOff := l.Base
+			rOff := rl.Base
+			for k := 0; k < l.N; k++ {
+				acc := 0.0
+				for dim := 0; dim < d; dim++ {
+					g := global[dim]
+					n := env.Eta[dim]
+					at := func(delta int) float64 {
+						cc := g + delta
+						if cc < 0 {
+							cc = 0
+						}
+						if cc >= n {
+							cc = n - 1
+						}
+						return ud[uOff+(cc-g)*uStride[dim]]
+					}
+					acc += nas.StencilTerm(at(-2), at(-1), at(0), at(1), at(2))
+				}
+				rd[rOff] = acc
+				uOff += l.Stride
+				rOff += rl.Stride
+				global[d-1]++
+			}
+			global[d-1] -= l.N
+		})
+	}
+}
+
+// strictBuildLHS assembles the pentadiagonal bands over every owned tile
+// from the global row formula (identical to nas.BuildLHS).
+func strictBuildLHS(dim, n int, vecs []*Field) {
+	f := vecs[0]
+	d := len(f.Env.Eta)
+	for i := 0; i < f.NumTiles(); i++ {
+		b := f.GlobalBounds(i)
+		start := b.Lo[dim]
+		grids := make([]*grid.Grid, 5)
+		data := make([][]float64, 5)
+		for v := 0; v < 5; v++ {
+			grids[v] = vecs[v].TileGrid(i)
+			data[v] = grids[v].Data()
+		}
+		interior := vecs[0].InteriorRect(i)
+		grids[0].EachLine(interior, dim, func(l grid.Line) {
+			off := l.Base
+			for k := 0; k < l.N; k++ {
+				l1, l2, dg, u1, u2 := nas.BandRow(start+k, dim, n)
+				data[0][off] = l1
+				data[1][off] = l2
+				data[2][off] = dg
+				data[3][off] = u1
+				data[4][off] = u2
+				off += l.Stride
+			}
+		})
+	}
+	_ = d
+}
+
+// strictAdd folds rhs into u over every owned tile (different paddings).
+func strictAdd(u *Field, rhs *Field) {
+	d := len(u.Env.Eta)
+	for i := 0; i < u.NumTiles(); i++ {
+		ug := u.TileGrid(i)
+		rg := rhs.TileGrid(i)
+		ud := ug.Data()
+		rd := rg.Data()
+		var rhsLines []grid.Line
+		rg.EachLine(rhs.InteriorRect(i), d-1, func(l grid.Line) { rhsLines = append(rhsLines, l) })
+		li := 0
+		ug.EachLine(u.InteriorRect(i), d-1, func(l grid.Line) {
+			rl := rhsLines[li]
+			li++
+			uOff, rOff := l.Base, rl.Base
+			for k := 0; k < l.N; k++ {
+				ud[uOff] += rd[rOff]
+				uOff += l.Stride
+				rOff += rl.Stride
+			}
+		})
+	}
+}

@@ -1,0 +1,147 @@
+package dmem
+
+import (
+	"fmt"
+
+	"genmp/internal/grid"
+	"genmp/internal/sim"
+	"genmp/internal/sweep"
+)
+
+// RunSweep performs a full line sweep (forward elimination and, when the
+// solver has one, back substitution) along dim over strictly distributed
+// fields: the solver's per-line arrays live in the calling rank's private
+// tile storage, and inter-tile carries travel in real message payloads.
+// fields must hold Solver.NumVecs() fields of this rank.
+func RunSweep(r *sim.Rank, solver sweep.Solver, fields []*Field, dim int) {
+	if len(fields) != solver.NumVecs() {
+		panic(fmt.Sprintf("dmem: solver %s needs %d fields, got %d", solver.Name(), solver.NumVecs(), len(fields)))
+	}
+	sweepPass(r, solver, fields, dim, false)
+	if solver.BackwardCarryLen() > 0 || solver.BackwardFlopsPerElement() > 0 {
+		sweepPass(r, solver, fields, dim, true)
+	}
+}
+
+func strictSweepTag(dim int, backward bool, phase int) int {
+	pass := 0
+	if backward {
+		pass = 1
+	}
+	return (dim*2+pass)<<20 | phase | 1<<29
+}
+
+func sweepPass(r *sim.Rank, solver sweep.Solver, fields []*Field, dim int, backward bool) {
+	env := fields[0].Env
+	q := r.ID
+	sched := env.M.SweepSchedule(q, dim, backward)
+	carryLen := solver.ForwardCarryLen()
+	flopsPerElem := solver.ForwardFlopsPerElement()
+	if backward {
+		carryLen = solver.BackwardCarryLen()
+		flopsPerElem = solver.BackwardFlopsPerElement()
+	}
+	step := 1
+	if backward {
+		step = -1
+	}
+	recvFrom := -1
+	if len(sched) > 1 {
+		recvFrom = env.M.NeighborProc(q, dim, -step)
+	}
+
+	nv := len(fields)
+	chunk := make([][]float64, nv)
+	views := make([][]float64, nv)
+	for v := range chunk {
+		chunk[v] = make([]float64, env.Eta[dim])
+	}
+
+	for k, ph := range sched {
+		// Per-tile line counts (identical across the phase boundary by the
+		// shifted-tile bijection).
+		lines := 0
+		tileLines := make([]int, len(ph.Tiles))
+		tileLocal := make([]int, len(ph.Tiles))
+		for ti, tile := range ph.Tiles {
+			i := fields[0].LocalTileOf(tile)
+			if i < 0 {
+				panic("dmem: sweep schedule names a tile this rank does not own")
+			}
+			tileLocal[ti] = i
+			b := fields[0].GlobalBounds(i)
+			n := 1
+			for j := range env.Eta {
+				if j != dim {
+					n *= b.Hi[j] - b.Lo[j]
+				}
+			}
+			tileLines[ti] = n
+			lines += n
+		}
+
+		var inBuf []float64
+		if k > 0 && carryLen > 0 {
+			msg := r.Recv(recvFrom, strictSweepTag(dim, backward, k))
+			r.Compute(env.Overhead.PerMessage)
+			inBuf = msg.Payload
+		}
+		var outBuf []float64
+		if ph.SendTo >= 0 && carryLen > 0 {
+			outBuf = make([]float64, lines*carryLen)
+		}
+
+		elements := 0
+		inOff, outOff := 0, 0
+		for ti := range ph.Tiles {
+			r.Compute(env.Overhead.PerTileVisit)
+			i := tileLocal[ti]
+			b := fields[0].GlobalBounds(i)
+			chunkLen := b.Hi[dim] - b.Lo[dim]
+			elements += chunkLen * tileLines[ti]
+
+			// Gather/solve/scatter every line chunk of this tile from the
+			// rank-private storage. Each field may have its own halo
+			// depth, so line geometry is computed per field; all share the
+			// same interior cross-section and canonical order.
+			tileGrids := make([]*grid.Grid, nv)
+			tileLineGeom := make([][]grid.Line, nv)
+			for v, f := range fields {
+				tileGrids[v] = f.TileGrid(i)
+				var ls []grid.Line
+				tileGrids[v].EachLine(f.InteriorRect(i), dim, func(l grid.Line) { ls = append(ls, l) })
+				tileLineGeom[v] = ls
+			}
+			for li := 0; li < tileLines[ti]; li++ {
+				for v := range fields {
+					tileGrids[v].Gather(tileLineGeom[v][li], chunk[v][:chunkLen])
+					views[v] = chunk[v][:chunkLen]
+				}
+				var cIn, cOut []float64
+				if inBuf != nil {
+					cIn = inBuf[inOff : inOff+carryLen]
+					inOff += carryLen
+				}
+				if outBuf != nil {
+					cOut = outBuf[outOff : outOff+carryLen]
+					outOff += carryLen
+				}
+				if backward {
+					solver.Backward(views, cIn, cOut)
+				} else {
+					solver.Forward(views, cIn, cOut)
+				}
+				for v := range fields {
+					tileGrids[v].Scatter(tileLineGeom[v][li], chunk[v][:chunkLen])
+				}
+			}
+		}
+		r.ComputeFlops(flopsPerElem * float64(elements) * env.Overhead.ComputeFactor)
+
+		if ph.SendTo >= 0 && carryLen > 0 {
+			r.Compute(env.Overhead.PerMessage)
+			r.Send(ph.SendTo, strictSweepTag(dim, backward, k+1),
+				sim.Msg{Payload: outBuf})
+		}
+	}
+}

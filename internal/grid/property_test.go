@@ -1,0 +1,119 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"genmp/internal/numutil"
+)
+
+func TestExtractInjectQuickRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	f := func(seed uint32) bool {
+		r := rand.New(rand.NewSource(int64(seed)))
+		d := 1 + r.Intn(4)
+		shape := make([]int, d)
+		for i := range shape {
+			shape[i] = 1 + r.Intn(6)
+		}
+		g := New(shape...)
+		g.FillFunc(func([]int) float64 { return rng.Float64() })
+		lo := make([]int, d)
+		hi := make([]int, d)
+		for i := range shape {
+			lo[i] = r.Intn(shape[i])
+			hi[i] = lo[i] + 1 + r.Intn(shape[i]-lo[i])
+		}
+		rect := RectOf(lo, hi)
+		buf := g.Extract(rect)
+		h := g.Clone()
+		h.Inject(rect, buf)
+		return MaxAbsDiff(g, h) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGatherScatterQuickRoundTrip(t *testing.T) {
+	f := func(seed uint32) bool {
+		r := rand.New(rand.NewSource(int64(seed)))
+		d := 1 + r.Intn(3)
+		shape := make([]int, d)
+		for i := range shape {
+			shape[i] = 2 + r.Intn(5)
+		}
+		g := New(shape...)
+		g.FillFunc(func([]int) float64 { return r.Float64() })
+		orig := g.Clone()
+		dim := r.Intn(d)
+		buf := make([]float64, shape[dim])
+		g.EachLine(g.Bounds(), dim, func(l Line) {
+			g.Gather(l, buf)
+			g.Scatter(l, buf)
+		})
+		return MaxAbsDiff(g, orig) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransposeQuickInverse(t *testing.T) {
+	f := func(seed uint32) bool {
+		r := rand.New(rand.NewSource(int64(seed)))
+		d := 2 + r.Intn(3)
+		shape := make([]int, d)
+		for i := range shape {
+			shape[i] = 1 + r.Intn(5)
+		}
+		g := New(shape...)
+		g.FillFunc(func([]int) float64 { return r.Float64() })
+		// Random permutation and its inverse.
+		perm := make([]int, d)
+		for i := range perm {
+			perm[i] = i
+		}
+		r.Shuffle(d, func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+		inv := make([]int, d)
+		for k, a := range perm {
+			inv[a] = k
+		}
+		back := g.Transpose(perm).Transpose(inv)
+		return numutil.EqualInts(back.Shape(), g.Shape()) && MaxAbsDiff(g, back) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLineCountQuickMatchesGeometry(t *testing.T) {
+	f := func(seed uint32) bool {
+		r := rand.New(rand.NewSource(int64(seed)))
+		d := 1 + r.Intn(4)
+		shape := make([]int, d)
+		total := 1
+		for i := range shape {
+			shape[i] = 1 + r.Intn(5)
+			total *= shape[i]
+		}
+		g := New(shape...)
+		for dim := 0; dim < d; dim++ {
+			count := 0
+			g.EachLine(g.Bounds(), dim, func(l Line) {
+				if l.N != shape[dim] {
+					count = -1 << 30
+				}
+				count++
+			})
+			if count != total/shape[dim] || count != g.NumLines(g.Bounds(), dim) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

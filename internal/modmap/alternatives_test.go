@@ -1,0 +1,92 @@
+package modmap
+
+import (
+	"testing"
+
+	"genmp/internal/numutil"
+)
+
+func TestNewPermutedValidMappings(t *testing.T) {
+	cases := []struct {
+		p int
+		b []int
+	}{
+		{16, []int{4, 4, 4}},
+		{30, []int{10, 15, 6}},
+		{8, []int{4, 4, 2}},
+		{12, []int{6, 6, 2}},
+	}
+	for _, c := range cases {
+		numutil.Permutations(len(c.b), func(perm []int) {
+			mp, err := NewPermuted(c.p, c.b, numutil.CopyInts(perm))
+			if err != nil {
+				t.Fatalf("p=%d b=%v perm=%v: %v", c.p, c.b, perm, err)
+			}
+			if !numutil.EqualInts(mp.B, c.b) {
+				t.Fatalf("perm %v: mapping shape %v, want %v", perm, mp.B, c.b)
+			}
+			if err := mp.Verify(); err != nil {
+				t.Fatalf("p=%d b=%v perm=%v: %v", c.p, c.b, perm, err)
+			}
+		})
+	}
+}
+
+func TestNewPermutedIdentityMatchesNew(t *testing.T) {
+	base, err := New(30, []int{10, 15, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := NewPermuted(30, []int{10, 15, 6}, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	numutil.EachCoord(base.B, func(tile []int) {
+		if base.Proc(tile) != perm.Proc(tile) {
+			t.Fatalf("identity permutation changed the assignment at %v", tile)
+		}
+	})
+}
+
+func TestAlternativesAreDistinctAndLegal(t *testing.T) {
+	alts, err := Alternatives(16, []int{4, 4, 4}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alts) < 2 {
+		t.Fatalf("expected multiple distinct legal mappings, got %d", len(alts))
+	}
+	sigs := map[string]bool{}
+	for i, mp := range alts {
+		if err := mp.Verify(); err != nil {
+			t.Errorf("alternative %d: %v", i, err)
+		}
+		sig := mp.assignmentSignature()
+		if sigs[sig] {
+			t.Errorf("alternative %d duplicates an earlier assignment", i)
+		}
+		sigs[sig] = true
+	}
+}
+
+func TestAlternativesRespectsMax(t *testing.T) {
+	alts, err := Alternatives(30, []int{10, 15, 6}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alts) > 2 {
+		t.Fatalf("max=2 but got %d", len(alts))
+	}
+}
+
+func TestNewPermutedRejectsBadPerms(t *testing.T) {
+	if _, err := NewPermuted(4, []int{4, 4, 1}, []int{0, 0, 1}); err == nil {
+		t.Error("duplicate permutation entries should fail")
+	}
+	if _, err := NewPermuted(4, []int{4, 4, 1}, []int{0, 1}); err == nil {
+		t.Error("rank mismatch should fail")
+	}
+	if _, err := Alternatives(4, []int{4, 4, 1}, 0); err == nil {
+		t.Error("max=0 should fail")
+	}
+}

@@ -1,0 +1,292 @@
+package modmap
+
+import (
+	"fmt"
+
+	"genmp/internal/numutil"
+)
+
+// This file provides the integer-matrix machinery behind the Section 4
+// theory of modular mappings: Hermite and Smith normal forms over ℤ. The
+// paper's construction is "linked to the symbolic computation of some
+// Hermite form"; the Smith form yields an algebraic surjectivity test for
+// modular mappings that cross-validates the exhaustive counting predicates
+// (a mapping that is equally-many-to-one onto the processor grid must in
+// particular generate the whole group ℤ_{m₁}×…×ℤ_{m_d'}).
+
+// CloneMatrix deep-copies an integer matrix.
+func CloneMatrix(m [][]int) [][]int {
+	out := make([][]int, len(m))
+	for i := range m {
+		out[i] = numutil.CopyInts(m[i])
+	}
+	return out
+}
+
+// HermiteNormalForm returns the column-style Hermite normal form H of A
+// (rows×cols) and a unimodular matrix U (cols×cols) with A·U = H: H is
+// lower-triangular-ish with non-negative pivots, and entries left of each
+// pivot reduced modulo it. A is not modified.
+func HermiteNormalForm(A [][]int) (H, U [][]int) {
+	rows := len(A)
+	if rows == 0 {
+		return nil, nil
+	}
+	cols := len(A[0])
+	H = CloneMatrix(A)
+	U = identity(cols)
+
+	row, col := 0, 0
+	for row < rows && col < cols {
+		// Find a nonzero entry in this row at column ≥ col.
+		pivot := -1
+		for j := col; j < cols; j++ {
+			if H[row][j] != 0 {
+				pivot = j
+				break
+			}
+		}
+		if pivot < 0 {
+			row++
+			continue
+		}
+		swapCols(H, U, col, pivot)
+		// Eliminate the row entries right of col by gcd column operations.
+		for j := col + 1; j < cols; j++ {
+			for H[row][j] != 0 {
+				q := H[row][col] / H[row][j]
+				addCol(H, U, col, j, -q) // col ← col − q·j
+				swapCols(H, U, col, j)
+			}
+		}
+		// Make the pivot positive.
+		if H[row][col] < 0 {
+			negateCol(H, U, col)
+		}
+		// Reduce the entries left of the pivot in this row into [0, pivot).
+		for j := 0; j < col; j++ {
+			q := floorDiv(H[row][j], H[row][col])
+			if q != 0 {
+				addCol(H, U, j, col, -q)
+			}
+		}
+		row++
+		col++
+	}
+	return H, U
+}
+
+func identity(n int) [][]int {
+	m := make([][]int, n)
+	for i := range m {
+		m[i] = make([]int, n)
+		m[i][i] = 1
+	}
+	return m
+}
+
+// The column operations apply to both H and U to maintain A·U = H.
+
+func swapCols(H, U [][]int, a, b int) {
+	if a == b {
+		return
+	}
+	for i := range H {
+		H[i][a], H[i][b] = H[i][b], H[i][a]
+	}
+	for i := range U {
+		U[i][a], U[i][b] = U[i][b], U[i][a]
+	}
+}
+
+func addCol(H, U [][]int, dst, src, factor int) {
+	for i := range H {
+		H[i][dst] += factor * H[i][src]
+	}
+	for i := range U {
+		U[i][dst] += factor * U[i][src]
+	}
+}
+
+func negateCol(H, U [][]int, col int) {
+	for i := range H {
+		H[i][col] = -H[i][col]
+	}
+	for i := range U {
+		U[i][col] = -U[i][col]
+	}
+}
+
+func floorDiv(a, b int) int {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// SmithNormalForm returns the invariant factors d₁ | d₂ | … of A: the
+// diagonal of its Smith normal form, including zeros for rank deficiency
+// (length = min(rows, cols)). A is not modified.
+func SmithNormalForm(A [][]int) []int {
+	rows := len(A)
+	if rows == 0 {
+		return nil
+	}
+	cols := len(A[0])
+	m := CloneMatrix(A)
+	n := rows
+	if cols < n {
+		n = cols
+	}
+	factors := make([]int, n)
+
+	for t := 0; t < n; t++ {
+		// Find a nonzero entry in the trailing submatrix.
+		pi, pj := -1, -1
+		for i := t; i < rows && pi < 0; i++ {
+			for j := t; j < cols; j++ {
+				if m[i][j] != 0 {
+					pi, pj = i, j
+					break
+				}
+			}
+		}
+		if pi < 0 {
+			break // remaining factors stay 0
+		}
+		m[t], m[pi] = m[pi], m[t]
+		for i := range m {
+			m[i][t], m[i][pj] = m[i][pj], m[i][t]
+		}
+		// Repeat row/column elimination until the pivot divides its whole
+		// row and column and they are zeroed.
+		for {
+			again := false
+			for i := t + 1; i < rows; i++ {
+				for m[i][t] != 0 {
+					q := m[i][t] / m[t][t]
+					for j := t; j < cols; j++ {
+						m[i][j] -= q * m[t][j]
+					}
+					if m[i][t] != 0 {
+						m[t], m[i] = m[i], m[t]
+						again = true
+					}
+				}
+			}
+			for j := t + 1; j < cols; j++ {
+				for m[t][j] != 0 {
+					q := m[t][j] / m[t][t]
+					for i := t; i < rows; i++ {
+						m[i][j] -= q * m[i][t]
+					}
+					if m[t][j] != 0 {
+						for i := t; i < rows; i++ {
+							m[i][t], m[i][j] = m[i][j], m[i][t]
+						}
+						again = true
+					}
+				}
+			}
+			if !again {
+				break
+			}
+		}
+		// Ensure the pivot divides every entry of the trailing submatrix
+		// (invariant-factor condition); if not, fold the offending row in
+		// and re-eliminate.
+		fixed := true
+		for i := t + 1; i < rows && fixed; i++ {
+			for j := t + 1; j < cols; j++ {
+				if m[i][j]%m[t][t] != 0 {
+					for jj := t; jj < cols; jj++ {
+						m[t][jj] += m[i][jj]
+					}
+					fixed = false
+					break
+				}
+			}
+		}
+		if !fixed {
+			t-- // redo this pivot with the folded row
+			continue
+		}
+		if m[t][t] < 0 {
+			for j := t; j < cols; j++ {
+				m[t][j] = -m[t][j]
+			}
+		}
+		factors[t] = m[t][t]
+	}
+	return factors
+}
+
+// IsSurjectiveModular reports, algebraically, whether the modular mapping
+// x ↦ (M·x) mod m⃗ from ℤ^d onto the grid ℤ_{m₁}×…×ℤ_{m_d'} is surjective:
+// the columns of M together with the columns of diag(m⃗) must generate
+// ℤ^{d'}, i.e. the Smith invariant factors of [M | diag(m⃗)] are all 1.
+// Surjectivity onto the grid is a necessary condition for the
+// equally-many-to-one and load-balancing properties whenever the domain box
+// is large enough to cover the grid.
+func IsSurjectiveModular(M [][]int, mod []int) bool {
+	dOut := len(mod)
+	if len(M) != dOut {
+		panic(fmt.Sprintf("modmap: IsSurjectiveModular: matrix has %d rows for %d moduli", len(M), dOut))
+	}
+	dIn := 0
+	if dOut > 0 {
+		dIn = len(M[0])
+	}
+	aug := make([][]int, dOut)
+	for i := 0; i < dOut; i++ {
+		aug[i] = make([]int, dIn+dOut)
+		copy(aug[i], M[i])
+		aug[i][dIn+i] = mod[i]
+	}
+	for _, f := range SmithNormalForm(aug) {
+		if f != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// ImageSize returns the number of distinct values the modular mapping
+// takes on all of ℤ^d: the index formula ∏mod / |coker|, computed via the
+// Smith form of [M | diag(m⃗)] — the product of invariant factors beyond 1
+// is the cokernel size... more directly, the image subgroup size equals
+// ∏ mod_i / ∏ invariant factors of the cokernel presentation. Implemented
+// by brute-force enumeration over the fundamental box for verification use
+// (domains used in tests are small).
+func ImageSize(M [][]int, mod []int) int {
+	dOut := len(mod)
+	dIn := 0
+	if dOut > 0 {
+		dIn = len(M[0])
+	}
+	// Enumerate x over the box ∏ mod (the mapping is periodic with period
+	// mod_j in... not exactly, but lcm of mods bounds periodicity; use the
+	// box of side L = lcm(mod) in every input dimension).
+	L := 1
+	for _, m := range mod {
+		L = numutil.LCM(L, m)
+	}
+	shape := make([]int, dIn)
+	for i := range shape {
+		shape[i] = L
+	}
+	seen := map[int]bool{}
+	vec := make([]int, dOut)
+	numutil.EachCoord(shape, func(x []int) {
+		for r := 0; r < dOut; r++ {
+			s := 0
+			for k := 0; k < dIn; k++ {
+				s += M[r][k] * x[k]
+			}
+			vec[r] = numutil.EMod(s, mod[r])
+		}
+		seen[numutil.RankOf(vec, mod)] = true
+	})
+	return len(seen)
+}

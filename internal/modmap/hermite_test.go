@@ -1,0 +1,211 @@
+package modmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"genmp/internal/numutil"
+)
+
+// mulMat computes A·B for small integer matrices.
+func mulMat(A, B [][]int) [][]int {
+	rows := len(A)
+	inner := len(B)
+	cols := len(B[0])
+	out := make([][]int, rows)
+	for i := range out {
+		out[i] = make([]int, cols)
+		for j := 0; j < cols; j++ {
+			s := 0
+			for k := 0; k < inner; k++ {
+				s += A[i][k] * B[k][j]
+			}
+			out[i][j] = s
+		}
+	}
+	return out
+}
+
+// det computes the determinant by cofactor expansion (n ≤ 4 in tests).
+func det(A [][]int) int {
+	n := len(A)
+	if n == 1 {
+		return A[0][0]
+	}
+	sign := 1
+	total := 0
+	for j := 0; j < n; j++ {
+		if A[0][j] != 0 {
+			minor := make([][]int, n-1)
+			for i := 1; i < n; i++ {
+				row := make([]int, 0, n-1)
+				for k := 0; k < n; k++ {
+					if k != j {
+						row = append(row, A[i][k])
+					}
+				}
+				minor[i-1] = row
+			}
+			total += sign * A[0][j] * det(minor)
+		}
+		sign = -sign
+	}
+	return total
+}
+
+func randMatrix(rng *rand.Rand, rows, cols, span int) [][]int {
+	m := make([][]int, rows)
+	for i := range m {
+		m[i] = make([]int, cols)
+		for j := range m[i] {
+			m[i][j] = rng.Intn(2*span+1) - span
+		}
+	}
+	return m
+}
+
+func TestHermiteNormalFormProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		rows := 1 + rng.Intn(4)
+		cols := 1 + rng.Intn(4)
+		A := randMatrix(rng, rows, cols, 6)
+		H, U := HermiteNormalForm(A)
+		// A·U = H.
+		if got := mulMat(A, U); !matEqual(got, H) {
+			t.Fatalf("trial %d: A·U ≠ H\nA=%v\nU=%v\nH=%v\nAU=%v", trial, A, U, H, got)
+		}
+		// U unimodular.
+		if cols == len(U) && cols > 0 {
+			if d := det(U); d != 1 && d != -1 {
+				t.Fatalf("trial %d: det(U) = %d", trial, d)
+			}
+		}
+	}
+}
+
+func TestHermiteKnownCase(t *testing.T) {
+	A := [][]int{{4, 6}, {2, 4}}
+	H, U := HermiteNormalForm(A)
+	if got := mulMat(A, U); !matEqual(got, H) {
+		t.Fatalf("A·U ≠ H")
+	}
+	// Pivots positive, staircase shape: H[0][1] row entries left of pivots
+	// reduced.
+	if H[0][0] <= 0 {
+		t.Errorf("H = %v: first pivot must be positive", H)
+	}
+}
+
+func TestSmithNormalFormKnownCases(t *testing.T) {
+	cases := []struct {
+		A    [][]int
+		want []int
+	}{
+		{[][]int{{1, 0}, {0, 1}}, []int{1, 1}},
+		{[][]int{{2, 0}, {0, 4}}, []int{2, 4}},
+		{[][]int{{2, 4, 4}, {-6, 6, 12}, {10, 4, 16}}, []int{2, 2, 156}}, // classic example
+		{[][]int{{0, 0}, {0, 0}}, []int{0, 0}},
+		{[][]int{{6, 4}, {2, 8}}, []int{2, 20}}, // det = 40, gcd = 2
+	}
+	for _, c := range cases {
+		got := SmithNormalForm(c.A)
+		if !numutil.EqualInts(got, c.want) {
+			t.Errorf("SNF(%v) = %v, want %v", c.A, got, c.want)
+		}
+	}
+}
+
+func TestSmithDivisibilityChainAndDeterminant(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(3)
+		A := randMatrix(rng, n, n, 5)
+		f := SmithNormalForm(A)
+		// Chain d₁ | d₂ | …
+		for i := 1; i < len(f); i++ {
+			if f[i-1] != 0 && f[i]%f[i-1] != 0 {
+				t.Fatalf("trial %d: factors %v not a divisibility chain (A=%v)", trial, f, A)
+			}
+			if f[i-1] == 0 && f[i] != 0 {
+				t.Fatalf("trial %d: zero factor before nonzero in %v", trial, f)
+			}
+		}
+		// ∏factors = |det A|.
+		want := det(A)
+		if want < 0 {
+			want = -want
+		}
+		got := 1
+		for _, d := range f {
+			got *= d
+		}
+		if got != want {
+			t.Fatalf("trial %d: ∏SNF = %d, |det| = %d (A=%v, f=%v)", trial, got, want, A, f)
+		}
+	}
+}
+
+func TestIsSurjectiveModularAgainstEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 150; trial++ {
+		dOut := 1 + rng.Intn(2)
+		dIn := 1 + rng.Intn(3)
+		mod := make([]int, dOut)
+		for i := range mod {
+			mod[i] = 1 + rng.Intn(5)
+		}
+		M := randMatrix(rng, dOut, dIn, 4)
+		alg := IsSurjectiveModular(M, mod)
+		enum := ImageSize(M, mod) == numutil.Prod(mod...)
+		if alg != enum {
+			t.Fatalf("trial %d: algebraic %v vs enumerated %v (M=%v, mod=%v)", trial, alg, enum, M, mod)
+		}
+	}
+}
+
+func TestConstructedMappingsAreSurjective(t *testing.T) {
+	// The paper's mappings are equally-many-to-one onto the processor grid,
+	// so in particular surjective — the algebraic test must agree.
+	cases := []struct {
+		p int
+		b []int
+	}{
+		{16, []int{4, 4, 4}}, {30, []int{10, 15, 6}}, {50, []int{5, 10, 10}},
+		{8, []int{4, 4, 2}}, {8, []int{8, 8, 1}}, {72, []int{6, 12, 12}},
+	}
+	for _, c := range cases {
+		mp, err := New(c.p, c.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsSurjectiveModular(mp.M, mp.Mod) {
+			t.Errorf("p=%d b=%v: constructed mapping not surjective onto its grid", c.p, c.b)
+		}
+	}
+}
+
+func TestHermiteQuickProperty(t *testing.T) {
+	// testing/quick: A·U = H holds for arbitrary small matrices.
+	f := func(a, b, c, d int8) bool {
+		A := [][]int{{int(a), int(b)}, {int(c), int(d)}}
+		H, U := HermiteNormalForm(A)
+		return matEqual(mulMat(A, U), H)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func matEqual(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !numutil.EqualInts(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}

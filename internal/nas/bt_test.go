@@ -1,0 +1,160 @@
+package nas
+
+import (
+	"math"
+	"testing"
+
+	"genmp/internal/core"
+	"genmp/internal/dist"
+	"genmp/internal/grid"
+)
+
+func TestBTSerialStable(t *testing.T) {
+	u := InitialState([]int{10, 10, 10})
+	before := u.Norm2()
+	BTSerialSolve(u, 4)
+	after := u.Norm2()
+	if math.IsNaN(after) || math.IsInf(after, 0) {
+		t.Fatalf("BT solution blew up: %g", after)
+	}
+	if after > before*10 || after < before/10 {
+		t.Errorf("BT norm drifted wildly: %g → %g", before, after)
+	}
+}
+
+func TestBTDistributedMatchesSerial(t *testing.T) {
+	cases := []struct {
+		p     int
+		gamma []int
+		eta   []int
+	}{
+		{4, []int{2, 2, 2}, []int{10, 10, 10}},
+		{8, []int{4, 4, 2}, []int{12, 12, 12}},
+	}
+	for _, c := range cases {
+		steps := 2
+		want := InitialState(c.eta)
+		BTSerialSolve(want, steps)
+
+		m, err := core.NewGeneralized(c.p, c.gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := dist.NewEnv(m, c.eta, dist.DHPF())
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := InitialState(c.eta)
+		res, err := BTRun(env, Origin2000Machine(c.p), steps, u)
+		if err != nil {
+			t.Fatalf("p=%d: %v", c.p, err)
+		}
+		if d := grid.MaxAbsDiff(want, u); d > 1e-8 {
+			t.Errorf("p=%d γ=%v: distributed BT differs from serial by %g", c.p, c.gamma, d)
+		}
+		if res.Makespan <= 0 {
+			t.Error("zero makespan")
+		}
+	}
+}
+
+func TestBTCarriesAreBlockSized(t *testing.T) {
+	// BT's aggregated carry messages are (B² + B)·lines·8 bytes on the
+	// forward pass — much fatter than SP's; verify the traffic reflects
+	// that (same partitioning, same domain, more bytes than SP).
+	p := 4
+	m, err := core.NewGeneralized(p, []int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := dist.NewEnv(m, []int{16, 16, 16}, dist.HandCoded())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resBT, err := BTRun(env, Origin2000Machine(p), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSP, err := Run(env, Origin2000Machine(p), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resBT.TotalBytes() <= resSP.TotalBytes() {
+		t.Errorf("BT bytes (%d) should exceed SP bytes (%d)", resBT.TotalBytes(), resSP.TotalBytes())
+	}
+}
+
+func TestBTSpeedupScales(t *testing.T) {
+	eta := []int{36, 36, 36}
+	steps := 1
+	serialEnvTime := func() float64 {
+		m, err := core.NewGeneralized(1, []int{1, 1, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := dist.NewEnv(m, eta, dist.Original())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := BTRun(env, Origin2000Machine(1), steps, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	serial := serialEnvTime()
+	prev := 0.0
+	for _, p := range []int{1, 4, 9, 16} {
+		m, err := core.NewDiagonal(p, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := dist.NewEnv(m, eta, dist.HandCoded())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := BTRun(env, Origin2000Machine(p), steps, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := serial / res.Makespan
+		if s <= prev {
+			t.Errorf("BT speedup at p=%d (%g) not above previous (%g)", p, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestBuildBlockLHSDominance(t *testing.T) {
+	eta := []int{8, 6, 5}
+	vecs := make([]*grid.Grid, btVecs())
+	for i := range vecs {
+		vecs[i] = grid.New(eta...)
+	}
+	BuildBlockLHS(0, vecs[0].Bounds(), vecs)
+	const b = BTBlockSize
+	bb := b * b
+	// A blocks zero at the line start, C at the line end.
+	for e := 0; e < bb; e++ {
+		if vecs[e].At(0, 2, 2) != 0 {
+			t.Fatalf("A block entry %d nonzero at line start", e)
+		}
+		if vecs[2*bb+e].At(7, 2, 2) != 0 {
+			t.Fatalf("C block entry %d nonzero at line end", e)
+		}
+	}
+	// Diagonal dominance of the B block rows.
+	for r := 0; r < b; r++ {
+		idx := []int{3, 1, 4}
+		sum := 0.0
+		for c := 0; c < b; c++ {
+			sum += math.Abs(vecs[r*b+c].At(idx...)) + math.Abs(vecs[2*bb+r*b+c].At(idx...))
+			if c != r {
+				sum += math.Abs(vecs[bb+r*b+c].At(idx...))
+			}
+		}
+		if vecs[bb+r*b+r].At(idx...) <= sum {
+			t.Fatalf("row %d not dominant: diag %g vs off-sum %g", r, vecs[bb+r*b+r].At(idx...), sum)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package nas
+
+import (
+	"math"
+	"testing"
+)
+
+// Golden regression checks: the serial solvers are the correctness anchors
+// for every distributed run, so pin their output. Any intentional change to
+// the synthetic physics must update these values (and re-validates all the
+// distributed-vs-serial tests automatically).
+
+func TestGoldenSPClassS(t *testing.T) {
+	u := InitialState(ClassS.Eta)
+	SerialSolve(u, ClassS.Steps)
+	const want = 9.271679978744601e+01
+	if got := u.Norm2(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("SP class S checksum after %d steps = %.15e, want %.15e", ClassS.Steps, got, want)
+	}
+}
+
+func TestGoldenBT(t *testing.T) {
+	v := InitialState([]int{10, 10, 10})
+	BTSerialSolve(v, 3)
+	const want = 7.113615184981960e+01
+	if got := v.Norm2(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("BT 10³ checksum after 3 steps = %.15e, want %.15e", got, want)
+	}
+}

@@ -1,0 +1,493 @@
+// Package sim is a deterministic virtual-time message-passing machine — the
+// stand-in for the paper's MPI runs on a 128-CPU SGI Origin 2000. Each rank
+// executes as a goroutine and carries a logical clock; computation advances
+// the clock by modeled time, and every message carries the virtual time at
+// which it arrives (sender clock + per-message latency + bytes / bandwidth).
+// A receive completes at max(receiver clock, arrival time). The program's
+// makespan is the maximum final clock over all ranks.
+//
+// The timing is data-driven, so results are bit-reproducible regardless of
+// goroutine scheduling. Payloads are optional: correctness runs exchange
+// real float64 data; performance-model runs ship only byte counts.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Network models the communication fabric. Transit time of an n-byte
+// message is Latency + n/Bandwidth(p); the sender additionally spends
+// SendOverhead of CPU time per message and the receiver RecvOverhead.
+//
+// BandwidthScaling selects the Section 3.1 footnote alternatives: with
+// ScalePerProcessor the aggregate bandwidth grows with p (each link keeps
+// Bandwidth bytes/s — a scalable interconnect like the Origin's); with
+// FixedBus all processors share a single Bandwidth (K₃(p) constant).
+type Network struct {
+	Latency      float64 // seconds per message (start-up, the paper's K₂ flavor)
+	Bandwidth    float64 // bytes per second per link
+	SendOverhead float64 // sender CPU seconds per message
+	RecvOverhead float64 // receiver CPU seconds per message
+	Scaling      BandwidthScaling
+	p            int
+}
+
+// BandwidthScaling selects how aggregate bandwidth depends on p.
+type BandwidthScaling int
+
+const (
+	// ScalePerProcessor: every rank has its own link of the stated
+	// bandwidth (network bandwidth proportional to p; K₃(p) ∝ 1/p per the
+	// paper's footnote when expressed per total volume).
+	ScalePerProcessor BandwidthScaling = iota
+	// FixedBus: the stated bandwidth is shared by all ranks (bus-based
+	// system; K₃ constant).
+	FixedBus
+)
+
+// Transit returns the modeled in-flight time of an n-byte message.
+func (nw Network) Transit(bytes int) float64 {
+	bw := nw.Bandwidth
+	if nw.Scaling == FixedBus && nw.p > 1 {
+		bw /= float64(nw.p)
+	}
+	t := nw.Latency
+	if bytes > 0 && bw > 0 {
+		t += float64(bytes) / bw
+	}
+	return t
+}
+
+// CPU models per-rank computation speed, with an optional cache-residence
+// effect: as the per-rank working set shrinks toward the L2 capacity, the
+// sustained rate rises toward FlopsPerSec·CacheBoost. This reproduces the
+// superlinear speedups real SP runs show on machines like the Origin 2000
+// (4 MB L2 per CPU) once each processor's slice of the arrays becomes
+// cache-resident.
+type CPU struct {
+	FlopsPerSec float64
+	// CacheBoost is the maximum rate multiplier when the working set fits
+	// in L2 (≤ 1 disables the model).
+	CacheBoost float64
+	// L2Bytes is the per-CPU cache capacity.
+	L2Bytes float64
+	// WorkingSetBytes is the per-rank resident data volume of the current
+	// program (0 disables the model).
+	WorkingSetBytes float64
+}
+
+// EffectiveFlopsPerSec returns the modeled sustained rate:
+// FlopsPerSec · (1 + (CacheBoost−1)·min(1, L2Bytes/WorkingSetBytes)).
+func (c CPU) EffectiveFlopsPerSec() float64 {
+	if c.CacheBoost <= 1 || c.L2Bytes <= 0 || c.WorkingSetBytes <= 0 {
+		return c.FlopsPerSec
+	}
+	frac := c.L2Bytes / c.WorkingSetBytes
+	if frac > 1 {
+		frac = 1
+	}
+	return c.FlopsPerSec * (1 + (c.CacheBoost-1)*frac)
+}
+
+// Machine is a p-rank virtual machine. Set Trace to a non-nil *Trace
+// before Run to collect per-rank event timelines.
+type Machine struct {
+	P     int
+	Net   Network
+	CPU   CPU
+	Trace *Trace
+}
+
+// NewMachine builds a machine with the given rank count, network and CPU.
+func NewMachine(p int, net Network, cpu CPU) *Machine {
+	if p < 1 {
+		panic(fmt.Sprintf("sim: machine needs p ≥ 1, got %d", p))
+	}
+	net.p = p
+	return &Machine{P: p, Net: net, CPU: cpu}
+}
+
+// Stats aggregates one rank's activity.
+type Stats struct {
+	ComputeTime float64 // seconds spent in Compute/ComputeFlops
+	CommTime    float64 // seconds spent in send/recv overheads
+	WaitTime    float64 // seconds spent idle waiting for messages/barriers
+	MsgsSent    int
+	BytesSent   int
+	MsgsRecv    int
+	BytesRecv   int
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	Makespan float64 // max final clock over ranks (seconds of virtual time)
+	Ranks    []Stats // per-rank statistics
+}
+
+// TotalBytes returns the total bytes sent across all ranks.
+func (r Result) TotalBytes() int {
+	n := 0
+	for _, s := range r.Ranks {
+		n += s.BytesSent
+	}
+	return n
+}
+
+// TotalMessages returns the total messages sent across all ranks.
+func (r Result) TotalMessages() int {
+	n := 0
+	for _, s := range r.Ranks {
+		n += s.MsgsSent
+	}
+	return n
+}
+
+// Msg is a point-to-point message.
+type Msg struct {
+	Src, Tag int
+	Bytes    int       // modeled size; 8·len(Payload) if left 0 with a payload
+	Payload  []float64 // optional data (nil in model-only runs)
+	sent     float64   // sender's virtual time at injection
+}
+
+type msgKey struct{ src, dst, tag int }
+
+// mailbox matches sends to receives with per-(src,dst,tag) FIFO order.
+// Deadlock detection: when every live rank is blocked in a receive and none
+// of the keys they are waiting on has a queued message, nobody can ever
+// make progress (messages for other keys can only be consumed by the
+// already-blocked ranks). That situation — reachable via mismatched
+// programs or a rank dying mid-protocol — fails the run instead of hanging.
+type mailbox struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queues   map[msgKey][]*Msg
+	waiting  map[int]msgKey // dst rank → key it is blocked on
+	alive    int
+	blocked  int
+	deadlock bool
+}
+
+func newMailbox(p int) *mailbox {
+	mb := &mailbox{
+		queues:  make(map[msgKey][]*Msg),
+		waiting: make(map[int]msgKey),
+		alive:   p,
+	}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(k msgKey, m *Msg) {
+	mb.mu.Lock()
+	mb.queues[k] = append(mb.queues[k], m)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// anyDeliverable reports whether some blocked rank's awaited key has a
+// queued message (it just has not woken yet). Callers hold mb.mu.
+func (mb *mailbox) anyDeliverable() bool {
+	for _, k := range mb.waiting {
+		if len(mb.queues[k]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (mb *mailbox) get(k msgKey) (*Msg, error) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if q := mb.queues[k]; len(q) > 0 {
+			m := q[0]
+			if len(q) == 1 {
+				delete(mb.queues, k)
+			} else {
+				mb.queues[k] = q[1:]
+			}
+			return m, nil
+		}
+		if mb.deadlock {
+			return nil, fmt.Errorf("sim: deadlock: rank %d waiting for message from %d tag %d", k.dst, k.src, k.tag)
+		}
+		mb.waiting[k.dst] = k
+		mb.blocked++
+		if mb.blocked == mb.alive && !mb.anyDeliverable() {
+			mb.deadlock = true
+			mb.blocked--
+			delete(mb.waiting, k.dst)
+			mb.cond.Broadcast()
+			return nil, fmt.Errorf("sim: deadlock: all ranks blocked with nothing deliverable (rank %d waits on src %d tag %d)", k.dst, k.src, k.tag)
+		}
+		mb.cond.Wait()
+		mb.blocked--
+		delete(mb.waiting, k.dst)
+	}
+}
+
+func (mb *mailbox) exit() {
+	mb.mu.Lock()
+	mb.alive--
+	if mb.blocked == mb.alive && mb.alive > 0 && !mb.anyDeliverable() {
+		mb.deadlock = true
+	}
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// barrier implements a clock-synchronizing barrier / reduction rendezvous.
+// Completion publishes a per-generation snapshot (outT, out) so that a fast
+// rank re-entering the next generation cannot clobber what slower ranks of
+// the previous generation still need to read; a new generation cannot
+// complete before every rank (including the slow readers) participates in
+// it.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	p       int
+	count   int
+	gen     int
+	maxT    float64
+	reduced []float64
+	outT    float64
+	out     []float64
+	dead    bool
+}
+
+func newBarrier(p int) *barrier {
+	b := &barrier{p: p}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// abort wakes and fails every present and future waiter; called when a rank
+// exits (normally or by panic) so collectives cannot hang.
+func (b *barrier) abort() {
+	b.mu.Lock()
+	b.dead = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// sync blocks until all p ranks arrive; returns the max arrival clock and
+// the elementwise-combined values (combine may be nil when vals is nil).
+func (b *barrier) sync(t float64, vals []float64, combine func(a, b float64) float64) (float64, []float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.dead {
+		panic("sim: collective entered after a rank exited")
+	}
+	gen := b.gen
+	if b.count == 0 {
+		b.maxT = t
+		b.reduced = append(b.reduced[:0], vals...)
+	} else {
+		b.maxT = math.Max(b.maxT, t)
+		for i, v := range vals {
+			b.reduced[i] = combine(b.reduced[i], v)
+		}
+	}
+	b.count++
+	if b.count == b.p {
+		b.outT = b.maxT
+		b.out = append([]float64(nil), b.reduced...)
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen && !b.dead {
+			b.cond.Wait()
+		}
+		if gen == b.gen {
+			panic("sim: collective aborted: a rank exited while others waited")
+		}
+	}
+	out := make([]float64, len(b.out))
+	copy(out, b.out)
+	return b.outT, out
+}
+
+// Rank is one simulated processor, usable only inside Machine.Run's body.
+type Rank struct {
+	ID      int
+	machine *Machine
+	mb      *mailbox
+	bar     *barrier
+	clock   float64
+	stats   Stats
+}
+
+// P returns the machine's rank count.
+func (r *Rank) P() int { return r.machine.P }
+
+// Clock returns the rank's current virtual time in seconds.
+func (r *Rank) Clock() float64 { return r.clock }
+
+// Stats returns the rank's statistics so far.
+func (r *Rank) Stats() Stats { return r.stats }
+
+// Compute advances the rank's clock by the given virtual seconds.
+func (r *Rank) Compute(seconds float64) {
+	if seconds < 0 {
+		panic("sim: Compute with negative time")
+	}
+	start := r.clock
+	r.clock += seconds
+	r.stats.ComputeTime += seconds
+	if tr := r.machine.Trace; tr != nil && seconds > 0 {
+		tr.add(Event{Rank: r.ID, Kind: EvCompute, Start: start, End: r.clock, Peer: -1})
+	}
+}
+
+// ComputeFlops advances the clock by flops / CPU.EffectiveFlopsPerSec().
+func (r *Rank) ComputeFlops(flops float64) {
+	r.Compute(flops / r.machine.CPU.EffectiveFlopsPerSec())
+}
+
+// Send posts a message to dst. Sends are eager (buffered): the sender only
+// pays its injection overhead.
+func (r *Rank) Send(dst, tag int, m Msg) {
+	if dst < 0 || dst >= r.machine.P {
+		panic(fmt.Sprintf("sim: Send to rank %d of %d", dst, r.machine.P))
+	}
+	if m.Bytes == 0 && m.Payload != nil {
+		m.Bytes = 8 * len(m.Payload)
+	}
+	m.Src = r.ID
+	m.Tag = tag
+	r.clock += r.machine.Net.SendOverhead
+	r.stats.CommTime += r.machine.Net.SendOverhead
+	m.sent = r.clock
+	r.stats.MsgsSent++
+	r.stats.BytesSent += m.Bytes
+	if tr := r.machine.Trace; tr != nil {
+		tr.add(Event{Rank: r.ID, Kind: EvSend, Start: m.sent - r.machine.Net.SendOverhead, End: m.sent, Peer: dst, Bytes: m.Bytes})
+	}
+	r.mb.put(msgKey{src: r.ID, dst: dst, tag: tag}, &m)
+}
+
+// Recv blocks until the next message from src with the given tag arrives,
+// advancing the clock to max(now, arrival) + receive overhead.
+func (r *Rank) Recv(src, tag int) Msg {
+	if src < 0 || src >= r.machine.P {
+		panic(fmt.Sprintf("sim: Recv from rank %d of %d", src, r.machine.P))
+	}
+	recvStart := r.clock
+	m, err := r.mb.get(msgKey{src: src, dst: r.ID, tag: tag})
+	if err != nil {
+		panic(err)
+	}
+	// The first byte reaches the receiver at sent + latency; the message
+	// body then occupies the receiver's link, which serializes concurrent
+	// incoming traffic (all-to-alls pay for their volume).
+	headArrive := m.sent + r.machine.Net.Latency
+	if headArrive > r.clock {
+		r.stats.WaitTime += headArrive - r.clock
+		r.clock = headArrive
+	}
+	body := r.machine.Net.Transit(m.Bytes) - r.machine.Net.Latency
+	r.clock += body + r.machine.Net.RecvOverhead
+	r.stats.CommTime += body + r.machine.Net.RecvOverhead
+	r.stats.MsgsRecv++
+	r.stats.BytesRecv += m.Bytes
+	if tr := r.machine.Trace; tr != nil {
+		tr.add(Event{Rank: r.ID, Kind: EvRecv, Start: recvStart, End: r.clock, Peer: src, Bytes: m.Bytes})
+	}
+	return *m
+}
+
+// SendRecv posts a send to dst and then receives from src (safe in rings
+// and shifts because sends never block).
+func (r *Rank) SendRecv(dst, sendTag int, m Msg, src, recvTag int) Msg {
+	r.Send(dst, sendTag, m)
+	return r.Recv(src, recvTag)
+}
+
+// Barrier synchronizes all ranks; every clock advances to the latest
+// arrival plus a log₂(p)-round latency cost.
+func (r *Rank) Barrier() {
+	start := r.clock
+	t, _ := r.bar.sync(r.clock, nil, nil)
+	cost := r.collectiveCost(0)
+	if t > r.clock {
+		r.stats.WaitTime += t - r.clock
+	}
+	r.clock = t + cost
+	r.stats.CommTime += cost
+	if tr := r.machine.Trace; tr != nil {
+		tr.add(Event{Rank: r.ID, Kind: EvCollective, Start: start, End: r.clock, Peer: -1, Label: "barrier"})
+	}
+}
+
+// AllReduce combines each rank's values elementwise with the given function
+// (e.g. math.Max, or addition) and returns the combined vector to every
+// rank, modeled as ⌈log₂ p⌉ exchange rounds.
+func (r *Rank) AllReduce(vals []float64, combine func(a, b float64) float64) []float64 {
+	start := r.clock
+	t, out := r.bar.sync(r.clock, vals, combine)
+	cost := r.collectiveCost(8 * len(vals))
+	if t > r.clock {
+		r.stats.WaitTime += t - r.clock
+	}
+	r.clock = t + cost
+	r.stats.CommTime += cost
+	if tr := r.machine.Trace; tr != nil {
+		tr.add(Event{Rank: r.ID, Kind: EvCollective, Start: start, End: r.clock, Peer: -1, Label: "allreduce"})
+	}
+	return out
+}
+
+func (r *Rank) collectiveCost(bytes int) float64 {
+	p := r.machine.P
+	if p == 1 {
+		return 0
+	}
+	rounds := 0
+	for n := 1; n < p; n *= 2 {
+		rounds++
+	}
+	per := r.machine.Net.SendOverhead + r.machine.Net.RecvOverhead + r.machine.Net.Transit(bytes)
+	return float64(rounds) * per
+}
+
+// Run executes body on every rank concurrently and returns the run's
+// Result. A panic in any rank aborts the run and is returned as an error.
+func (m *Machine) Run(body func(r *Rank)) (Result, error) {
+	mb := newMailbox(m.P)
+	bar := newBarrier(m.P)
+	ranks := make([]*Rank, m.P)
+	errs := make([]error, m.P)
+	var wg sync.WaitGroup
+	for id := 0; id < m.P; id++ {
+		ranks[id] = &Rank{ID: id, machine: m, mb: mb, bar: bar}
+		wg.Add(1)
+		go func(r *Rank) {
+			defer wg.Done()
+			defer mb.exit()
+			defer bar.abort()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[r.ID] = fmt.Errorf("sim: rank %d: %v", r.ID, rec)
+				}
+			}()
+			body(r)
+		}(ranks[id])
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return Result{}, err
+	}
+	res := Result{Ranks: make([]Stats, m.P)}
+	for id, r := range ranks {
+		res.Ranks[id] = r.stats
+		if r.clock > res.Makespan {
+			res.Makespan = r.clock
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,305 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func testMachine(p int) *Machine {
+	return NewMachine(p,
+		Network{Latency: 10e-6, Bandwidth: 100e6, SendOverhead: 1e-6, RecvOverhead: 1e-6},
+		CPU{FlopsPerSec: 1e9})
+}
+
+func TestPingPongTiming(t *testing.T) {
+	m := testMachine(2)
+	res, err := m.Run(func(r *Rank) {
+		if r.ID == 0 {
+			r.Send(1, 7, Msg{Bytes: 1000})
+		} else {
+			msg := r.Recv(0, 7)
+			if msg.Bytes != 1000 || msg.Src != 0 || msg.Tag != 7 {
+				panic("bad message")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 1 clock: arrival (1µs send overhead + 10µs latency + 10µs
+	// transfer) + 1µs recv overhead = 22µs.
+	want := 22e-6
+	if math.Abs(res.Makespan-want) > 1e-12 {
+		t.Errorf("makespan = %g, want %g", res.Makespan, want)
+	}
+	if res.TotalBytes() != 1000 || res.TotalMessages() != 1 {
+		t.Errorf("totals: %d bytes, %d msgs", res.TotalBytes(), res.TotalMessages())
+	}
+}
+
+func TestPayloadDelivery(t *testing.T) {
+	m := testMachine(2)
+	_, err := m.Run(func(r *Rank) {
+		if r.ID == 0 {
+			r.Send(1, 0, Msg{Payload: []float64{1, 2, 3}})
+		} else {
+			msg := r.Recv(0, 0)
+			if len(msg.Payload) != 3 || msg.Payload[2] != 3 {
+				panic("payload corrupted")
+			}
+			if msg.Bytes != 24 {
+				panic("payload byte count not inferred")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOOrderPerChannel(t *testing.T) {
+	m := testMachine(2)
+	_, err := m.Run(func(r *Rank) {
+		if r.ID == 0 {
+			for i := 0; i < 20; i++ {
+				r.Send(1, 3, Msg{Payload: []float64{float64(i)}})
+			}
+		} else {
+			for i := 0; i < 20; i++ {
+				msg := r.Recv(0, 3)
+				if msg.Payload[0] != float64(i) {
+					panic("out of order delivery")
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagsAreIndependent(t *testing.T) {
+	m := testMachine(2)
+	_, err := m.Run(func(r *Rank) {
+		if r.ID == 0 {
+			r.Send(1, 1, Msg{Payload: []float64{1}})
+			r.Send(1, 2, Msg{Payload: []float64{2}})
+		} else {
+			// Receive in reverse tag order.
+			if r.Recv(0, 2).Payload[0] != 2 {
+				panic("tag 2 wrong")
+			}
+			if r.Recv(0, 1).Payload[0] != 1 {
+				panic("tag 1 wrong")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	m := testMachine(1)
+	res, err := m.Run(func(r *Rank) {
+		r.Compute(0.5)
+		r.ComputeFlops(1e9) // 1 more second at 1 Gflop/s
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-1.5) > 1e-12 {
+		t.Errorf("makespan = %g, want 1.5", res.Makespan)
+	}
+	if math.Abs(res.Ranks[0].ComputeTime-1.5) > 1e-12 {
+		t.Errorf("compute time = %g", res.Ranks[0].ComputeTime)
+	}
+}
+
+func TestWaitTimeAccounting(t *testing.T) {
+	m := testMachine(2)
+	res, err := m.Run(func(r *Rank) {
+		if r.ID == 0 {
+			r.Compute(1.0)
+			r.Send(1, 0, Msg{Bytes: 8})
+		} else {
+			r.Recv(0, 0) // idles ~1 second
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ranks[1].WaitTime < 0.99 {
+		t.Errorf("rank 1 wait time = %g, want ≈ 1", res.Ranks[1].WaitTime)
+	}
+}
+
+func TestDeterministicMakespan(t *testing.T) {
+	// A ring shift with staggered compute: rerun many times, the virtual
+	// makespan must be bit-identical (scheduling independence).
+	run := func() float64 {
+		m := testMachine(8)
+		res, err := m.Run(func(r *Rank) {
+			for round := 0; round < 5; round++ {
+				r.Compute(float64(r.ID+1) * 1e-4)
+				next := (r.ID + 1) % r.P()
+				prev := (r.ID + r.P() - 1) % r.P()
+				r.SendRecv(next, round, Msg{Bytes: 4096}, prev, round)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	first := run()
+	for i := 0; i < 10; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d: makespan %g ≠ %g", i, got, first)
+		}
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	m := testMachine(4)
+	res, err := m.Run(func(r *Rank) {
+		r.Compute(float64(r.ID) * 0.1) // rank 3 reaches 0.3
+		r.Barrier()
+		if r.Clock() < 0.3 {
+			panic("barrier did not advance clock to the latest rank")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan < 0.3 {
+		t.Errorf("makespan = %g", res.Makespan)
+	}
+}
+
+func TestAllReduce(t *testing.T) {
+	m := testMachine(4)
+	_, err := m.Run(func(r *Rank) {
+		sum := r.AllReduce([]float64{float64(r.ID), 1}, func(a, b float64) float64 { return a + b })
+		if sum[0] != 6 || sum[1] != 4 {
+			panic("allreduce sum wrong")
+		}
+		max := r.AllReduce([]float64{float64(r.ID)}, math.Max)
+		if max[0] != 3 {
+			panic("allreduce max wrong")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := testMachine(2)
+	_, err := m.Run(func(r *Rank) {
+		// Both ranks wait for a message that is never sent.
+		r.Recv((r.ID+1)%2, 9)
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("expected deadlock error, got %v", err)
+	}
+}
+
+func TestRecvAfterPeerExitsIsDeadlock(t *testing.T) {
+	m := testMachine(2)
+	_, err := m.Run(func(r *Rank) {
+		if r.ID == 1 {
+			r.Recv(0, 0)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("expected deadlock error, got %v", err)
+	}
+}
+
+func TestPanicInBodyIsReturned(t *testing.T) {
+	m := testMachine(1)
+	_, err := m.Run(func(r *Rank) { panic("boom") })
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("expected boom, got %v", err)
+	}
+}
+
+func TestFixedBusScaling(t *testing.T) {
+	// On a bus, the same message takes p× longer to transfer.
+	scal := NewMachine(8, Network{Latency: 0, Bandwidth: 1e6, Scaling: ScalePerProcessor}, CPU{FlopsPerSec: 1})
+	bus := NewMachine(8, Network{Latency: 0, Bandwidth: 1e6, Scaling: FixedBus}, CPU{FlopsPerSec: 1})
+	if got := scal.Net.Transit(1e6); math.Abs(got-1) > 1e-12 {
+		t.Errorf("scalable transit = %g, want 1", got)
+	}
+	if got := bus.Net.Transit(1e6); math.Abs(got-8) > 1e-12 {
+		t.Errorf("bus transit = %g, want 8", got)
+	}
+}
+
+func TestSendRecvRingDoesNotDeadlock(t *testing.T) {
+	m := testMachine(16)
+	_, err := m.Run(func(r *Rank) {
+		next := (r.ID + 1) % r.P()
+		prev := (r.ID + r.P() - 1) % r.P()
+		got := r.SendRecv(next, 0, Msg{Payload: []float64{float64(r.ID)}}, prev, 0)
+		if got.Payload[0] != float64(prev) {
+			panic("ring value wrong")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidRankPanics(t *testing.T) {
+	m := testMachine(2)
+	_, err := m.Run(func(r *Rank) {
+		if r.ID == 0 {
+			r.Send(5, 0, Msg{})
+		}
+	})
+	if err == nil {
+		t.Fatal("send to invalid rank should error")
+	}
+}
+
+func TestStatsTotals(t *testing.T) {
+	m := testMachine(2)
+	res, err := m.Run(func(r *Rank) {
+		if r.ID == 0 {
+			r.Send(1, 0, Msg{Bytes: 100})
+			r.Send(1, 0, Msg{Bytes: 200})
+		} else {
+			r.Recv(0, 0)
+			r.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ranks[0].MsgsSent != 2 || res.Ranks[0].BytesSent != 300 {
+		t.Errorf("sender stats: %+v", res.Ranks[0])
+	}
+	if res.Ranks[1].MsgsRecv != 2 || res.Ranks[1].BytesRecv != 300 {
+		t.Errorf("receiver stats: %+v", res.Ranks[1])
+	}
+}
+
+func TestP1Collectives(t *testing.T) {
+	m := testMachine(1)
+	res, err := m.Run(func(r *Rank) {
+		r.Barrier()
+		v := r.AllReduce([]float64{42}, math.Max)
+		if v[0] != 42 {
+			panic("p=1 allreduce")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 0 {
+		t.Errorf("p=1 collectives should be free, makespan = %g", res.Makespan)
+	}
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// EventKind classifies trace events.
+type EventKind int
+
+const (
+	// EvCompute is a computation interval.
+	EvCompute EventKind = iota
+	// EvSend is a message injection.
+	EvSend
+	// EvRecv is a completed receive (including any wait).
+	EvRecv
+	// EvCollective is a barrier or reduction.
+	EvCollective
+	// EvMark is an application-defined annotation.
+	EvMark
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvCompute:
+		return "compute"
+	case EvSend:
+		return "send"
+	case EvRecv:
+		return "recv"
+	case EvCollective:
+		return "collective"
+	default:
+		return "mark"
+	}
+}
+
+// Event is one traced interval on a rank's timeline.
+type Event struct {
+	Rank  int
+	Kind  EventKind
+	Start float64 // virtual seconds
+	End   float64
+	Peer  int // counterpart rank for send/recv, −1 otherwise
+	Bytes int
+	Label string
+}
+
+// Trace collects events from all ranks of a run. Enable by setting
+// Machine.Trace before Run; the collection is concurrency-safe and ordered
+// by (start time, rank) in Events().
+type Trace struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (t *Trace) add(e Event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Events returns the collected events sorted by start time, then rank.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Start != out[b].Start {
+			return out[a].Start < out[b].Start
+		}
+		return out[a].Rank < out[b].Rank
+	})
+	return out
+}
+
+// Len returns the number of collected events.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// RenderTimeline writes an ASCII Gantt chart of the run: one row per rank,
+// the horizontal axis spanning [0, makespan] in width columns. Compute
+// intervals render as '#', sends as '>', receives (including waiting) as
+// '<', collectives as '|', idle as '.'.
+func (t *Trace) RenderTimeline(w io.Writer, p int, makespan float64, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	rows := make([][]byte, p)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	colOf := func(ts float64) int {
+		c := int(ts / makespan * float64(width))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	glyph := map[EventKind]byte{EvCompute: '#', EvSend: '>', EvRecv: '<', EvCollective: '|', EvMark: '*'}
+	for _, e := range t.Events() {
+		if e.Rank < 0 || e.Rank >= p || makespan <= 0 {
+			continue
+		}
+		g := glyph[e.Kind]
+		from, to := colOf(e.Start), colOf(e.End)
+		for c := from; c <= to; c++ {
+			// Compute fills; punctual events overwrite only idle cells so
+			// long compute spans stay visible.
+			if e.Kind == EvCompute || rows[e.Rank][c] == '.' {
+				rows[e.Rank][c] = g
+			}
+		}
+	}
+	for r := 0; r < p; r++ {
+		if _, err := fmt.Fprintf(w, "rank %3d |%s|\n", r, rows[r]); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "          0%smakespan %.3gs\n", strings.Repeat(" ", width-18), makespan)
+	return err
+}
+
+// Mark records an application annotation at the rank's current time.
+func (r *Rank) Mark(label string) {
+	if tr := r.machine.Trace; tr != nil {
+		tr.add(Event{Rank: r.ID, Kind: EvMark, Start: r.clock, End: r.clock, Peer: -1, Label: label})
+	}
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceCollectsEvents(t *testing.T) {
+	m := testMachine(2)
+	m.Trace = &Trace{}
+	res, err := m.Run(func(r *Rank) {
+		r.Compute(1e-3)
+		if r.ID == 0 {
+			r.Send(1, 0, Msg{Bytes: 100})
+		} else {
+			r.Recv(0, 0)
+		}
+		r.Mark("done")
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := m.Trace.Events()
+	kinds := map[EventKind]int{}
+	for _, e := range events {
+		kinds[e.Kind]++
+		if e.End < e.Start {
+			t.Errorf("event %+v ends before it starts", e)
+		}
+		if e.End > res.Makespan+1e-12 {
+			t.Errorf("event %+v extends beyond the makespan %g", e, res.Makespan)
+		}
+	}
+	if kinds[EvCompute] != 2 || kinds[EvSend] != 1 || kinds[EvRecv] != 1 || kinds[EvCollective] != 2 || kinds[EvMark] != 2 {
+		t.Errorf("event counts %v", kinds)
+	}
+	// Sorted by start time.
+	for i := 1; i < len(events); i++ {
+		if events[i].Start < events[i-1].Start {
+			t.Fatal("events not sorted")
+		}
+	}
+}
+
+func TestTraceSendRecvPeersAndBytes(t *testing.T) {
+	m := testMachine(2)
+	m.Trace = &Trace{}
+	if _, err := m.Run(func(r *Rank) {
+		if r.ID == 0 {
+			r.Send(1, 5, Msg{Bytes: 4096})
+		} else {
+			r.Recv(0, 5)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range m.Trace.Events() {
+		switch e.Kind {
+		case EvSend:
+			if e.Rank != 0 || e.Peer != 1 || e.Bytes != 4096 {
+				t.Errorf("send event %+v", e)
+			}
+		case EvRecv:
+			if e.Rank != 1 || e.Peer != 0 || e.Bytes != 4096 {
+				t.Errorf("recv event %+v", e)
+			}
+		}
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	m := testMachine(3)
+	m.Trace = &Trace{}
+	res, err := m.Run(func(r *Rank) {
+		r.Compute(float64(r.ID+1) * 1e-3)
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := m.Trace.RenderTimeline(&sb, 3, res.Makespan, 60); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "rank   0") || !strings.Contains(out, "rank   2") {
+		t.Errorf("timeline missing rank rows:\n%s", out)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, "|") {
+		t.Errorf("timeline missing compute/collective glyphs:\n%s", out)
+	}
+	// Rank 2 computes ~3× longer: its compute bar should be the longest.
+	lines := strings.Split(out, "\n")
+	count := func(s string) int { return strings.Count(s, "#") }
+	if count(lines[2]) <= count(lines[0]) {
+		t.Errorf("rank 2 bar (%d) not longer than rank 0 (%d):\n%s", count(lines[2]), count(lines[0]), out)
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	m := testMachine(2)
+	if _, err := m.Run(func(r *Rank) {
+		r.Compute(1e-3)
+		r.Mark("x")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Trace != nil {
+		t.Fatal("trace should stay nil unless set")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		EvCompute: "compute", EvSend: "send", EvRecv: "recv", EvCollective: "collective", EvMark: "mark",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}

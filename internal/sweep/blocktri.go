@@ -1,0 +1,260 @@
+package sweep
+
+import "fmt"
+
+// BlockTridiag solves block tridiagonal systems
+//
+//	A_k·X_{k−1} + B_k·X_k + C_k·X_{k+1} = F_k
+//
+// with dense B×B blocks and B-vectors X, F, by block Thomas elimination —
+// the structure of the NAS BT benchmark's line solves (B = 5 there), the
+// second of the two line-sweep CFD codes the multipartitioning literature
+// targets.
+//
+// Vec layout (NumVecs = 3·B² + B): the A blocks' entries row-major
+// (vecs[0..B²−1], entry (r,c) in vecs[r·B+c]), then the B blocks
+// (vecs[B²..2B²−1]), then the C blocks (vecs[2B²..3B²−1]), then the F
+// vectors (vecs[3B²..3B²+B−1]). A at a line's first element and C at its
+// last must be zero.
+//
+// The forward pass overwrites C with C′ = (B − A·C′_prev)⁻¹·C and F with
+// F′ = (B − A·C′_prev)⁻¹·(F − A·F′_prev); the backward pass overwrites F
+// with the solution X = F′ − C′·X_next. Forward carry: (C′, F′) of the last
+// element — B²+B values. Backward carry: X of the first element — B values.
+type BlockTridiag struct {
+	B int
+}
+
+// NewBlockTridiag returns a solver for B×B blocks (B ≥ 1).
+func NewBlockTridiag(b int) BlockTridiag {
+	if b < 1 {
+		panic(fmt.Sprintf("sweep: BlockTridiag block size %d must be ≥ 1", b))
+	}
+	return BlockTridiag{B: b}
+}
+
+func (s BlockTridiag) Name() string          { return fmt.Sprintf("blocktri(%d)", s.B) }
+func (s BlockTridiag) NumVecs() int          { return 3*s.B*s.B + s.B }
+func (s BlockTridiag) ForwardCarryLen() int  { return s.B*s.B + s.B }
+func (s BlockTridiag) BackwardCarryLen() int { return s.B }
+
+// ForwardFlopsPerElement: form B − A·C′ (2B³), factor (≈2/3·B³), apply to
+// C (2B³) and F (2B²).
+func (s BlockTridiag) ForwardFlopsPerElement() float64 {
+	b := float64(s.B)
+	return 2*b*b*b + 2.0/3.0*b*b*b + 2*b*b*b + 2*b*b
+}
+
+// BackwardFlopsPerElement: X = F′ − C′·X_next (2B²).
+func (s BlockTridiag) BackwardFlopsPerElement() float64 {
+	b := float64(s.B)
+	return 2 * b * b
+}
+
+func (s BlockTridiag) FlopsPerElement() float64 {
+	return s.ForwardFlopsPerElement() + s.BackwardFlopsPerElement()
+}
+
+// block accessors into the vec layout at element k.
+func (s BlockTridiag) blockAt(vecs [][]float64, base, k int, dst []float64) []float64 {
+	bb := s.B * s.B
+	for e := 0; e < bb; e++ {
+		dst[e] = vecs[base+e][k]
+	}
+	return dst
+}
+
+func (s BlockTridiag) storeBlockAt(vecs [][]float64, base, k int, src []float64) {
+	bb := s.B * s.B
+	for e := 0; e < bb; e++ {
+		vecs[base+e][k] = src[e]
+	}
+}
+
+func (s BlockTridiag) vecAt(vecs [][]float64, base, k int, dst []float64) []float64 {
+	for e := 0; e < s.B; e++ {
+		dst[e] = vecs[base+e][k]
+	}
+	return dst
+}
+
+func (s BlockTridiag) storeVecAt(vecs [][]float64, base, k int, src []float64) {
+	for e := 0; e < s.B; e++ {
+		vecs[base+e][k] = src[e]
+	}
+}
+
+// Forward implements Solver.
+func (s BlockTridiag) Forward(vecs [][]float64, carryIn, carryOut []float64) {
+	b := s.B
+	bb := b * b
+	baseA, baseB, baseC, baseF := 0, bb, 2*bb, 3*bb
+	n := len(vecs[0])
+
+	cPrev := make([]float64, bb) // C′_{k−1}
+	fPrev := make([]float64, b)  // F′_{k−1}
+	havePrev := false
+	if len(carryIn) == s.ForwardCarryLen() {
+		copy(cPrev, carryIn[:bb])
+		copy(fPrev, carryIn[bb:])
+		havePrev = true
+	} else if len(carryIn) != 0 {
+		panic("sweep: BlockTridiag.Forward: carryIn length mismatch")
+	}
+
+	A := make([]float64, bb)
+	M := make([]float64, bb) // B_k − A_k·C′_{k−1}
+	C := make([]float64, bb)
+	F := make([]float64, b)
+	tmp := make([]float64, b)
+	piv := make([]int, b)
+
+	for k := 0; k < n; k++ {
+		s.blockAt(vecs, baseA, k, A)
+		s.blockAt(vecs, baseB, k, M)
+		s.blockAt(vecs, baseC, k, C)
+		s.vecAt(vecs, baseF, k, F)
+
+		if havePrev {
+			// M ← B − A·C′_prev; F ← F − A·F′_prev.
+			for r := 0; r < b; r++ {
+				for c := 0; c < b; c++ {
+					acc := 0.0
+					for t := 0; t < b; t++ {
+						acc += A[r*b+t] * cPrev[t*b+c]
+					}
+					M[r*b+c] -= acc
+				}
+				acc := 0.0
+				for t := 0; t < b; t++ {
+					acc += A[r*b+t] * fPrev[t]
+				}
+				F[r] -= acc
+			}
+		}
+
+		// Factor M in place (LU with partial pivoting), then solve
+		// M·C′ = C (B right-hand sides) and M·F′ = F.
+		luFactor(M, piv, b)
+		for col := 0; col < b; col++ {
+			for r := 0; r < b; r++ {
+				tmp[r] = C[r*b+col]
+			}
+			luSolve(M, piv, tmp, b)
+			for r := 0; r < b; r++ {
+				C[r*b+col] = tmp[r]
+			}
+		}
+		luSolve(M, piv, F, b)
+
+		s.storeBlockAt(vecs, baseC, k, C)
+		s.storeVecAt(vecs, baseF, k, F)
+		copy(cPrev, C)
+		copy(fPrev, F)
+		havePrev = true
+	}
+
+	if len(carryOut) > 0 {
+		if len(carryOut) != s.ForwardCarryLen() {
+			panic("sweep: BlockTridiag.Forward: carryOut length mismatch")
+		}
+		copy(carryOut[:bb], cPrev)
+		copy(carryOut[bb:], fPrev)
+	}
+}
+
+// Backward implements Solver.
+func (s BlockTridiag) Backward(vecs [][]float64, carryIn, carryOut []float64) {
+	b := s.B
+	bb := b * b
+	baseC, baseF := 2*bb, 3*bb
+	n := len(vecs[0])
+
+	xNext := make([]float64, b)
+	haveNext := false
+	if len(carryIn) == b {
+		copy(xNext, carryIn)
+		haveNext = true
+	} else if len(carryIn) != 0 {
+		panic("sweep: BlockTridiag.Backward: carryIn length mismatch")
+	}
+
+	C := make([]float64, bb)
+	X := make([]float64, b)
+	for k := n - 1; k >= 0; k-- {
+		s.vecAt(vecs, baseF, k, X)
+		if haveNext {
+			s.blockAt(vecs, baseC, k, C)
+			for r := 0; r < b; r++ {
+				acc := 0.0
+				for t := 0; t < b; t++ {
+					acc += C[r*b+t] * xNext[t]
+				}
+				X[r] -= acc
+			}
+		}
+		s.storeVecAt(vecs, baseF, k, X)
+		copy(xNext, X)
+		haveNext = true
+	}
+
+	if len(carryOut) > 0 {
+		if len(carryOut) != b {
+			panic("sweep: BlockTridiag.Backward: carryOut length mismatch")
+		}
+		copy(carryOut, xNext)
+	}
+}
+
+// luFactor computes an in-place LU factorization with partial pivoting of
+// the n×n row-major matrix m; piv records the row exchanges.
+func luFactor(m []float64, piv []int, n int) {
+	for col := 0; col < n; col++ {
+		p := col
+		for r := col + 1; r < n; r++ {
+			if abs(m[r*n+col]) > abs(m[p*n+col]) {
+				p = r
+			}
+		}
+		piv[col] = p
+		if p != col {
+			for c := 0; c < n; c++ {
+				m[col*n+c], m[p*n+c] = m[p*n+c], m[col*n+c]
+			}
+		}
+		d := m[col*n+col]
+		if d == 0 {
+			panic("sweep: BlockTridiag: singular pivot block")
+		}
+		for r := col + 1; r < n; r++ {
+			f := m[r*n+col] / d
+			m[r*n+col] = f
+			for c := col + 1; c < n; c++ {
+				m[r*n+c] -= f * m[col*n+c]
+			}
+		}
+	}
+}
+
+// luSolve solves A·x = b in place using a factorization from luFactor.
+// All row interchanges are applied to the right-hand side first (later
+// pivots permute the stored L entries of earlier columns, so interleaving
+// swaps with the forward substitution would be inconsistent).
+func luSolve(m []float64, piv []int, x []float64, n int) {
+	for col := 0; col < n; col++ {
+		if p := piv[col]; p != col {
+			x[col], x[p] = x[p], x[col]
+		}
+	}
+	for col := 0; col < n; col++ {
+		for r := col + 1; r < n; r++ {
+			x[r] -= m[r*n+col] * x[col]
+		}
+	}
+	for r := n - 1; r >= 0; r-- {
+		for c := r + 1; c < n; c++ {
+			x[r] -= m[r*n+c] * x[c]
+		}
+		x[r] /= m[r*n+r]
+	}
+}

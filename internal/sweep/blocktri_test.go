@@ -1,0 +1,197 @@
+package sweep
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randBlockTri builds a random block-diagonally-dominant block tridiagonal
+// system in the vec layout plus the equivalent dense system.
+func randBlockTri(rng *rand.Rand, n, b int) (vecs [][]float64, A [][]float64, rhs []float64) {
+	bb := b * b
+	nv := 3*bb + b
+	vecs = make([][]float64, nv)
+	for v := range vecs {
+		vecs[v] = make([]float64, n)
+	}
+	N := n * b
+	A = make([][]float64, N)
+	for i := range A {
+		A[i] = make([]float64, N)
+	}
+	rhs = make([]float64, N)
+	for k := 0; k < n; k++ {
+		for r := 0; r < b; r++ {
+			rowSum := 0.0
+			// Off-diagonal blocks A_k (k > 0) and C_k (k < n−1).
+			if k > 0 {
+				for c := 0; c < b; c++ {
+					v := rng.Float64() - 0.5
+					vecs[r*b+c][k] = v
+					A[k*b+r][(k-1)*b+c] = v
+					rowSum += math.Abs(v)
+				}
+			}
+			if k < n-1 {
+				for c := 0; c < b; c++ {
+					v := rng.Float64() - 0.5
+					vecs[2*bb+r*b+c][k] = v
+					A[k*b+r][(k+1)*b+c] = v
+					rowSum += math.Abs(v)
+				}
+			}
+			// Diagonal block B_k: off-diagonal entries then a dominant
+			// diagonal.
+			for c := 0; c < b; c++ {
+				if c == r {
+					continue
+				}
+				v := rng.Float64() - 0.5
+				vecs[bb+r*b+c][k] = v
+				A[k*b+r][k*b+c] = v
+				rowSum += math.Abs(v)
+			}
+			d := rowSum + 1 + rng.Float64()
+			vecs[bb+r*b+r][k] = d
+			A[k*b+r][k*b+r] = d
+			f := rng.Float64()*10 - 5
+			vecs[3*bb+r][k] = f
+			rhs[k*b+r] = f
+		}
+	}
+	return
+}
+
+func TestBlockTridiagWholeLineMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for _, b := range []int{1, 2, 3, 5} {
+		for trial := 0; trial < 25; trial++ {
+			n := 3 + rng.Intn(15)
+			vecs, A, rhs := randBlockTri(rng, n, b)
+			want := SolveDense(A, rhs)
+			solver := NewBlockTridiag(b)
+			ChunkedSolve(solver, vecs, nil)
+			for k := 0; k < n; k++ {
+				for r := 0; r < b; r++ {
+					got := vecs[3*b*b+r][k]
+					if math.Abs(got-want[k*b+r]) > 1e-8 {
+						t.Fatalf("b=%d trial %d: X[%d][%d] = %g, want %g", b, trial, k, r, got, want[k*b+r])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBlockTridiagChunkedMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for _, b := range []int{2, 5} {
+		for trial := 0; trial < 40; trial++ {
+			n := 4 + rng.Intn(20)
+			vecs, A, rhs := randBlockTri(rng, n, b)
+			want := SolveDense(A, rhs)
+			solver := NewBlockTridiag(b)
+			ChunkedSolve(solver, vecs, randomCuts(rng, n))
+			for k := 0; k < n; k++ {
+				for r := 0; r < b; r++ {
+					got := vecs[3*b*b+r][k]
+					if math.Abs(got-want[k*b+r]) > 1e-8 {
+						t.Fatalf("b=%d trial %d (n=%d): X[%d][%d] = %g, want %g", b, trial, n, k, r, got, want[k*b+r])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBlockTridiagSize1EquivalentToTridiag(t *testing.T) {
+	// With 1×1 blocks the block solver degenerates to scalar Thomas.
+	rng := rand.New(rand.NewSource(83))
+	n := 20
+	lower, diag, upper, rhs := randTridiag(rng, n)
+	triVecs := [][]float64{
+		append([]float64(nil), lower...),
+		append([]float64(nil), diag...),
+		append([]float64(nil), upper...),
+		append([]float64(nil), rhs...),
+	}
+	ChunkedSolve(Tridiag{}, triVecs, nil)
+
+	blockVecs := [][]float64{
+		append([]float64(nil), lower...),
+		append([]float64(nil), diag...),
+		append([]float64(nil), upper...),
+		append([]float64(nil), rhs...),
+	}
+	ChunkedSolve(NewBlockTridiag(1), blockVecs, []int{7, 13})
+	for k := 0; k < n; k++ {
+		if math.Abs(triVecs[3][k]-blockVecs[3][k]) > 1e-9 {
+			t.Fatalf("k=%d: tridiag %g vs blocktri(1) %g", k, triVecs[3][k], blockVecs[3][k])
+		}
+	}
+}
+
+func TestBlockTridiagMetadata(t *testing.T) {
+	s := NewBlockTridiag(5)
+	if s.NumVecs() != 80 {
+		t.Errorf("NumVecs = %d, want 80", s.NumVecs())
+	}
+	if s.ForwardCarryLen() != 30 || s.BackwardCarryLen() != 5 {
+		t.Errorf("carry lens = %d, %d", s.ForwardCarryLen(), s.BackwardCarryLen())
+	}
+	if s.ForwardFlopsPerElement() <= 0 || s.FlopsPerElement() <= s.BackwardFlopsPerElement() {
+		t.Error("flop weights inconsistent")
+	}
+	if s.Name() != "blocktri(5)" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestNewBlockTridiagPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("block size 0 should panic")
+		}
+	}()
+	NewBlockTridiag(0)
+}
+
+func TestLUFactorSolve(t *testing.T) {
+	// 3×3 system requiring pivoting.
+	m := []float64{0, 2, 1, 1, 0, 3, 2, 1, 0}
+	piv := make([]int, 3)
+	x := []float64{5, 10, 4} // arbitrary rhs
+	orig := append([]float64(nil), m...)
+	luFactor(m, piv, 3)
+	got := append([]float64(nil), x...)
+	luSolve(m, piv, got, 3)
+	// Check A·got = x.
+	for r := 0; r < 3; r++ {
+		acc := 0.0
+		for c := 0; c < 3; c++ {
+			acc += orig[r*3+c] * got[c]
+		}
+		if math.Abs(acc-x[r]) > 1e-9 {
+			t.Fatalf("row %d: A·x = %g, want %g", r, acc, x[r])
+		}
+	}
+}
+
+func BenchmarkBlockTridiag5Forward(b *testing.B) {
+	rng := rand.New(rand.NewSource(84))
+	n := 128
+	vecs, _, _ := randBlockTri(rng, n, 5)
+	work := make([][]float64, len(vecs))
+	for v := range work {
+		work[v] = make([]float64, n)
+	}
+	solver := NewBlockTridiag(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for v := range vecs {
+			copy(work[v], vecs[v])
+		}
+		ChunkedSolve(solver, work, nil)
+	}
+}

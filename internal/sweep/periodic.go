@@ -1,0 +1,70 @@
+package sweep
+
+// Periodic (cyclic) tridiagonal systems arise in ADI integration with
+// periodic boundary conditions: row 0 couples to x[n−1] and row n−1 back to
+// x[0]. SolvePeriodicTridiagonal handles them with the Sherman–Morrison
+// rank-one correction: the cyclic matrix A is written as A′ + u·vᵀ with A′
+// strictly tridiagonal, so two ordinary Thomas solves and a scalar
+// correction give the answer.
+//
+// The solver is whole-line (it needs both line ends); in a multipartitioned
+// sweep the non-periodic solves chunk as usual and the correction needs one
+// extra end-to-end exchange — this implementation provides the serial /
+// local-sweep building block.
+
+// SolvePeriodicTridiagonal solves the cyclic system
+//
+//	lower[k]·x[k−1] + diag[k]·x[k] + upper[k]·x[k+1] = rhs[k]  (indices mod n)
+//
+// where lower[0] is the coupling of row 0 to x[n−1] and upper[n−1] the
+// coupling of row n−1 to x[0]. Inputs are not modified; n ≥ 3 is required.
+// The system must remain elimination-stable after the corner modification
+// (diagonally dominant systems are safe).
+func SolvePeriodicTridiagonal(lower, diag, upper, rhs []float64) []float64 {
+	n := len(diag)
+	if n < 3 {
+		panic("sweep: SolvePeriodicTridiagonal needs n ≥ 3")
+	}
+	a0 := lower[0]   // row 0 → x[n−1]
+	cn := upper[n-1] // row n−1 → x[0]
+	if a0 == 0 && cn == 0 {
+		return SolveTridiagonal(lower, diag, upper, rhs)
+	}
+
+	// A = A′ + u·vᵀ with u = (γ, 0, …, cn)ᵀ, v = (1, 0, …, a0/γ)ᵀ.
+	gamma := -diag[0] // any nonzero value keeping A′ stable works; −b₀ is customary
+	if gamma == 0 {
+		gamma = 1
+	}
+	modDiag := make([]float64, n)
+	copy(modDiag, diag)
+	modDiag[0] -= gamma
+	modDiag[n-1] -= cn * a0 / gamma
+
+	modLower := make([]float64, n)
+	copy(modLower, lower)
+	modLower[0] = 0
+	modUpper := make([]float64, n)
+	copy(modUpper, upper)
+	modUpper[n-1] = 0
+
+	y := SolveTridiagonal(modLower, modDiag, modUpper, rhs)
+	u := make([]float64, n)
+	u[0] = gamma
+	u[n-1] = cn
+	z := SolveTridiagonal(modLower, modDiag, modUpper, u)
+
+	// x = y − (v·y)/(1 + v·z)·z with v = (1, 0, …, a0/γ).
+	vy := y[0] + a0/gamma*y[n-1]
+	vz := z[0] + a0/gamma*z[n-1]
+	den := 1 + vz
+	if den == 0 {
+		panic("sweep: SolvePeriodicTridiagonal: singular rank-one correction")
+	}
+	f := vy / den
+	x := make([]float64, n)
+	for k := range x {
+		x[k] = y[k] - f*z[k]
+	}
+	return x
+}

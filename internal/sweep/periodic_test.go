@@ -1,0 +1,94 @@
+package sweep
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// densePeriodic builds the dense form of a cyclic tridiagonal system.
+func densePeriodic(lower, diag, upper []float64) [][]float64 {
+	n := len(diag)
+	A := make([][]float64, n)
+	for i := range A {
+		A[i] = make([]float64, n)
+		A[i][i] = diag[i]
+	}
+	for i := 1; i < n; i++ {
+		A[i][i-1] = lower[i]
+	}
+	for i := 0; i < n-1; i++ {
+		A[i][i+1] = upper[i]
+	}
+	A[0][n-1] = lower[0]
+	A[n-1][0] = upper[n-1]
+	return A
+}
+
+func TestPeriodicTridiagonalAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 150; trial++ {
+		n := 3 + rng.Intn(40)
+		lower := make([]float64, n)
+		diag := make([]float64, n)
+		upper := make([]float64, n)
+		rhs := make([]float64, n)
+		for k := 0; k < n; k++ {
+			lower[k] = rng.Float64()*2 - 1
+			upper[k] = rng.Float64()*2 - 1
+			diag[k] = 5 + rng.Float64()
+			rhs[k] = rng.Float64()*10 - 5
+		}
+		want := SolveDense(densePeriodic(lower, diag, upper), rhs)
+		got := SolvePeriodicTridiagonal(lower, diag, upper, rhs)
+		for k := range want {
+			if math.Abs(got[k]-want[k]) > 1e-8 {
+				t.Fatalf("trial %d (n=%d): x[%d] = %g, want %g", trial, n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestPeriodicDegeneratesToOrdinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	n := 17
+	lower, diag, upper, rhs := randTridiag(rng, n) // lower[0] = upper[n−1] = 0
+	want := SolveTridiagonal(lower, diag, upper, rhs)
+	got := SolvePeriodicTridiagonal(lower, diag, upper, rhs)
+	for k := range want {
+		if math.Abs(got[k]-want[k]) > 1e-10 {
+			t.Fatalf("x[%d] = %g, want %g", k, got[k], want[k])
+		}
+	}
+}
+
+func TestPeriodicConstantCoefficientCirculant(t *testing.T) {
+	// A circulant system with constant rhs has the constant solution
+	// x = r/(a+b+c).
+	n := 12
+	lower := make([]float64, n)
+	diag := make([]float64, n)
+	upper := make([]float64, n)
+	rhs := make([]float64, n)
+	for k := 0; k < n; k++ {
+		lower[k] = -1
+		diag[k] = 4
+		upper[k] = -1
+		rhs[k] = 6
+	}
+	x := SolvePeriodicTridiagonal(lower, diag, upper, rhs)
+	for k := range x {
+		if math.Abs(x[k]-3) > 1e-10 {
+			t.Fatalf("x[%d] = %g, want 3", k, x[k])
+		}
+	}
+}
+
+func TestPeriodicSmallNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n=2 should panic")
+		}
+	}()
+	SolvePeriodicTridiagonal([]float64{1, 1}, []float64{4, 4}, []float64{1, 1}, []float64{1, 1})
+}
