@@ -7,7 +7,7 @@
 // Usage:
 //
 //	hpfrun -f program.f -steps 4
-//	hpfrun -steps 2 -trace
+//	hpfrun -steps 2 -timeline -metrics -trace run.json
 package main
 
 import (
@@ -21,6 +21,7 @@ import (
 	"genmp/internal/dist"
 	"genmp/internal/hpf"
 	"genmp/internal/nas"
+	"genmp/internal/obs"
 	"genmp/internal/partition"
 	"genmp/internal/sim"
 )
@@ -42,8 +43,11 @@ func main() {
 	file := flag.String("f", "", "file with HPF directives (default: a built-in SP-like program)")
 	template := flag.String("template", "", "template or aligned array to plan (default: the only one)")
 	steps := flag.Int("steps", 2, "ADI timesteps to execute")
-	trace := flag.Bool("trace", false, "render the rank timeline")
+	timeline := flag.Bool("timeline", false, "render the ASCII rank timeline")
+	tracePath := flag.String("trace", "", "write a Perfetto/Chrome trace-event JSON file")
+	metrics := flag.Bool("metrics", false, "print the per-rank/per-phase profile")
 	flag.Parse()
+	wantTrace := *timeline || *tracePath != "" || *metrics
 
 	src := builtin
 	if *file != "" {
@@ -92,7 +96,7 @@ func main() {
 	}
 
 	mach := nas.Origin2000Machine(plan.P)
-	if *trace {
+	if wantTrace {
 		mach.Trace = &sim.Trace{}
 	}
 	pb := adi.Problem{Eta: eta, Alpha: 0.3, Steps: *steps}
@@ -138,11 +142,21 @@ func main() {
 
 	fmt.Printf("ADI ×%d steps: virtual time %.3f ms, %d messages, %d bytes\n",
 		*steps, res.Makespan*1e3, res.TotalMessages(), res.TotalBytes())
-	if *trace {
+	if *timeline {
 		fmt.Println()
 		if err := mach.Trace.RenderTimeline(os.Stdout, plan.P, res.Makespan, 100); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if *metrics {
+		fmt.Println()
+		fmt.Print(obs.NewProfile(res, mach.Trace).Format())
+	}
+	if *tracePath != "" {
+		if err := obs.WriteTraceFile(*tracePath, mach.Trace, plan.P); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s (load in ui.perfetto.dev)\n", *tracePath)
 	}
 }
 

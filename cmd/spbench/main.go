@@ -5,7 +5,9 @@
 //
 // Usage:
 //
-//	spbench [-class S|W|A|B] [-steps n] [-procs 1,4,9,...]
+//	spbench [-class S|W|A|B] [-steps n] [-procs 1,4,9,...] [-json out.json]
+//	spbench -p 16 -metrics -trace out.json   # one instrumented run
+//	spbench -calibrate                       # cost-model audit per phase
 package main
 
 import (
@@ -17,8 +19,13 @@ import (
 	"strconv"
 	"strings"
 
+	"genmp/internal/core"
+	"genmp/internal/dist"
 	"genmp/internal/exp"
 	"genmp/internal/nas"
+	"genmp/internal/obs"
+	"genmp/internal/partition"
+	"genmp/internal/sim"
 )
 
 func main() {
@@ -28,6 +35,11 @@ func main() {
 	steps := flag.Int("steps", 2, "timesteps to simulate (speedups are per-step steady state)")
 	procs := flag.String("procs", "", "comma-separated processor counts (default: the paper's Table 1 column)")
 	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of the formatted table")
+	pFlag := flag.Int("p", 0, "run one instrumented SP configuration on this many processors instead of the table")
+	tracePath := flag.String("trace", "", "with -p: write a Perfetto/Chrome trace-event JSON file")
+	metrics := flag.Bool("metrics", false, "with -p: print the per-rank/per-phase profile")
+	calibrate := flag.Bool("calibrate", false, "audit the analytic cost model against the simulator, phase by phase")
+	jsonPath := flag.String("json", "", "write machine-readable results (BENCH_*.json schema)")
 	flag.Parse()
 
 	classes := map[string]nas.Class{"S": nas.ClassS, "W": nas.ClassW, "A": nas.ClassA, "B": nas.ClassB}
@@ -47,6 +59,30 @@ func main() {
 		exp.Table1Procs = ps
 	}
 
+	if *pFlag > 0 {
+		if err := runSingle(class, *steps, *pFlag, *tracePath, *metrics, *jsonPath); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *calibrate {
+		rows, err := exp.Calibrate(class.Eta, *steps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("cost-model calibration: SP class %s, %d step(s), hand-coded overheads\n", class.Name, *steps)
+		fmt.Printf("(predicted = analytic cost.Calibrated model; measured = simulator per-phase mean)\n\n")
+		fmt.Print(exp.FormatCalibration(rows))
+		if *jsonPath != "" {
+			if err := writeCalibrationJSON(*jsonPath, class, *steps, rows); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\nwrote %s\n", *jsonPath)
+		}
+		return
+	}
+
 	if !*csv {
 		fmt.Printf("NAS SP class %s (%d×%d×%d), %d step(s), virtual Origin 2000\n\n",
 			class.Name, class.Eta[0], class.Eta[1], class.Eta[2], *steps)
@@ -54,6 +90,14 @@ func main() {
 	rows, err := exp.Table1(class.Eta, *steps)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *jsonPath != "" {
+		if err := writeTable1JSON(*jsonPath, class, *steps, rows); err != nil {
+			log.Fatal(err)
+		}
+		if !*csv {
+			defer fmt.Printf("\nwrote %s\n", *jsonPath)
+		}
 	}
 	if *csv {
 		fmt.Println("cpus,hand_coded,dhpf,diff_pct,partitioning")
@@ -75,4 +119,124 @@ func main() {
 	fmt.Print(exp.FormatTable1(rows))
 	fmt.Fprintln(os.Stdout, "\nPaper columns are the published Table 1 (class B on a real Origin 2000);")
 	fmt.Fprintln(os.Stdout, "compare shapes — who wins, scaling trend, and the 49-vs-50 CPU inversion.")
+}
+
+// runSingle executes one SP configuration with full observability: search
+// counters from the partitioning search, the per-phase profile, and a
+// Perfetto-loadable trace.
+func runSingle(class nas.Class, steps, p int, tracePath string, metrics bool, jsonPath string) error {
+	eta := class.Eta
+	obj := partition.MachineObjective(eta, 20e-6, 80e-9/float64(p))
+	var st partition.SearchStats
+	res, err := partition.OptimalCappedStats(p, len(eta), obj, eta, &st)
+	if err != nil {
+		return err
+	}
+	m, err := core.NewGeneralized(p, res.Gamma)
+	if err != nil {
+		return err
+	}
+	env, err := dist.NewEnv(m, eta, dist.DHPF())
+	if err != nil {
+		return err
+	}
+	base := nas.Origin2000Machine(p)
+	cpu := base.CPU
+	cpu.WorkingSetBytes = nas.WorkingSetBytes(eta, p)
+	mach := sim.NewMachine(p, base.Net, cpu)
+	if metrics || tracePath != "" {
+		mach.Trace = &sim.Trace{}
+	}
+	simRes, err := nas.Run(env, mach, steps, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("SP class %s, %d step(s), p=%d, partitioning %s (dHPF overheads)\n",
+		class.Name, steps, p, partition.Describe(res.Gamma))
+	fmt.Println(st.String())
+	fmt.Printf("makespan %.3f ms, %d messages, %d bytes\n",
+		simRes.Makespan*1e3, simRes.TotalMessages(), simRes.TotalBytes())
+	if metrics {
+		fmt.Println()
+		fmt.Print(obs.NewProfile(simRes, mach.Trace).Format())
+	}
+	if tracePath != "" {
+		if err := obs.WriteTraceFile(tracePath, mach.Trace, p); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (load in ui.perfetto.dev)\n", tracePath)
+	}
+	if jsonPath != "" {
+		bf := obs.BenchFile{
+			Source: "spbench -p",
+			Records: []obs.BenchRecord{{
+				Suite: "sp-run", Name: fmt.Sprintf("class%s-p%02d", class.Name, p),
+				P: p, Eta: eta, Steps: steps, Gamma: partition.Describe(res.Gamma),
+				Makespan: simRes.Makespan,
+				Messages: simRes.TotalMessages(), Bytes: simRes.TotalBytes(),
+				Extra: searchExtra(st),
+			}},
+		}
+		if err := obs.WriteBenchJSON(jsonPath, bf); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// searchExtra flattens the partitioning-search counters into bench extras.
+func searchExtra(st partition.SearchStats) map[string]float64 {
+	return map[string]float64{
+		"search_nodes":        float64(st.NodesVisited),
+		"search_leaves":       float64(st.LeavesEvaluated),
+		"search_space":        float64(st.BruteForceLeaves),
+		"search_pruned_bound": float64(st.PrunedBound),
+		"search_pruned_cap":   float64(st.PrunedCap),
+	}
+}
+
+// writeTable1JSON emits the Table 1 reproduction in the BENCH_*.json schema:
+// one record per (variant, p) cell plus the search counters of the
+// partitioning chosen for the dHPF variant.
+func writeTable1JSON(path string, class nas.Class, steps int, rows []exp.Table1Row) error {
+	bf := obs.BenchFile{Source: "spbench -json"}
+	for _, r := range rows {
+		if !math.IsNaN(r.Hand) {
+			bf.Records = append(bf.Records, obs.BenchRecord{
+				Suite: "sp-table1-hand", Name: fmt.Sprintf("p%02d", r.P),
+				P: r.P, Eta: class.Eta, Steps: steps, Speedup: r.Hand,
+			})
+		}
+		if !math.IsNaN(r.DHPF) {
+			var st partition.SearchStats
+			obj := partition.MachineObjective(class.Eta, 20e-6, 80e-9/float64(r.P))
+			if _, err := partition.OptimalCappedStats(r.P, len(class.Eta), obj, class.Eta, &st); err != nil {
+				return err
+			}
+			bf.Records = append(bf.Records, obs.BenchRecord{
+				Suite: "sp-table1-dhpf", Name: fmt.Sprintf("p%02d", r.P),
+				P: r.P, Eta: class.Eta, Steps: steps, Gamma: r.GammaStr, Speedup: r.DHPF,
+				Extra: searchExtra(st),
+			})
+		}
+	}
+	return obs.WriteBenchJSON(path, bf)
+}
+
+// writeCalibrationJSON emits the audit rows in the BENCH_*.json schema.
+func writeCalibrationJSON(path string, class nas.Class, steps int, rows []exp.CalibrationRow) error {
+	bf := obs.BenchFile{Source: "spbench -calibrate -json"}
+	for _, r := range rows {
+		bf.Records = append(bf.Records, obs.BenchRecord{
+			Suite: "sp-calibration", Name: fmt.Sprintf("p%02d-%s", r.P, r.Phase),
+			P: r.P, Eta: class.Eta, Steps: steps, Gamma: partition.Describe(r.Gamma),
+			Extra: map[string]float64{
+				"predicted_sec": r.Predicted,
+				"measured_sec":  r.Measured,
+				"rel_err":       r.RelErr,
+			},
+		})
+	}
+	return obs.WriteBenchJSON(path, bf)
 }

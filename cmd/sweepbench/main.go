@@ -9,6 +9,7 @@
 //
 //	sweepbench -p 16 -eta 64,64,64 -steps 2
 //	sweepbench -p 16 -eta 64,64,64 -grainsweep
+//	sweepbench -p 16 -timeline -metrics -trace sweep.json
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"genmp/internal/dist"
 	"genmp/internal/exp"
 	"genmp/internal/nas"
+	"genmp/internal/obs"
 	"genmp/internal/partition"
 	"genmp/internal/sim"
 	"genmp/internal/sweep"
@@ -36,7 +38,9 @@ func main() {
 	steps := flag.Int("steps", 2, "ADI timesteps")
 	grain := flag.Int("grain", 64, "wavefront message granularity (lines per message)")
 	grainSweep := flag.Bool("grainsweep", false, "sweep wavefront granularities instead")
-	trace := flag.Bool("trace", false, "render a timeline of one multipartitioned sweep")
+	timeline := flag.Bool("timeline", false, "render an ASCII timeline of one multipartitioned sweep")
+	tracePath := flag.String("trace", "", "write a Perfetto/Chrome trace of one multipartitioned sweep to this file")
+	metrics := flag.Bool("metrics", false, "print the per-phase profile of one multipartitioned sweep")
 	flag.Parse()
 
 	var eta []int
@@ -48,8 +52,8 @@ func main() {
 		eta = append(eta, v)
 	}
 
-	if *trace {
-		if err := renderSweepTrace(*p, eta); err != nil {
+	if *timeline || *tracePath != "" || *metrics {
+		if err := instrumentedSweep(*p, eta, *timeline, *tracePath, *metrics); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -93,10 +97,11 @@ func main() {
 	fmt.Println("coarse-grain carry messages — the property the paper generalizes to any p.")
 }
 
-// renderSweepTrace runs one multipartitioned tridiagonal sweep with tracing
-// and prints the per-rank timeline: the balance property appears as compute
-// bars of equal length in every phase on every rank.
-func renderSweepTrace(p int, eta []int) error {
+// instrumentedSweep runs one multipartitioned tridiagonal sweep with
+// tracing and renders whichever views were requested: the ASCII per-rank
+// timeline (the balance property appears as compute bars of equal length in
+// every phase on every rank), the per-phase profile, and a Perfetto trace.
+func instrumentedSweep(p int, eta []int, timeline bool, tracePath string, metrics bool) error {
 	obj := partition.MachineObjective(eta, 20e-6, 80e-9/float64(p))
 	m, err := core.NewOptimal(p, len(eta), obj)
 	if err != nil {
@@ -112,15 +117,30 @@ func renderSweepTrace(p int, eta []int) error {
 	}
 	mach := nas.Origin2000Machine(p)
 	mach.Trace = &sim.Trace{}
-	res, err := mach.Run(func(r *sim.Rank) { ms.Run(r, 0) })
+	res, err := mach.Run(func(r *sim.Rank) {
+		r.BeginPhase("sweep0")
+		ms.Run(r, 0)
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("timeline of one sweep along dim 0, %s on %v\n", m.Name(), eta)
-	fmt.Println("(# compute, > send, < recv/wait, . idle)")
-	if err := mach.Trace.RenderTimeline(os.Stdout, p, res.Makespan, 100); err != nil {
-		return err
+	fmt.Printf("one sweep along dim 0, %s on %v: %d events, makespan %.3f ms\n",
+		m.Name(), eta, mach.Trace.Len(), res.Makespan*1e3)
+	if timeline {
+		fmt.Println("(# compute, > send, < recv/wait, . idle)")
+		if err := mach.Trace.RenderTimeline(os.Stdout, p, res.Makespan, 100); err != nil {
+			return err
+		}
 	}
-	fmt.Printf("%d events, makespan %.3f ms\n", mach.Trace.Len(), res.Makespan*1e3)
+	if metrics {
+		fmt.Println()
+		fmt.Print(obs.NewProfile(res, mach.Trace).Format())
+	}
+	if tracePath != "" {
+		if err := obs.WriteTraceFile(tracePath, mach.Trace, p); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (load in ui.perfetto.dev)\n", tracePath)
+	}
 	return nil
 }

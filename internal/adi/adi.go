@@ -229,6 +229,7 @@ func runMulti(pb Problem, u *grid.Grid, cfg Config) (sim.Result, error) {
 	return cfg.Machine.Run(func(r *sim.Rank) {
 		for step := 0; step < pb.Steps; step++ {
 			for dim := range pb.Eta {
+				r.BeginPhase(fmt.Sprintf("sweep%d", dim))
 				env.ComputeOnTiles(r, buildFlops, tileFiller(pb, dim, u, vecs, cfg.ModelOnly))
 				ms.Run(r, dim)
 				env.ComputeOnTiles(r, 1, tileCopier(dim, u, vecs, cfg.ModelOnly))

@@ -19,6 +19,7 @@ import (
 
 	"genmp/internal/numutil"
 	"genmp/internal/partition"
+	"genmp/internal/sim"
 )
 
 // Model holds the machine constants of the Section 3.1 objective.
@@ -45,6 +46,50 @@ func ScalableNetwork(perElement float64) func(int) float64 {
 // medium regardless of p.
 func BusNetwork(perElement float64) func(int) float64 {
 	return func(int) float64 { return perElement }
+}
+
+// SweepWorkload describes one full line sweep of an application for
+// Calibrated: the arithmetic per array element (all passes, including any
+// coefficient build fused into the sweep phase) and the carry traffic each
+// line pushes across a slab boundary.
+type SweepWorkload struct {
+	// FlopsPerElement is the total flops per array element per sweep.
+	FlopsPerElement float64
+	// CarryBytesPerLine is the bytes each line ships across one slab
+	// boundary, summed over the passes (e.g. a pentadiagonal solve carries
+	// 8 doubles forward and 2 backward: 80 bytes).
+	CarryBytesPerLine float64
+	// Passes is the number of traversals crossing each boundary (1 for a
+	// forward-only recurrence, 2 for forward elimination + back
+	// substitution).
+	Passes int
+}
+
+// Calibrated derives the Model constants of the Section 3.1 objective from
+// a simulated machine instead of hand-picked numbers, so the analytic
+// prediction and the internal/sim measurement share one source of truth
+// (the calibration audit of internal/exp quantifies the residual error):
+//
+//	K₁ = flops/element · computeFactor / effective flop rate
+//	K₂ = passes · (2·perMessage + sendOverhead + recvOverhead + latency)
+//	K₃ = carryBytes/line / bandwidth (scaled 1/p on a scalable network)
+//
+// K₂ counts, per slab boundary and pass, one send and one receive on the
+// same rank (each wrapped in a perMessage pack/unpack charge) plus the wire
+// latency the receiver waits out in the balanced steady state. computeFactor
+// and perMessage are the dist.OverheadModel code-quality charges; pass 1 and
+// 0 for ideal code. The CPU must carry the workload's WorkingSetBytes for
+// the cache-aware effective rate.
+func Calibrated(net sim.Network, cpu sim.CPU, computeFactor, perMessage float64, w SweepWorkload) Model {
+	k3 := ScalableNetwork(w.CarryBytesPerLine / net.Bandwidth)
+	if net.Scaling == sim.FixedBus {
+		k3 = BusNetwork(w.CarryBytesPerLine / net.Bandwidth)
+	}
+	return Model{
+		K1: w.FlopsPerElement * computeFactor / cpu.EffectiveFlopsPerSec(),
+		K2: float64(w.Passes) * (2*perMessage + net.SendOverhead + net.RecvOverhead + net.Latency),
+		K3: k3,
+	}
 }
 
 // Origin2000 returns constants loosely calibrated to the paper's testbed

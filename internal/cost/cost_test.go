@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"genmp/internal/numutil"
+	"genmp/internal/sim"
 )
 
 func testModel() Model {
@@ -188,5 +189,33 @@ func TestOrigin2000Constants(t *testing.T) {
 	}
 	if m.K3(10) >= m.K3(1) {
 		t.Error("scalable K3 should decrease with p")
+	}
+}
+
+func TestCalibrated(t *testing.T) {
+	net := sim.Network{Latency: 10e-6, Bandwidth: 100e6, SendOverhead: 2e-6, RecvOverhead: 2e-6}
+	cpu := sim.CPU{FlopsPerSec: 200e6}
+	w := SweepWorkload{FlopsPerElement: 100, CarryBytesPerLine: 80, Passes: 2}
+	m := Calibrated(net, cpu, 1.0, 1e-6, w)
+	if want := 100.0 / 200e6; math.Abs(m.K1-want) > 1e-18 {
+		t.Errorf("K1 = %g, want %g", m.K1, want)
+	}
+	// Two passes, each 2 pack/unpack charges + both overheads + latency.
+	if want := 2 * (2*1e-6 + 2e-6 + 2e-6 + 10e-6); math.Abs(m.K2-want) > 1e-15 {
+		t.Errorf("K2 = %g, want %g", m.K2, want)
+	}
+	if want := 80.0 / 100e6 / 4; math.Abs(m.K3(4)-want) > 1e-18 {
+		t.Errorf("scalable K3(4) = %g, want %g", m.K3(4), want)
+	}
+	bus := net
+	bus.Scaling = sim.FixedBus
+	mb := Calibrated(bus, cpu, 1.0, 0, w)
+	if mb.K3(1) != mb.K3(16) {
+		t.Errorf("bus K3 must be p-independent: %g vs %g", mb.K3(1), mb.K3(16))
+	}
+	// The cache boost raises the effective rate and lowers K1.
+	hot := sim.CPU{FlopsPerSec: 200e6, CacheBoost: 2, L2Bytes: 1 << 20, WorkingSetBytes: 1 << 19}
+	if mh := Calibrated(net, hot, 1.0, 0, w); mh.K1 >= m.K1 {
+		t.Errorf("cache-resident K1 %g should beat %g", mh.K1, m.K1)
 	}
 }

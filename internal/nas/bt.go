@@ -179,18 +179,22 @@ func BTRun(env *dist.Env, mach *sim.Machine, steps int, u *grid.Grid) (sim.Resul
 	}
 	return mach.Run(func(r *sim.Rank) {
 		for step := 0; step < steps; step++ {
+			r.BeginPhase(PhaseHalo)
 			env.ExchangeHalos(r, haloDepth, 1, haloTagBase)
+			r.BeginPhase(PhaseRHS)
 			env.ComputeOnTiles(r, BTFlopsRHS, tileOp(modelOnly, func(rect grid.Rect) {
 				ComputeRHS(u, rhs, rect)
 				btScatterRHS(rhs, fvecs, rect)
 			}))
 			for dim := 0; dim < d; dim++ {
 				dim := dim
+				r.BeginPhase(PhaseSolve(dim))
 				env.ComputeOnTiles(r, BTFlopsLHSBuild, tileOp(modelOnly, func(rect grid.Rect) {
 					BuildBlockLHS(dim, rect, vecs)
 				}))
 				ms.Run(r, dim)
 			}
+			r.BeginPhase(PhaseAdd)
 			env.ComputeOnTiles(r, BTFlopsAdd, tileOp(modelOnly, func(rect grid.Rect) {
 				btAdd(u, fvecs[0], rect)
 			}))

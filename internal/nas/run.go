@@ -28,6 +28,20 @@ func (s spSolver) FlopsPerElement() float64 {
 // haloTagBase keeps halo-exchange tags clear of sweep tags.
 const haloTagBase = 1 << 26
 
+// Phase labels stamped on the simulator's per-phase statistics (see
+// sim.Rank.BeginPhase); the calibration audit of internal/exp keys its
+// predicted-vs-measured comparison on these.
+const (
+	PhaseHalo   = "halo"
+	PhaseRHS    = "rhs"
+	PhaseAdd    = "add"
+	PhaseReduce = "reduce"
+)
+
+// PhaseSolve returns the label of the line-sweep phase along dim
+// (LHS build + forward/backward passes).
+func PhaseSolve(dim int) string { return fmt.Sprintf("solve%d", dim) }
+
 // Run advances the SP pseudo-application for the given number of steps on a
 // multipartitioned domain. In data mode u is advanced in place and matches
 // SerialSolve; in model-only mode (u == nil) only virtual time and traffic
@@ -58,23 +72,28 @@ func Run(env *dist.Env, mach *sim.Machine, steps int, u *grid.Grid) (sim.Result,
 	}
 	return mach.Run(func(r *sim.Rank) {
 		for step := 0; step < steps; step++ {
+			r.BeginPhase(PhaseHalo)
 			env.ExchangeHalos(r, haloDepth, 1, haloTagBase)
+			r.BeginPhase(PhaseRHS)
 			env.ComputeOnTiles(r, FlopsRHS, tileOp(modelOnly, func(rect grid.Rect) {
 				ComputeRHS(u, rhs, rect)
 			}))
 			for dim := 0; dim < d; dim++ {
 				dim := dim
+				r.BeginPhase(PhaseSolve(dim))
 				env.ComputeOnTiles(r, FlopsLHSBuild, tileOp(modelOnly, func(rect grid.Rect) {
 					BuildLHS(dim, rect, vecs[0], vecs[1], vecs[2], vecs[3], vecs[4])
 				}))
 				ms.Run(r, dim)
 			}
+			r.BeginPhase(PhaseAdd)
 			env.ComputeOnTiles(r, FlopsAdd, tileOp(modelOnly, func(rect grid.Rect) {
 				Add(u, rhs, rect)
 			}))
 		}
 		// Like the real benchmark's verification phase: a global residual
 		// reduction at the end of the run.
+		r.BeginPhase(PhaseReduce)
 		local := 0.0
 		if !modelOnly {
 			env.EachOwnedTile(r.ID, func(lo, hi []int) {

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BenchRecord is one machine-readable measurement for cross-PR performance
+// trend tracking (the BENCH_*.json files at the repo root). All quantities
+// are virtual-machine results, so they are bit-reproducible and any drift
+// between PRs is a real behavior change, not measurement noise.
+type BenchRecord struct {
+	Suite    string  `json:"suite"`
+	Name     string  `json:"name"`
+	P        int     `json:"p,omitempty"`
+	Eta      []int   `json:"eta,omitempty"`
+	Steps    int     `json:"steps,omitempty"`
+	Gamma    string  `json:"gamma,omitempty"`
+	Makespan float64 `json:"makespan_sec,omitempty"`
+	Speedup  float64 `json:"speedup,omitempty"`
+	Messages int     `json:"messages,omitempty"`
+	Bytes    int     `json:"bytes,omitempty"`
+	// Extra holds suite-specific scalar metrics (e.g. search node counts,
+	// calibration errors), sorted by key on output.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// BenchFile is the envelope of a BENCH_*.json file.
+type BenchFile struct {
+	Schema  int           `json:"schema"`
+	Source  string        `json:"source"` // what produced the file, e.g. "spbench -json"
+	Records []BenchRecord `json:"records"`
+}
+
+// WriteBenchJSON writes records to path as indented, deterministic JSON
+// (records sorted by suite, then name).
+func WriteBenchJSON(path string, bf BenchFile) error {
+	if bf.Schema == 0 {
+		bf.Schema = 1
+	}
+	sort.SliceStable(bf.Records, func(a, b int) bool {
+		if bf.Records[a].Suite != bf.Records[b].Suite {
+			return bf.Records[a].Suite < bf.Records[b].Suite
+		}
+		return bf.Records[a].Name < bf.Records[b].Name
+	})
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal bench file: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"genmp/internal/sim"
+)
+
+// traceEvent is one entry of the Chrome trace-event JSON format (the legacy
+// format Perfetto's ui.perfetto.dev imports directly). Field order is fixed
+// by the struct, so the output is byte-stable for a given event stream.
+type traceEvent struct {
+	Name string     `json:"name,omitempty"`
+	Cat  string     `json:"cat,omitempty"`
+	Ph   string     `json:"ph"`
+	Ts   float64    `json:"ts"` // microseconds
+	Dur  *float64   `json:"dur,omitempty"`
+	Pid  int        `json:"pid"`
+	Tid  int        `json:"tid"`
+	ID   *int       `json:"id,omitempty"`
+	BP   string     `json:"bp,omitempty"`
+	S    string     `json:"s,omitempty"`
+	Args *traceArgs `json:"args,omitempty"`
+}
+
+type traceArgs struct {
+	Name   string  `json:"name,omitempty"`
+	Peer   *int    `json:"peer,omitempty"`
+	Bytes  int     `json:"bytes,omitempty"`
+	Tag    int     `json:"tag,omitempty"`
+	Phase  string  `json:"phase,omitempty"`
+	WaitUs float64 `json:"wait_us,omitempty"`
+	Index  int     `json:"sort_index,omitempty"`
+}
+
+type traceFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+const usec = 1e6
+
+// WriteTrace writes a collected sim.Trace as Chrome trace-event JSON,
+// loadable in ui.perfetto.dev or chrome://tracing. Each rank becomes one
+// named track ("rank N"); compute/send/recv/collective intervals become
+// complete ("X") slices named by their phase label (falling back to the
+// event kind); marks become instant events; and every matched send/recv
+// pair becomes a flow arrow (one "s"/"f" pair sharing an id), so message
+// causality is visible across tracks. The output is deterministic: same
+// run, same bytes.
+func WriteTrace(w io.Writer, tr *sim.Trace, p int) error {
+	if tr == nil {
+		return fmt.Errorf("obs: WriteTrace: nil trace")
+	}
+	events := tr.Events()
+	out := make([]traceEvent, 0, 2*len(events)+p)
+	for rank := 0; rank < p; rank++ {
+		out = append(out, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: rank,
+			Args: &traceArgs{Name: fmt.Sprintf("rank %d", rank)},
+		})
+	}
+
+	// Pair sends and recvs: the machine delivers per-(src,dst,tag) channels
+	// in FIFO order, and each side of a channel lives on one rank whose
+	// events are time-ordered, so the k-th send on a channel matches the
+	// k-th recv. A waiting recv can START before its send, so matching
+	// needs the full per-channel lists, not a single time-ordered pass.
+	// Flow ids are assigned in recv order — deterministic because Events()
+	// is sorted.
+	sendIdx := map[msgChannel][]int{}
+	for i, e := range events {
+		if e.Kind == sim.EvSend {
+			ch := msgChannel{src: e.Rank, dst: e.Peer, tag: e.Tag}
+			sendIdx[ch] = append(sendIdx[ch], i)
+		}
+	}
+	flowOf := make(map[int]int, len(events)) // event index → ±flow id (send +, recv −)
+	recvSeen := map[msgChannel]int{}
+	nextFlow := 1
+	for i, e := range events {
+		if e.Kind != sim.EvRecv {
+			continue
+		}
+		ch := msgChannel{src: e.Peer, dst: e.Rank, tag: e.Tag}
+		k := recvSeen[ch]
+		recvSeen[ch] = k + 1
+		if q := sendIdx[ch]; k < len(q) {
+			flowOf[q[k]] = nextFlow
+			flowOf[i] = -nextFlow
+			nextFlow++
+		}
+	}
+
+	for i, e := range events {
+		if e.Rank < 0 || e.Rank >= p {
+			continue
+		}
+		name := e.Phase
+		if name == "" {
+			name = e.Kind.String()
+		}
+		if e.Label != "" {
+			name = e.Label
+		}
+		args := &traceArgs{Phase: e.Phase}
+		if e.Kind == sim.EvSend || e.Kind == sim.EvRecv {
+			peer := e.Peer
+			args.Peer = &peer
+			args.Bytes = e.Bytes
+			args.Tag = e.Tag
+		}
+		if e.Wait > 0 {
+			args.WaitUs = e.Wait * usec
+		}
+		if e.Kind == sim.EvMark {
+			out = append(out, traceEvent{
+				Name: name, Cat: "mark", Ph: "i", Ts: e.Start * usec,
+				Pid: 0, Tid: e.Rank, S: "t", Args: args,
+			})
+			continue
+		}
+		dur := (e.End - e.Start) * usec
+		out = append(out, traceEvent{
+			Name: name, Cat: e.Kind.String(), Ph: "X", Ts: e.Start * usec, Dur: &dur,
+			Pid: 0, Tid: e.Rank, Args: args,
+		})
+		if id, ok := flowOf[i]; ok {
+			// Flow binding is by timestamp: anchor inside the slice. The
+			// finish anchors in the busy tail of the recv (after the
+			// message arrived), which always follows the send's
+			// completion, so arrows never point backward in time.
+			fe := traceEvent{Name: "msg", Cat: "msg", Pid: 0, Tid: e.Rank}
+			if id > 0 {
+				fe.Ph = "s"
+				fe.ID = &id
+				fe.Ts = (e.Start + e.End) / 2 * usec
+			} else {
+				fe.Ph = "f"
+				fe.BP = "e"
+				pos := -id
+				fe.ID = &pos
+				fe.Ts = (e.End - e.Busy()/2) * usec
+			}
+			out = append(out, fe)
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{DisplayTimeUnit: "ms", TraceEvents: out})
+}
+
+// WriteTraceFile writes the trace to path (see WriteTrace).
+func WriteTraceFile(path string, tr *sim.Trace, p int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTrace(f, tr, p); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

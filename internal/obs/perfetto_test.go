@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"genmp/internal/sim"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// exportPingPong runs the deterministic 2-rank program and exports its
+// trace.
+func exportPingPong(t *testing.T) []byte {
+	t.Helper()
+	m := testMachine(2)
+	m.Trace = &sim.Trace{}
+	if _, err := m.Run(pingPong); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, m.Trace, 2); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestWriteTraceValidJSONAndFlows(t *testing.T) {
+	data := exportPingPong(t)
+	var tf struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Tid  int     `json:"tid"`
+			ID   int     `json:"id"`
+			BP   string  `json:"bp"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatalf("exporter produced invalid JSON: %v", err)
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q", tf.DisplayTimeUnit)
+	}
+	// Flow events must come in matched s/f pairs with equal ids, the start
+	// on the sender's track no later than the finish on the receiver's.
+	starts := map[int]float64{}
+	finishes := map[int]float64{}
+	threads := map[int]bool{}
+	slices := 0
+	for _, e := range tf.TraceEvents {
+		switch e.Ph {
+		case "s":
+			if _, dup := starts[e.ID]; dup {
+				t.Errorf("duplicate flow start id %d", e.ID)
+			}
+			starts[e.ID] = e.Ts
+		case "f":
+			if e.BP != "e" {
+				t.Errorf("flow finish id %d missing bp=e", e.ID)
+			}
+			if _, dup := finishes[e.ID]; dup {
+				t.Errorf("duplicate flow finish id %d", e.ID)
+			}
+			finishes[e.ID] = e.Ts
+		case "X":
+			slices++
+			if e.Dur < 0 {
+				t.Errorf("negative duration slice %+v", e)
+			}
+		case "M":
+			threads[e.Tid] = true
+		}
+	}
+	// The pingPong program exchanges exactly 2 point-to-point messages.
+	if len(starts) != 2 || len(finishes) != 2 {
+		t.Fatalf("want 2 flow pairs, got %d starts, %d finishes", len(starts), len(finishes))
+	}
+	for id, ts := range starts {
+		fts, ok := finishes[id]
+		if !ok {
+			t.Errorf("flow id %d has a start but no finish", id)
+			continue
+		}
+		if ts > fts {
+			t.Errorf("flow id %d starts at %g after its finish %g", id, ts, fts)
+		}
+	}
+	if !threads[0] || !threads[1] {
+		t.Errorf("missing thread_name metadata for both ranks: %v", threads)
+	}
+	if slices == 0 {
+		t.Error("no slices exported")
+	}
+}
+
+// The export must be byte-stable: same program, same bytes, run to run —
+// goroutine scheduling must not leak into the output. Also locked against
+// a golden file so accidental format changes are visible in review.
+func TestWriteTraceGolden(t *testing.T) {
+	a := exportPingPong(t)
+	for i := 0; i < 5; i++ {
+		b := exportPingPong(t)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("export differs between identical runs (run %d)", i)
+		}
+	}
+	golden := filepath.Join("testdata", "perfetto_pingpong.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, a, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-golden)", err)
+	}
+	if !bytes.Equal(a, want) {
+		t.Fatalf("export differs from golden file %s (regenerate with -update-golden if intended)", golden)
+	}
+}
+
+func TestWriteTraceFileAndNilTrace(t *testing.T) {
+	if err := WriteTrace(&bytes.Buffer{}, nil, 2); err == nil {
+		t.Error("nil trace must be an error")
+	}
+	m := testMachine(2)
+	m.Trace = &sim.Trace{}
+	if _, err := m.Run(pingPong); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteTraceFile(path, m.Trace, 2); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file not written: %v", err)
+	}
+}

@@ -248,17 +248,30 @@ func Elementary(p, d int) [][]int {
 // returns false. It panics if p < 1 or d < 1; for d = 1 only p = 1 has a
 // valid partitioning.
 func EachElementary(p, d int, f func(gamma []int) bool) {
+	EachElementaryStats(p, d, nil, f)
+}
+
+// EachElementaryStats is EachElementary with search accounting: when stats is
+// non-nil, the factor count, generated distributions, visited nodes and
+// streamed leaves are recorded.
+func EachElementaryStats(p, d int, stats *SearchStats, f func(gamma []int) bool) {
 	if p < 1 {
 		panic(fmt.Sprintf("partition: EachElementary: p = %d must be ≥ 1", p))
 	}
 	if d < 1 {
 		panic(fmt.Sprintf("partition: EachElementary: d = %d must be ≥ 1", d))
 	}
+	if stats == nil {
+		stats = &SearchStats{} // discard counts without nil checks below
+	}
+	stats.BruteForceLeaves = CountElementary(p, d)
 	gamma := make([]int, d)
 	for i := range gamma {
 		gamma[i] = 1
 	}
 	if p == 1 {
+		stats.NodesVisited++
+		stats.LeavesEvaluated++
 		f(gamma)
 		return
 	}
@@ -266,11 +279,13 @@ func EachElementary(p, d int, f func(gamma []int) bool) {
 		return // no valid partitioning of a 1-D array on p > 1 processors
 	}
 	factors := numutil.Factorize(p)
+	stats.Factors = len(factors)
 	// Pre-generate the distribution lists so the cross product below can
 	// iterate them repeatedly.
 	dists := make([][][]int, len(factors))
 	for j, fac := range factors {
 		dists[j] = Distributions(fac.Exp, d)
+		stats.Distributions += len(dists[j])
 	}
 	stopped := false
 	var rec func(j int)
@@ -278,7 +293,9 @@ func EachElementary(p, d int, f func(gamma []int) bool) {
 		if stopped {
 			return
 		}
+		stats.NodesVisited++
 		if j == len(factors) {
+			stats.LeavesEvaluated++
 			if !f(gamma) {
 				stopped = true
 			}
@@ -327,12 +344,58 @@ type Result struct {
 	Cost  float64
 }
 
+// SearchStats counts the work a partitioning search performed. Pass a
+// *SearchStats to the *Stats variants of the search functions to have it
+// filled in; the plain variants skip all counting. The counters quantify the
+// paper's complexity claim (Section 3.3): the elementary space is tiny
+// compared to brute force, and branch-and-bound shrinks the walked part
+// further.
+type SearchStats struct {
+	Factors          int // prime factors of p processed
+	Distributions    int // per-factor exponent distributions generated (Figure 2), summed over factors
+	NodesVisited     int // search-tree nodes expanded (incl. leaves)
+	LeavesEvaluated  int // complete partitionings whose cost was evaluated
+	PrunedBound      int // subtrees cut by the branch-and-bound lower bound
+	PrunedCap        int // candidates discarded for exceeding a γ cap
+	BruteForceLeaves int // CountElementary(p,d): leaves an unpruned exhaustive scan evaluates
+}
+
+// PruneRatio returns the fraction of the elementary space the search did NOT
+// have to evaluate (0 when nothing was pruned, or when the space is empty).
+func (s *SearchStats) PruneRatio() float64 {
+	if s == nil || s.BruteForceLeaves == 0 {
+		return 0
+	}
+	r := 1 - float64(s.LeavesEvaluated)/float64(s.BruteForceLeaves)
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+func (s *SearchStats) String() string {
+	if s == nil {
+		return "search: no stats"
+	}
+	return fmt.Sprintf(
+		"search: %d factors, %d distributions, %d nodes, %d/%d leaves evaluated (%.1f%% pruned: %d bound, %d cap)",
+		s.Factors, s.Distributions, s.NodesVisited, s.LeavesEvaluated, s.BruteForceLeaves,
+		100*s.PruneRatio(), s.PrunedBound, s.PrunedCap)
+}
+
 // Optimal returns a partitioning of p processors over d dimensions
 // minimizing obj, using the paper's optimized exhaustive search over
 // elementary partitionings with branch-and-bound pruning (partial products
 // only grow, so the partial objective is a lower bound). Ties are broken
 // deterministically toward the lexicographically smallest γ.
 func Optimal(p, d int, obj Objective) (Result, error) {
+	return OptimalStats(p, d, obj, nil)
+}
+
+// OptimalStats is Optimal with search accounting: when stats is non-nil it
+// records the nodes visited, subtrees cut by the lower bound, leaves whose
+// full cost was evaluated, and the size of the unpruned elementary space.
+func OptimalStats(p, d int, obj Objective, stats *SearchStats) (Result, error) {
 	if err := obj.validate(d); err != nil {
 		return Result{}, err
 	}
@@ -342,11 +405,17 @@ func Optimal(p, d int, obj Objective) (Result, error) {
 	if d < 1 {
 		return Result{}, fmt.Errorf("partition: Optimal: d = %d must be ≥ 1", d)
 	}
+	if stats == nil {
+		stats = &SearchStats{} // discard counts without nil checks below
+	}
+	stats.BruteForceLeaves = CountElementary(p, d)
 	if p == 1 {
 		gamma := make([]int, d)
 		for i := range gamma {
 			gamma[i] = 1
 		}
+		stats.NodesVisited++
+		stats.LeavesEvaluated++
 		return Result{Gamma: gamma, Cost: obj.Cost(gamma)}, nil
 	}
 	if d == 1 {
@@ -354,6 +423,7 @@ func Optimal(p, d int, obj Objective) (Result, error) {
 	}
 
 	factors := numutil.Factorize(p)
+	stats.Factors = len(factors)
 	// Process large primes first: their placement moves the partial cost the
 	// most, which makes the lower-bound pruning bite early.
 	sort.Slice(factors, func(a, b int) bool {
@@ -362,6 +432,7 @@ func Optimal(p, d int, obj Objective) (Result, error) {
 	dists := make([][][]int, len(factors))
 	for j, fac := range factors {
 		dists[j] = Distributions(fac.Exp, d)
+		stats.Distributions += len(dists[j])
 	}
 
 	gamma := make([]int, d)
@@ -372,9 +443,12 @@ func Optimal(p, d int, obj Objective) (Result, error) {
 	var rec func(j int, partial float64)
 	rec = func(j int, partial float64) {
 		if partial >= best.Cost {
+			stats.PrunedBound++
 			return // lower bound: remaining factors only increase every γᵢ
 		}
+		stats.NodesVisited++
 		if j == len(factors) {
+			stats.LeavesEvaluated++
 			if partial < best.Cost || (partial == best.Cost && lexLess(gamma, best.Gamma)) {
 				best = Result{Gamma: numutil.CopyInts(gamma), Cost: partial}
 			}
@@ -408,6 +482,12 @@ func Optimal(p, d int, obj Objective) (Result, error) {
 // some minimum block size allows, the dHPF limitation the paper describes
 // for large prime factors). It fails when no elementary partitioning fits.
 func OptimalCapped(p, d int, obj Objective, caps []int) (Result, error) {
+	return OptimalCappedStats(p, d, obj, caps, nil)
+}
+
+// OptimalCappedStats is OptimalCapped with search accounting: when stats is
+// non-nil it additionally records how many candidates the caps discarded.
+func OptimalCappedStats(p, d int, obj Objective, caps []int, stats *SearchStats) (Result, error) {
 	if err := obj.validate(d); err != nil {
 		return Result{}, err
 	}
@@ -420,10 +500,15 @@ func OptimalCapped(p, d int, obj Objective, caps []int) (Result, error) {
 	if d == 1 && p > 1 {
 		return Result{}, fmt.Errorf("partition: no valid multipartitioning of a 1-D array on %d > 1 processors", p)
 	}
+	if stats == nil {
+		stats = &SearchStats{}
+	}
 	best := Result{Cost: math.Inf(1)}
-	EachElementary(p, d, func(gamma []int) bool {
+	EachElementaryStats(p, d, stats, func(gamma []int) bool {
 		for i, g := range gamma {
 			if g > caps[i] {
+				stats.PrunedCap++
+				stats.LeavesEvaluated-- // streamed but never costed
 				return true
 			}
 		}

@@ -557,3 +557,95 @@ func sortSlices(s [][]int) {
 		return false
 	})
 }
+
+func TestSearchStatsOptimal(t *testing.T) {
+	for _, p := range []int{16, 33, 64, 105, 1024} {
+		var st SearchStats
+		res, err := OptimalStats(p, 3, UniformObjective(3), &st)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		plain, err := Optimal(p, 3, UniformObjective(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res, plain) {
+			t.Errorf("p=%d: stats variant result %+v differs from plain %+v", p, res, plain)
+		}
+		if st.BruteForceLeaves != CountElementary(p, 3) {
+			t.Errorf("p=%d: BruteForceLeaves %d != CountElementary %d", p, st.BruteForceLeaves, CountElementary(p, 3))
+		}
+		if st.LeavesEvaluated < 1 || st.LeavesEvaluated > st.BruteForceLeaves {
+			t.Errorf("p=%d: LeavesEvaluated %d out of [1, %d]", p, st.LeavesEvaluated, st.BruteForceLeaves)
+		}
+		if st.NodesVisited < st.LeavesEvaluated {
+			t.Errorf("p=%d: NodesVisited %d < LeavesEvaluated %d", p, st.NodesVisited, st.LeavesEvaluated)
+		}
+		if st.Factors != len(numutil.Factorize(p)) {
+			t.Errorf("p=%d: Factors %d", p, st.Factors)
+		}
+		if r := st.PruneRatio(); r < 0 || r >= 1 {
+			t.Errorf("p=%d: PruneRatio %g out of [0,1)", p, r)
+		}
+		if st.String() == "" {
+			t.Error("empty String()")
+		}
+	}
+	// Multi-factor p with skewed weights: the bound must actually prune.
+	var st SearchStats
+	if _, err := OptimalStats(3600, 3, Objective{Lambda: []float64{1, 50, 2500}}, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.PrunedBound == 0 {
+		t.Errorf("expected branch-and-bound pruning at p=3600: %+v", st)
+	}
+	if st.LeavesEvaluated >= st.BruteForceLeaves {
+		t.Errorf("pruned search evaluated the whole space: %+v", st)
+	}
+}
+
+func TestSearchStatsCapped(t *testing.T) {
+	// For p = 64 the elementary space is {8×8×8, 16×16×4, 32×32×2, 64×64×1}
+	// and orientations; caps of 8 exclude everything but 8×8×8, so the cap
+	// pruning must fire on every other candidate.
+	var st SearchStats
+	res, err := OptimalCappedStats(64, 3, UniformObjective(3), []int{8, 8, 8}, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Describe(res.Gamma) != "8×8×8" {
+		t.Errorf("capped optimum %v", res.Gamma)
+	}
+	if st.PrunedCap == 0 {
+		t.Errorf("caps excluded candidates but PrunedCap = 0: %+v", st)
+	}
+	if st.LeavesEvaluated+st.PrunedCap != st.BruteForceLeaves {
+		t.Errorf("capped accounting: evaluated %d + capped %d != space %d",
+			st.LeavesEvaluated, st.PrunedCap, st.BruteForceLeaves)
+	}
+	plain, err := OptimalCapped(64, 3, UniformObjective(3), []int{8, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, plain) {
+		t.Errorf("stats variant %+v differs from plain %+v", res, plain)
+	}
+}
+
+func TestSearchStatsEachElementary(t *testing.T) {
+	var st SearchStats
+	n := 0
+	EachElementaryStats(60, 3, &st, func([]int) bool { n++; return true })
+	if st.LeavesEvaluated != n || n != CountElementary(60, 3) {
+		t.Errorf("streamed %d, stats %+v, count %d", n, st, CountElementary(60, 3))
+	}
+	if st.Distributions == 0 || st.Factors != 3 {
+		t.Errorf("stats %+v", st)
+	}
+	// p = 1: the trivial partitioning is one leaf.
+	st = SearchStats{}
+	EachElementaryStats(1, 4, &st, func([]int) bool { return true })
+	if st.LeavesEvaluated != 1 || st.BruteForceLeaves != 1 {
+		t.Errorf("p=1 stats %+v", st)
+	}
+}

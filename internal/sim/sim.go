@@ -119,6 +119,42 @@ type Stats struct {
 	BytesSent   int
 	MsgsRecv    int
 	BytesRecv   int
+	// FinalClock is the rank's clock when its body returned; IdleTime is
+	// Makespan − FinalClock, the trailing idle until the slowest rank
+	// finishes. Both are filled in by Run.
+	FinalClock float64
+	IdleTime   float64
+	// Phases breaks the three time counters and the traffic down by the
+	// phase label active when they accrued (see Rank.BeginPhase). Activity
+	// before the first BeginPhase lands under the empty label.
+	Phases map[string]PhaseStats
+	// Peers breaks the point-to-point traffic down by counterpart rank.
+	Peers map[int]PeerIO
+}
+
+// PhaseStats is one phase-label bucket of a rank's Stats.
+type PhaseStats struct {
+	ComputeTime float64
+	CommTime    float64
+	WaitTime    float64
+	MsgsSent    int
+	BytesSent   int
+	MsgsRecv    int
+	BytesRecv   int
+}
+
+// Busy returns the non-waiting time of the bucket.
+func (ps PhaseStats) Busy() float64 { return ps.ComputeTime + ps.CommTime }
+
+// Total returns all time accounted to the bucket.
+func (ps PhaseStats) Total() float64 { return ps.ComputeTime + ps.CommTime + ps.WaitTime }
+
+// PeerIO is the point-to-point traffic between one rank and one peer.
+type PeerIO struct {
+	MsgsSent  int
+	BytesSent int
+	MsgsRecv  int
+	BytesRecv int
 }
 
 // Result summarizes a completed run.
@@ -320,6 +356,7 @@ type Rank struct {
 	bar     *barrier
 	clock   float64
 	stats   Stats
+	phase   string
 }
 
 // P returns the machine's rank count.
@@ -331,6 +368,84 @@ func (r *Rank) Clock() float64 { return r.clock }
 // Stats returns the rank's statistics so far.
 func (r *Rank) Stats() Stats { return r.stats }
 
+// BeginPhase labels all subsequent activity of this rank with the given
+// phase (per-phase buckets in Stats.Phases, Phase field on trace events)
+// until the next BeginPhase. It returns the previous label so nested
+// libraries can restore it.
+func (r *Rank) BeginPhase(label string) (prev string) {
+	prev = r.phase
+	r.phase = label
+	return prev
+}
+
+// Phase returns the rank's current phase label.
+func (r *Rank) Phase() string { return r.phase }
+
+// phaseBucket returns the current phase's mutable bucket, allocating the
+// map and entry on first use.
+func (r *Rank) phaseBucket() *PhaseStats {
+	if r.stats.Phases == nil {
+		r.stats.Phases = make(map[string]PhaseStats)
+	}
+	ps := r.stats.Phases[r.phase]
+	return &ps
+}
+
+func (r *Rank) putPhase(ps *PhaseStats) { r.stats.Phases[r.phase] = *ps }
+
+func (r *Rank) addCompute(sec float64) {
+	r.stats.ComputeTime += sec
+	ps := r.phaseBucket()
+	ps.ComputeTime += sec
+	r.putPhase(ps)
+}
+
+func (r *Rank) addComm(sec float64) {
+	r.stats.CommTime += sec
+	ps := r.phaseBucket()
+	ps.CommTime += sec
+	r.putPhase(ps)
+}
+
+func (r *Rank) addWait(sec float64) {
+	r.stats.WaitTime += sec
+	ps := r.phaseBucket()
+	ps.WaitTime += sec
+	r.putPhase(ps)
+}
+
+func (r *Rank) addSent(peer, bytes int) {
+	r.stats.MsgsSent++
+	r.stats.BytesSent += bytes
+	ps := r.phaseBucket()
+	ps.MsgsSent++
+	ps.BytesSent += bytes
+	r.putPhase(ps)
+	if r.stats.Peers == nil {
+		r.stats.Peers = make(map[int]PeerIO)
+	}
+	io := r.stats.Peers[peer]
+	io.MsgsSent++
+	io.BytesSent += bytes
+	r.stats.Peers[peer] = io
+}
+
+func (r *Rank) addRecvd(peer, bytes int) {
+	r.stats.MsgsRecv++
+	r.stats.BytesRecv += bytes
+	ps := r.phaseBucket()
+	ps.MsgsRecv++
+	ps.BytesRecv += bytes
+	r.putPhase(ps)
+	if r.stats.Peers == nil {
+		r.stats.Peers = make(map[int]PeerIO)
+	}
+	io := r.stats.Peers[peer]
+	io.MsgsRecv++
+	io.BytesRecv += bytes
+	r.stats.Peers[peer] = io
+}
+
 // Compute advances the rank's clock by the given virtual seconds.
 func (r *Rank) Compute(seconds float64) {
 	if seconds < 0 {
@@ -338,9 +453,9 @@ func (r *Rank) Compute(seconds float64) {
 	}
 	start := r.clock
 	r.clock += seconds
-	r.stats.ComputeTime += seconds
+	r.addCompute(seconds)
 	if tr := r.machine.Trace; tr != nil && seconds > 0 {
-		tr.add(Event{Rank: r.ID, Kind: EvCompute, Start: start, End: r.clock, Peer: -1})
+		tr.add(Event{Rank: r.ID, Kind: EvCompute, Start: start, End: r.clock, Peer: -1, Phase: r.phase})
 	}
 }
 
@@ -361,12 +476,11 @@ func (r *Rank) Send(dst, tag int, m Msg) {
 	m.Src = r.ID
 	m.Tag = tag
 	r.clock += r.machine.Net.SendOverhead
-	r.stats.CommTime += r.machine.Net.SendOverhead
+	r.addComm(r.machine.Net.SendOverhead)
 	m.sent = r.clock
-	r.stats.MsgsSent++
-	r.stats.BytesSent += m.Bytes
+	r.addSent(dst, m.Bytes)
 	if tr := r.machine.Trace; tr != nil {
-		tr.add(Event{Rank: r.ID, Kind: EvSend, Start: m.sent - r.machine.Net.SendOverhead, End: m.sent, Peer: dst, Bytes: m.Bytes})
+		tr.add(Event{Rank: r.ID, Kind: EvSend, Start: m.sent - r.machine.Net.SendOverhead, End: m.sent, Peer: dst, Bytes: m.Bytes, Tag: tag, Phase: r.phase})
 	}
 	r.mb.put(msgKey{src: r.ID, dst: dst, tag: tag}, &m)
 }
@@ -386,17 +500,18 @@ func (r *Rank) Recv(src, tag int) Msg {
 	// body then occupies the receiver's link, which serializes concurrent
 	// incoming traffic (all-to-alls pay for their volume).
 	headArrive := m.sent + r.machine.Net.Latency
+	wait := 0.0
 	if headArrive > r.clock {
-		r.stats.WaitTime += headArrive - r.clock
+		wait = headArrive - r.clock
+		r.addWait(wait)
 		r.clock = headArrive
 	}
 	body := r.machine.Net.Transit(m.Bytes) - r.machine.Net.Latency
 	r.clock += body + r.machine.Net.RecvOverhead
-	r.stats.CommTime += body + r.machine.Net.RecvOverhead
-	r.stats.MsgsRecv++
-	r.stats.BytesRecv += m.Bytes
+	r.addComm(body + r.machine.Net.RecvOverhead)
+	r.addRecvd(src, m.Bytes)
 	if tr := r.machine.Trace; tr != nil {
-		tr.add(Event{Rank: r.ID, Kind: EvRecv, Start: recvStart, End: r.clock, Peer: src, Bytes: m.Bytes})
+		tr.add(Event{Rank: r.ID, Kind: EvRecv, Start: recvStart, End: r.clock, Peer: src, Bytes: m.Bytes, Tag: tag, Wait: wait, Phase: r.phase})
 	}
 	return *m
 }
@@ -414,13 +529,15 @@ func (r *Rank) Barrier() {
 	start := r.clock
 	t, _ := r.bar.sync(r.clock, nil, nil)
 	cost := r.collectiveCost(0)
+	wait := 0.0
 	if t > r.clock {
-		r.stats.WaitTime += t - r.clock
+		wait = t - r.clock
+		r.addWait(wait)
 	}
 	r.clock = t + cost
-	r.stats.CommTime += cost
+	r.addComm(cost)
 	if tr := r.machine.Trace; tr != nil {
-		tr.add(Event{Rank: r.ID, Kind: EvCollective, Start: start, End: r.clock, Peer: -1, Label: "barrier"})
+		tr.add(Event{Rank: r.ID, Kind: EvCollective, Start: start, End: r.clock, Peer: -1, Label: "barrier", Wait: wait, Phase: r.phase})
 	}
 }
 
@@ -431,13 +548,15 @@ func (r *Rank) AllReduce(vals []float64, combine func(a, b float64) float64) []f
 	start := r.clock
 	t, out := r.bar.sync(r.clock, vals, combine)
 	cost := r.collectiveCost(8 * len(vals))
+	wait := 0.0
 	if t > r.clock {
-		r.stats.WaitTime += t - r.clock
+		wait = t - r.clock
+		r.addWait(wait)
 	}
 	r.clock = t + cost
-	r.stats.CommTime += cost
+	r.addComm(cost)
 	if tr := r.machine.Trace; tr != nil {
-		tr.add(Event{Rank: r.ID, Kind: EvCollective, Start: start, End: r.clock, Peer: -1, Label: "allreduce"})
+		tr.add(Event{Rank: r.ID, Kind: EvCollective, Start: start, End: r.clock, Peer: -1, Label: "allreduce", Wait: wait, Phase: r.phase})
 	}
 	return out
 }
@@ -483,11 +602,15 @@ func (m *Machine) Run(body func(r *Rank)) (Result, error) {
 		return Result{}, err
 	}
 	res := Result{Ranks: make([]Stats, m.P)}
-	for id, r := range ranks {
-		res.Ranks[id] = r.stats
+	for _, r := range ranks {
 		if r.clock > res.Makespan {
 			res.Makespan = r.clock
 		}
+	}
+	for id, r := range ranks {
+		r.stats.FinalClock = r.clock
+		r.stats.IdleTime = res.Makespan - r.clock
+		res.Ranks[id] = r.stats
 	}
 	return res, nil
 }

@@ -303,3 +303,80 @@ func TestP1Collectives(t *testing.T) {
 		t.Errorf("p=1 collectives should be free, makespan = %g", res.Makespan)
 	}
 }
+
+// The per-phase buckets must tile the whole-run counters exactly, and the
+// accounting identity compute+comm+wait = FinalClock must hold per rank.
+func TestPhaseStatsPartitionTotals(t *testing.T) {
+	m := testMachine(2)
+	res, err := m.Run(func(r *Rank) {
+		r.Compute(1e-3) // lands in the unlabeled phase
+		r.BeginPhase("exchange")
+		if r.ID == 0 {
+			r.Send(1, 3, Msg{Bytes: 1 << 12})
+			r.Recv(1, 4)
+		} else {
+			r.Send(0, 4, Msg{Bytes: 256})
+			r.Recv(0, 3)
+		}
+		r.BeginPhase("reduce")
+		r.AllReduce([]float64{float64(r.ID)}, func(a, b float64) float64 { return a + b })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, s := range res.Ranks {
+		var comp, comm, wait float64
+		var msgsSent, bytesSent, msgsRecv, bytesRecv int
+		for _, ps := range s.Phases {
+			comp += ps.ComputeTime
+			comm += ps.CommTime
+			wait += ps.WaitTime
+			msgsSent += ps.MsgsSent
+			bytesSent += ps.BytesSent
+			msgsRecv += ps.MsgsRecv
+			bytesRecv += ps.BytesRecv
+		}
+		if math.Abs(comp-s.ComputeTime) > 1e-12 || math.Abs(comm-s.CommTime) > 1e-12 || math.Abs(wait-s.WaitTime) > 1e-12 {
+			t.Errorf("rank %d: phase buckets (%g,%g,%g) do not tile totals (%g,%g,%g)",
+				id, comp, comm, wait, s.ComputeTime, s.CommTime, s.WaitTime)
+		}
+		if msgsSent != s.MsgsSent || bytesSent != s.BytesSent || msgsRecv != s.MsgsRecv || bytesRecv != s.BytesRecv {
+			t.Errorf("rank %d: phase traffic does not tile totals", id)
+		}
+		if got := s.ComputeTime + s.CommTime + s.WaitTime; math.Abs(got-s.FinalClock) > 1e-12 {
+			t.Errorf("rank %d: compute+comm+wait = %g, FinalClock = %g", id, got, s.FinalClock)
+		}
+		if math.Abs(s.FinalClock+s.IdleTime-res.Makespan) > 1e-12 {
+			t.Errorf("rank %d: FinalClock+IdleTime = %g, makespan = %g", id, s.FinalClock+s.IdleTime, res.Makespan)
+		}
+		if len(s.Phases) != 3 {
+			t.Errorf("rank %d: want 3 phase buckets (unlabeled, exchange, reduce), got %v", id, len(s.Phases))
+		}
+		if s.Phases["exchange"].MsgsSent != 1 || s.Phases["exchange"].MsgsRecv != 1 {
+			t.Errorf("rank %d: exchange bucket traffic %+v", id, s.Phases["exchange"])
+		}
+	}
+	// Peer buckets: rank 0 sent 4096 bytes to peer 1 and received 256 back.
+	p0 := res.Ranks[0].Peers[1]
+	if p0.BytesSent != 1<<12 || p0.BytesRecv != 256 || p0.MsgsSent != 1 || p0.MsgsRecv != 1 {
+		t.Errorf("rank 0 peer-1 IO %+v", p0)
+	}
+}
+
+func TestBeginPhaseRestores(t *testing.T) {
+	m := testMachine(1)
+	if _, err := m.Run(func(r *Rank) {
+		if prev := r.BeginPhase("outer"); prev != "" {
+			t.Errorf("first BeginPhase returned %q", prev)
+		}
+		if prev := r.BeginPhase("inner"); prev != "outer" {
+			t.Errorf("nested BeginPhase returned %q", prev)
+		}
+		r.BeginPhase("outer")
+		if r.Phase() != "outer" {
+			t.Errorf("Phase() = %q", r.Phase())
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -49,7 +50,20 @@ type Event struct {
 	Peer  int // counterpart rank for send/recv, −1 otherwise
 	Bytes int
 	Label string
+	// Tag is the message tag for send/recv events. Together with
+	// (Rank, Peer) and the per-channel FIFO delivery order it pairs each
+	// recv with the send that produced its message.
+	Tag int
+	// Wait is the blocked portion of a recv or collective interval
+	// (End − Start − Wait is the busy portion).
+	Wait float64
+	// Phase is the rank's phase label (Rank.BeginPhase) when the event was
+	// recorded.
+	Phase string
 }
+
+// Busy returns the non-waiting duration of the event.
+func (e Event) Busy() float64 { return e.End - e.Start - e.Wait }
 
 // Trace collects events from all ranks of a run. Enable by setting
 // Machine.Trace before Run; the collection is concurrency-safe and ordered
@@ -90,8 +104,12 @@ func (t *Trace) Len() int {
 // RenderTimeline writes an ASCII Gantt chart of the run: one row per rank,
 // the horizontal axis spanning [0, makespan] in width columns. Compute
 // intervals render as '#', sends as '>', receives (including waiting) as
-// '<', collectives as '|', idle as '.'.
+// '<', collectives as '|', idle as '.'. A non-positive makespan has no
+// renderable time axis and is reported as an error.
 func (t *Trace) RenderTimeline(w io.Writer, p int, makespan float64, width int) error {
+	if makespan <= 0 || math.IsNaN(makespan) {
+		return fmt.Errorf("sim: RenderTimeline: makespan %g is not positive; nothing to render", makespan)
+	}
 	if width < 10 {
 		width = 10
 	}
@@ -111,7 +129,7 @@ func (t *Trace) RenderTimeline(w io.Writer, p int, makespan float64, width int) 
 	}
 	glyph := map[EventKind]byte{EvCompute: '#', EvSend: '>', EvRecv: '<', EvCollective: '|', EvMark: '*'}
 	for _, e := range t.Events() {
-		if e.Rank < 0 || e.Rank >= p || makespan <= 0 {
+		if e.Rank < 0 || e.Rank >= p {
 			continue
 		}
 		g := glyph[e.Kind]
@@ -129,13 +147,19 @@ func (t *Trace) RenderTimeline(w io.Writer, p int, makespan float64, width int) 
 			return err
 		}
 	}
-	_, err := fmt.Fprintf(w, "          0%smakespan %.3gs\n", strings.Repeat(" ", width-18), makespan)
+	// The footer right-aligns the makespan under the chart; narrow charts
+	// (width < 18) get no padding rather than a negative strings.Repeat.
+	pad := width - 18
+	if pad < 0 {
+		pad = 0
+	}
+	_, err := fmt.Fprintf(w, "          0%smakespan %.3gs\n", strings.Repeat(" ", pad), makespan)
 	return err
 }
 
 // Mark records an application annotation at the rank's current time.
 func (r *Rank) Mark(label string) {
 	if tr := r.machine.Trace; tr != nil {
-		tr.add(Event{Rank: r.ID, Kind: EvMark, Start: r.clock, End: r.clock, Peer: -1, Label: label})
+		tr.add(Event{Rank: r.ID, Kind: EvMark, Start: r.clock, End: r.clock, Peer: -1, Label: label, Phase: r.phase})
 	}
 }

@@ -120,3 +120,76 @@ func TestEventKindString(t *testing.T) {
 		}
 	}
 }
+
+// Regression: width values in [10, 18) used to panic in the footer's
+// strings.Repeat(" ", width-18) with a negative count.
+func TestRenderTimelineNarrowWidthNoPanic(t *testing.T) {
+	m := testMachine(2)
+	m.Trace = &Trace{}
+	res, err := m.Run(func(r *Rank) { r.Compute(1e-3) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, width := range []int{0, 5, 10, 11, 17, 18, 19} {
+		var sb strings.Builder
+		if err := m.Trace.RenderTimeline(&sb, 2, res.Makespan, width); err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		if !strings.Contains(sb.String(), "makespan") {
+			t.Fatalf("width %d: footer missing:\n%s", width, sb.String())
+		}
+	}
+}
+
+// Regression: a non-positive makespan used to silently render an all-idle
+// chart (and, before that, feed a division by zero into colOf); it must be
+// an explicit error now.
+func TestRenderTimelineNonPositiveMakespan(t *testing.T) {
+	m := testMachine(2)
+	m.Trace = &Trace{}
+	if _, err := m.Run(func(r *Rank) { r.Compute(1e-3) }); err != nil {
+		t.Fatal(err)
+	}
+	for _, makespan := range []float64{0, -1} {
+		var sb strings.Builder
+		if err := m.Trace.RenderTimeline(&sb, 2, makespan, 60); err == nil {
+			t.Fatalf("makespan %g: want error, got output:\n%s", makespan, sb.String())
+		}
+	}
+}
+
+func TestEventPhaseAndWait(t *testing.T) {
+	m := testMachine(2)
+	m.Trace = &Trace{}
+	if _, err := m.Run(func(r *Rank) {
+		r.BeginPhase("p0")
+		if r.ID == 0 {
+			r.Compute(5e-3) // make rank 1 wait on the recv
+			r.Send(1, 7, Msg{Bytes: 64})
+		} else {
+			r.Recv(0, 7)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sawRecvWait := false
+	for _, e := range m.Trace.Events() {
+		if e.Phase != "p0" {
+			t.Errorf("event %+v missing phase label", e)
+		}
+		if e.Kind == EvRecv {
+			if e.Tag != 7 {
+				t.Errorf("recv event tag = %d, want 7", e.Tag)
+			}
+			if e.Wait > 0 {
+				sawRecvWait = true
+			}
+			if e.Busy() < 0 {
+				t.Errorf("recv busy %g < 0", e.Busy())
+			}
+		}
+	}
+	if !sawRecvWait {
+		t.Error("recv event did not record its wait portion")
+	}
+}
