@@ -1,0 +1,221 @@
+// Command benchdiff is the regression gate over the repo's machine-readable
+// performance artifacts: it compares two BENCH_*.json files (obs/regress)
+// or two serialized profiles (obs/profdiff), renders the drift as text,
+// markdown or JSON, and exits 1 when anything regressed beyond tolerance.
+// Because every metric comes from the bit-reproducible virtual machine, the
+// default tolerance is zero — a byte-identical regeneration diffs clean,
+// and any drift is a real behavior change.
+//
+// Usage:
+//
+//	benchdiff old.json new.json              # text report, exit 1 on regression
+//	benchdiff -md -o report.md old new       # markdown artifact for CI
+//	benchdiff -tol 'sp-run=0.01' old new     # 1% relative slack for one suite
+//	benchdiff -merge out.json in1 in2 ...    # combine bench files into one
+//
+// The file kind (bench vs profile) is auto-detected from the JSON envelope;
+// both sides must be the same kind.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"genmp/internal/obs"
+	"genmp/internal/obs/profdiff"
+	"genmp/internal/obs/regress"
+)
+
+// report is the common surface of both diff kinds.
+type report interface {
+	HasRegression() bool
+	Text() string
+	Markdown() string
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	rules := regress.Rules{Suite: map[string]regress.Tolerance{}}
+	flag.Func("tol", "tolerance rule `REL[,ABS]` or `suite=REL[,ABS]` (REL is a fraction, e.g. 0.01 = 1%); repeatable", func(v string) error {
+		return parseTol(&rules, v)
+	})
+	md := flag.Bool("md", false, "render the report as markdown")
+	jsonOut := flag.Bool("json", false, "render the full typed diff as JSON")
+	out := flag.String("o", "", "write the report to this file instead of stdout")
+	merge := flag.String("merge", "", "merge mode: write the combined bench file to this `path` and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: benchdiff [flags] old.json new.json\n       benchdiff -merge out.json in.json...\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *merge != "" {
+		if flag.NArg() < 1 {
+			log.Println("merge mode needs at least one input file")
+			os.Exit(2)
+		}
+		if err := mergeFiles(*merge, flag.Args()); err != nil {
+			log.Println(err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldPath, newPath := flag.Arg(0), flag.Arg(1)
+	rep, err := diffFiles(oldPath, newPath, rules)
+	if err != nil {
+		log.Println(err)
+		os.Exit(2)
+	}
+
+	var body string
+	switch {
+	case *jsonOut:
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Println(err)
+			os.Exit(2)
+		}
+		body = string(data) + "\n"
+	case *md:
+		body = rep.Markdown()
+	default:
+		body = rep.Text()
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(body), 0o644); err != nil {
+			log.Println(err)
+			os.Exit(2)
+		}
+	} else {
+		fmt.Print(body)
+	}
+	if rep.HasRegression() {
+		if *out != "" {
+			log.Printf("regression detected (report in %s)", *out)
+		} else {
+			log.Println("regression detected")
+		}
+		os.Exit(1)
+	}
+}
+
+// parseTol parses "REL[,ABS]" (sets the default rule) or
+// "suite=REL[,ABS]" (per-suite override).
+func parseTol(rules *regress.Rules, v string) error {
+	suite, spec := "", v
+	if i := strings.IndexByte(v, '='); i >= 0 {
+		suite, spec = v[:i], v[i+1:]
+	}
+	parts := strings.SplitN(spec, ",", 2)
+	var tol regress.Tolerance
+	rel, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil || rel < 0 {
+		return fmt.Errorf("bad tolerance %q (want REL[,ABS] with non-negative fractions)", v)
+	}
+	tol.Rel = rel
+	if len(parts) == 2 {
+		abs, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil || abs < 0 {
+			return fmt.Errorf("bad tolerance %q (want REL[,ABS] with non-negative fractions)", v)
+		}
+		tol.Abs = abs
+	}
+	if suite == "" {
+		rules.Default = tol
+	} else {
+		rules.Suite[suite] = tol
+	}
+	return nil
+}
+
+// kindOf sniffs the envelope of a JSON artifact: profile files carry
+// "kind": "profile", bench files have no kind field.
+func kindOf(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return "", fmt.Errorf("parse %s: %w", path, err)
+	}
+	if probe.Kind == "" {
+		return "bench", nil
+	}
+	return probe.Kind, nil
+}
+
+// diffFiles loads both sides, auto-detects the artifact kind and runs the
+// matching comparison. Profile comparisons use the default tolerance rule
+// (profiles are per-run, not per-suite).
+func diffFiles(oldPath, newPath string, rules regress.Rules) (report, error) {
+	oldKind, err := kindOf(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	newKind, err := kindOf(newPath)
+	if err != nil {
+		return nil, err
+	}
+	if oldKind != newKind {
+		return nil, fmt.Errorf("cannot diff a %s file against a %s file (%s vs %s)", oldKind, newKind, oldPath, newPath)
+	}
+	switch oldKind {
+	case "bench":
+		oldBF, err := obs.ReadBenchJSON(oldPath)
+		if err != nil {
+			return nil, err
+		}
+		newBF, err := obs.ReadBenchJSON(newPath)
+		if err != nil {
+			return nil, err
+		}
+		return regress.Compare(oldBF, newBF, rules), nil
+	case obs.ProfileKind:
+		oldPF, err := obs.ReadProfileJSON(oldPath)
+		if err != nil {
+			return nil, err
+		}
+		newPF, err := obs.ReadProfileJSON(newPath)
+		if err != nil {
+			return nil, err
+		}
+		d := profdiff.Compare(oldPF.Profile, newPF.Profile, rules.Default)
+		d.OldSource, d.NewSource = oldPF.Source, newPF.Source
+		return d, nil
+	default:
+		return nil, fmt.Errorf("%s: unknown artifact kind %q", oldPath, oldKind)
+	}
+}
+
+// mergeFiles combines bench files into out, e.g. spbench's Table 1 plus
+// sweepbench's strategy comparison into the committed BENCH_results.json.
+func mergeFiles(out string, inputs []string) error {
+	files := make([]obs.BenchFile, 0, len(inputs))
+	for _, path := range inputs {
+		bf, err := obs.ReadBenchJSON(path)
+		if err != nil {
+			return err
+		}
+		files = append(files, bf)
+	}
+	merged, err := obs.MergeBenchFiles(files...)
+	if err != nil {
+		return err
+	}
+	return obs.WriteBenchJSON(out, merged)
+}

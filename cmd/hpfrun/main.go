@@ -8,6 +8,7 @@
 //
 //	hpfrun -f program.f -steps 4
 //	hpfrun -steps 2 -timeline -metrics -trace run.json
+//	hpfrun -steps 2 -json out.json -profile prof.json   # benchdiff inputs
 package main
 
 import (
@@ -46,8 +47,10 @@ func main() {
 	timeline := flag.Bool("timeline", false, "render the ASCII rank timeline")
 	tracePath := flag.String("trace", "", "write a Perfetto/Chrome trace-event JSON file")
 	metrics := flag.Bool("metrics", false, "print the per-rank/per-phase profile")
+	jsonPath := flag.String("json", "", "write machine-readable results (BENCH_*.json schema)")
+	profilePath := flag.String("profile", "", "write the serialized per-phase profile (benchdiff input)")
 	flag.Parse()
-	wantTrace := *timeline || *tracePath != "" || *metrics
+	wantTrace := *timeline || *tracePath != "" || *metrics || *profilePath != ""
 
 	src := builtin
 	if *file != "" {
@@ -101,8 +104,10 @@ func main() {
 	}
 	pb := adi.Problem{Eta: eta, Alpha: 0.3, Steps: *steps}
 	var res sim.Result
+	variant, gammaStr := "serial", ""
 	switch {
 	case plan.Multi != nil:
+		variant, gammaStr = "multi", partition.Describe(plan.Multi.Gamma())
 		fmt.Printf("planned: %s over %v (shadow %v)\n", plan.Multi.Name(), eta, plan.ShadowWidths)
 		if err := plan.Multi.Verify(); err != nil {
 			log.Fatalf("verification failed: %v", err)
@@ -117,6 +122,7 @@ func main() {
 			log.Fatal(err)
 		}
 	case plan.BlockDim >= 0:
+		variant = fmt.Sprintf("block%d", plan.BlockDim)
 		fmt.Printf("planned: BLOCK along dimension %d over %v on %d processors\n", plan.BlockDim, eta, plan.P)
 		blk, err := dist.NewBlock(plan.P, eta, plan.BlockDim, ov)
 		if err != nil {
@@ -157,6 +163,36 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("trace written to %s (load in ui.perfetto.dev)\n", *tracePath)
+	}
+
+	// Machine-readable outputs carry the reproducing command line and grid
+	// parameters so a benchdiff report can say how to regenerate each side.
+	fileID := *file
+	if fileID == "" {
+		fileID = "(builtin)"
+	}
+	srcLine := fmt.Sprintf("hpfrun -f %s -steps %d (template %s, eta %s)",
+		fileID, *steps, name, partition.Describe(eta))
+	if *profilePath != "" {
+		if err := obs.WriteProfileJSON(*profilePath, srcLine+" -profile", obs.NewProfile(res, mach.Trace)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("profile written to %s (compare with benchdiff)\n", *profilePath)
+	}
+	if *jsonPath != "" {
+		bf := obs.BenchFile{
+			Source: srcLine + " -json",
+			Records: []obs.BenchRecord{{
+				Suite: "hpf-adi", Name: fmt.Sprintf("%s-p%02d", variant, plan.P),
+				P: plan.P, Eta: eta, Steps: *steps, Gamma: gammaStr,
+				Makespan: res.Makespan,
+				Messages: res.TotalMessages(), Bytes: res.TotalBytes(),
+			}},
+		}
+		if err := obs.WriteBenchJSON(*jsonPath, bf); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 }
 

@@ -7,6 +7,7 @@
 //
 //	spbench [-class S|W|A|B] [-steps n] [-procs 1,4,9,...] [-json out.json]
 //	spbench -p 16 -metrics -trace out.json   # one instrumented run
+//	spbench -p 16 -profile out.json          # serialized profile for benchdiff
 //	spbench -calibrate                       # cost-model audit per phase
 package main
 
@@ -40,6 +41,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "with -p: print the per-rank/per-phase profile")
 	calibrate := flag.Bool("calibrate", false, "audit the analytic cost model against the simulator, phase by phase")
 	jsonPath := flag.String("json", "", "write machine-readable results (BENCH_*.json schema)")
+	profilePath := flag.String("profile", "", "with -p: write the serialized per-phase profile (benchdiff input)")
 	flag.Parse()
 
 	classes := map[string]nas.Class{"S": nas.ClassS, "W": nas.ClassW, "A": nas.ClassA, "B": nas.ClassB}
@@ -60,7 +62,8 @@ func main() {
 	}
 
 	if *pFlag > 0 {
-		if err := runSingle(class, *steps, *pFlag, *tracePath, *metrics, *jsonPath); err != nil {
+		src := sourceLine(class, *steps, *procs, fmt.Sprintf(" -p %d", *pFlag))
+		if err := runSingle(class, *steps, *pFlag, *tracePath, *metrics, *jsonPath, *profilePath, src); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -75,7 +78,8 @@ func main() {
 		fmt.Printf("(predicted = analytic cost.Calibrated model; measured = simulator per-phase mean)\n\n")
 		fmt.Print(exp.FormatCalibration(rows))
 		if *jsonPath != "" {
-			if err := writeCalibrationJSON(*jsonPath, class, *steps, rows); err != nil {
+			src := sourceLine(class, *steps, *procs, " -calibrate")
+			if err := writeCalibrationJSON(*jsonPath, class, *steps, rows, src); err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("\nwrote %s\n", *jsonPath)
@@ -92,7 +96,8 @@ func main() {
 		log.Fatal(err)
 	}
 	if *jsonPath != "" {
-		if err := writeTable1JSON(*jsonPath, class, *steps, rows); err != nil {
+		src := sourceLine(class, *steps, *procs, "")
+		if err := writeTable1JSON(*jsonPath, class, *steps, rows, src); err != nil {
 			log.Fatal(err)
 		}
 		if !*csv {
@@ -121,10 +126,22 @@ func main() {
 	fmt.Fprintln(os.Stdout, "compare shapes — who wins, scaling trend, and the 49-vs-50 CPU inversion.")
 }
 
+// sourceLine reconstructs the reproducing command line (output paths
+// omitted) plus the grid parameters, recorded in BenchFile.Source and
+// ProfileFile.Source so a diff report can say exactly how to regenerate
+// either side.
+func sourceLine(class nas.Class, steps int, procs, mode string) string {
+	s := fmt.Sprintf("spbench -class %s -steps %d", class.Name, steps)
+	if procs != "" {
+		s += " -procs " + procs
+	}
+	return fmt.Sprintf("%s%s (eta %s)", s, mode, partition.Describe(class.Eta))
+}
+
 // runSingle executes one SP configuration with full observability: search
-// counters from the partitioning search, the per-phase profile, and a
-// Perfetto-loadable trace.
-func runSingle(class nas.Class, steps, p int, tracePath string, metrics bool, jsonPath string) error {
+// counters from the partitioning search, the per-phase profile (printable
+// and serializable), and a Perfetto-loadable trace.
+func runSingle(class nas.Class, steps, p int, tracePath string, metrics bool, jsonPath, profilePath, src string) error {
 	eta := class.Eta
 	obj := partition.MachineObjective(eta, 20e-6, 80e-9/float64(p))
 	var st partition.SearchStats
@@ -144,7 +161,7 @@ func runSingle(class nas.Class, steps, p int, tracePath string, metrics bool, js
 	cpu := base.CPU
 	cpu.WorkingSetBytes = nas.WorkingSetBytes(eta, p)
 	mach := sim.NewMachine(p, base.Net, cpu)
-	if metrics || tracePath != "" {
+	if metrics || tracePath != "" || profilePath != "" {
 		mach.Trace = &sim.Trace{}
 	}
 	simRes, err := nas.Run(env, mach, steps, nil)
@@ -166,9 +183,15 @@ func runSingle(class nas.Class, steps, p int, tracePath string, metrics bool, js
 		}
 		fmt.Printf("trace written to %s (load in ui.perfetto.dev)\n", tracePath)
 	}
+	if profilePath != "" {
+		if err := obs.WriteProfileJSON(profilePath, src+" -profile", obs.NewProfile(simRes, mach.Trace)); err != nil {
+			return err
+		}
+		fmt.Printf("profile written to %s (compare with benchdiff)\n", profilePath)
+	}
 	if jsonPath != "" {
 		bf := obs.BenchFile{
-			Source: "spbench -p",
+			Source: src + " -json",
 			Records: []obs.BenchRecord{{
 				Suite: "sp-run", Name: fmt.Sprintf("class%s-p%02d", class.Name, p),
 				P: p, Eta: eta, Steps: steps, Gamma: partition.Describe(res.Gamma),
@@ -199,8 +222,8 @@ func searchExtra(st partition.SearchStats) map[string]float64 {
 // writeTable1JSON emits the Table 1 reproduction in the BENCH_*.json schema:
 // one record per (variant, p) cell plus the search counters of the
 // partitioning chosen for the dHPF variant.
-func writeTable1JSON(path string, class nas.Class, steps int, rows []exp.Table1Row) error {
-	bf := obs.BenchFile{Source: "spbench -json"}
+func writeTable1JSON(path string, class nas.Class, steps int, rows []exp.Table1Row, src string) error {
+	bf := obs.BenchFile{Source: src + " -json"}
 	for _, r := range rows {
 		if !math.IsNaN(r.Hand) {
 			bf.Records = append(bf.Records, obs.BenchRecord{
@@ -225,8 +248,8 @@ func writeTable1JSON(path string, class nas.Class, steps int, rows []exp.Table1R
 }
 
 // writeCalibrationJSON emits the audit rows in the BENCH_*.json schema.
-func writeCalibrationJSON(path string, class nas.Class, steps int, rows []exp.CalibrationRow) error {
-	bf := obs.BenchFile{Source: "spbench -calibrate -json"}
+func writeCalibrationJSON(path string, class nas.Class, steps int, rows []exp.CalibrationRow, src string) error {
+	bf := obs.BenchFile{Source: src + " -json"}
 	for _, r := range rows {
 		bf.Records = append(bf.Records, obs.BenchRecord{
 			Suite: "sp-calibration", Name: fmt.Sprintf("p%02d-%s", r.P, r.Phase),

@@ -8,8 +8,10 @@
 // Usage:
 //
 //	sweepbench -p 16 -eta 64,64,64 -steps 2
+//	sweepbench -p 16 -eta 64,64,64 -steps 2 -json out.json   # BENCH_*.json records
 //	sweepbench -p 16 -eta 64,64,64 -grainsweep
 //	sweepbench -p 16 -timeline -metrics -trace sweep.json
+//	sweepbench -p 16 -profile sweep-profile.json             # benchdiff input
 package main
 
 import (
@@ -41,6 +43,8 @@ func main() {
 	timeline := flag.Bool("timeline", false, "render an ASCII timeline of one multipartitioned sweep")
 	tracePath := flag.String("trace", "", "write a Perfetto/Chrome trace of one multipartitioned sweep to this file")
 	metrics := flag.Bool("metrics", false, "print the per-phase profile of one multipartitioned sweep")
+	jsonPath := flag.String("json", "", "write the strategy comparison as machine-readable results (BENCH_*.json schema)")
+	profilePath := flag.String("profile", "", "write the serialized profile of one multipartitioned sweep (benchdiff input)")
 	flag.Parse()
 
 	var eta []int
@@ -52,8 +56,9 @@ func main() {
 		eta = append(eta, v)
 	}
 
-	if *timeline || *tracePath != "" || *metrics {
-		if err := instrumentedSweep(*p, eta, *timeline, *tracePath, *metrics); err != nil {
+	if *timeline || *tracePath != "" || *metrics || *profilePath != "" {
+		src := fmt.Sprintf("sweepbench -p %d -eta %s -profile (eta %s)", *p, *etaStr, partition.Describe(eta))
+		if err := instrumentedSweep(*p, eta, *timeline, *tracePath, *metrics, *profilePath, src); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -93,6 +98,18 @@ func main() {
 	for _, r := range rows {
 		fmt.Printf("%-34s  %12.3fms  %12d  %10d\n", r.Strategy, r.Time*1e3, r.Bytes, r.Messages)
 	}
+	if *jsonPath != "" {
+		recs, err := exp.StrategyBenchRecords(*p, eta, *steps, *grain)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src := fmt.Sprintf("sweepbench -p %d -eta %s -steps %d -grain %d -json (eta %s)",
+			*p, *etaStr, *steps, *grain, partition.Describe(eta))
+		if err := obs.WriteBenchJSON(*jsonPath, obs.BenchFile{Source: src, Records: recs}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *jsonPath)
+	}
 	fmt.Println("\nMultipartitioning keeps every processor busy in every phase with only")
 	fmt.Println("coarse-grain carry messages — the property the paper generalizes to any p.")
 }
@@ -100,8 +117,9 @@ func main() {
 // instrumentedSweep runs one multipartitioned tridiagonal sweep with
 // tracing and renders whichever views were requested: the ASCII per-rank
 // timeline (the balance property appears as compute bars of equal length in
-// every phase on every rank), the per-phase profile, and a Perfetto trace.
-func instrumentedSweep(p int, eta []int, timeline bool, tracePath string, metrics bool) error {
+// every phase on every rank), the per-phase profile (printed and/or
+// serialized for benchdiff), and a Perfetto trace.
+func instrumentedSweep(p int, eta []int, timeline bool, tracePath string, metrics bool, profilePath, src string) error {
 	obj := partition.MachineObjective(eta, 20e-6, 80e-9/float64(p))
 	m, err := core.NewOptimal(p, len(eta), obj)
 	if err != nil {
@@ -141,6 +159,12 @@ func instrumentedSweep(p int, eta []int, timeline bool, tracePath string, metric
 			return err
 		}
 		fmt.Printf("trace written to %s (load in ui.perfetto.dev)\n", tracePath)
+	}
+	if profilePath != "" {
+		if err := obs.WriteProfileJSON(profilePath, src, obs.NewProfile(res, mach.Trace)); err != nil {
+			return err
+		}
+		fmt.Printf("profile written to %s (compare with benchdiff)\n", profilePath)
 	}
 	return nil
 }

@@ -19,6 +19,7 @@ import (
 	"genmp/internal/grid"
 	"genmp/internal/nas"
 	"genmp/internal/numutil"
+	"genmp/internal/obs"
 	"genmp/internal/partition"
 	"genmp/internal/sim"
 )
@@ -292,9 +293,14 @@ func RunStrictParity(p int, gamma, eta []int, steps int) (StrictParity, error) {
 	}, nil
 }
 
-// StrategyRow is one strategy's virtual time in the ADI comparison.
+// StrategyRow is one strategy's virtual time in the ADI comparison. Key is
+// the stable machine-readable identifier (bench record name); Strategy is
+// the human-readable label and may carry run parameters like the chosen
+// partitioning or grain.
 type StrategyRow struct {
+	Key      string
 	Strategy string
+	Gamma    string // partitioning used, when the strategy picks one
 	Time     float64
 	Bytes    int
 	Messages int
@@ -323,7 +329,9 @@ func StrategyComparison(p int, eta []int, steps, grain int) ([]StrategyRow, erro
 		return nil, err
 	}
 	rows = append(rows, StrategyRow{
+		Key:      "multipartition",
 		Strategy: fmt.Sprintf("multipartition %s", partition.Describe(m.Gamma())),
+		Gamma:    partition.Describe(m.Gamma()),
 		Time:     resM.Makespan, Bytes: resM.TotalBytes(), Messages: resM.TotalMessages()})
 
 	b, err := dist.NewBlock(p, eta, 0, dist.HandCoded())
@@ -336,6 +344,7 @@ func StrategyComparison(p int, eta []int, steps, grain int) ([]StrategyRow, erro
 		return nil, err
 	}
 	rows = append(rows, StrategyRow{
+		Key:      "block-wavefront",
 		Strategy: fmt.Sprintf("block-wavefront (grain %d)", grain),
 		Time:     resW.Makespan, Bytes: resW.TotalBytes(), Messages: resW.TotalMessages()})
 
@@ -345,9 +354,30 @@ func StrategyComparison(p int, eta []int, steps, grain int) ([]StrategyRow, erro
 		return nil, err
 	}
 	rows = append(rows, StrategyRow{
+		Key:      "block-transpose",
 		Strategy: "block-transpose",
 		Time:     resT.Makespan, Bytes: resT.TotalBytes(), Messages: resT.TotalMessages()})
 	return rows, nil
+}
+
+// StrategyBenchRecords runs the strategy comparison and converts it into
+// BENCH_*.json records (suite "adi-strategy", one record per strategy key)
+// so sweepbench can contribute to the committed bench trajectory and the
+// CI perf gate.
+func StrategyBenchRecords(p int, eta []int, steps, grain int) ([]obs.BenchRecord, error) {
+	rows, err := StrategyComparison(p, eta, steps, grain)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]obs.BenchRecord, 0, len(rows))
+	for _, r := range rows {
+		recs = append(recs, obs.BenchRecord{
+			Suite: "adi-strategy", Name: r.Key,
+			P: p, Eta: eta, Steps: steps, Gamma: r.Gamma,
+			Makespan: r.Time, Messages: r.Messages, Bytes: r.Bytes,
+		})
+	}
+	return recs, nil
 }
 
 // machine for strategy comparisons.

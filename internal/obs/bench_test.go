@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReadBenchJSONRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/BENCH_rt.json"
+	in := BenchFile{
+		Source: "test",
+		Records: []BenchRecord{
+			{Suite: "s", Name: "a", P: 4, Makespan: 1.5, Extra: map[string]float64{"nodes": 10}},
+			{Suite: "s", Name: "a", P: 2, Speedup: 3},
+		},
+	}
+	if err := WriteBenchJSON(path, in); err != nil {
+		t.Fatal(err)
+	}
+	bf, err := ReadBenchJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.Schema != BenchSchema || bf.Source != "test" || len(bf.Records) != 2 {
+		t.Fatalf("round trip: %+v", bf)
+	}
+	// Same (suite, name) at different p must order by p.
+	if bf.Records[0].P != 2 || bf.Records[1].P != 4 {
+		t.Fatalf("records not sorted by (suite, name, p): %+v", bf.Records)
+	}
+	if !reflect.DeepEqual(bf.Records[1].Extra, map[string]float64{"nodes": 10}) {
+		t.Fatalf("extras lost: %+v", bf.Records[1])
+	}
+}
+
+func TestReadBenchJSONRejectsUnknownSchema(t *testing.T) {
+	path := t.TempDir() + "/BENCH_v9.json"
+	if err := os.WriteFile(path, []byte(`{"schema": 9, "source": "x", "records": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadBenchJSON(path)
+	if err == nil || !strings.Contains(err.Error(), "schema 9") {
+		t.Fatalf("want unsupported-schema error, got %v", err)
+	}
+}
+
+func TestReadBenchJSONRejectsDuplicateKeys(t *testing.T) {
+	path := t.TempDir() + "/BENCH_dup.json"
+	body := `{"schema": 1, "source": "x", "records": [
+		{"suite": "s", "name": "n", "p": 4, "speedup": 1},
+		{"suite": "s", "name": "n", "p": 4, "speedup": 2}]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadBenchJSON(path)
+	if err == nil || !strings.Contains(err.Error(), "duplicate record s/n (p=4)") {
+		t.Fatalf("want duplicate-key error, got %v", err)
+	}
+	// Same name at a different p is not a duplicate.
+	ok := `{"schema": 1, "source": "x", "records": [
+		{"suite": "s", "name": "n", "p": 4, "speedup": 1},
+		{"suite": "s", "name": "n", "p": 8, "speedup": 2}]}`
+	if err := os.WriteFile(path, []byte(ok), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBenchJSON(path); err != nil {
+		t.Fatalf("distinct p rejected: %v", err)
+	}
+}
+
+func TestMergeBenchFiles(t *testing.T) {
+	a := BenchFile{Source: "spbench -json", Records: []BenchRecord{{Suite: "a", Name: "x", P: 1}}}
+	b := BenchFile{Source: "sweepbench -json", Records: []BenchRecord{{Suite: "b", Name: "y", P: 2}}}
+	merged, err := MergeBenchFiles(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Source != "spbench -json + sweepbench -json" {
+		t.Errorf("source %q", merged.Source)
+	}
+	if len(merged.Records) != 2 || merged.Schema != BenchSchema {
+		t.Fatalf("merged: %+v", merged)
+	}
+
+	dup := BenchFile{Records: []BenchRecord{{Suite: "a", Name: "x", P: 1}}}
+	if _, err := MergeBenchFiles(a, dup); err == nil {
+		t.Fatal("cross-file duplicate not rejected")
+	}
+	bad := BenchFile{Schema: 2}
+	if _, err := MergeBenchFiles(a, bad); err == nil {
+		t.Fatal("schema mismatch not rejected")
+	}
+}

@@ -20,21 +20,23 @@ import (
 	"genmp/internal/sim"
 )
 
-// PhaseProfile aggregates one phase label across all ranks of a run.
+// PhaseProfile aggregates one phase label across all ranks of a run. The
+// JSON form is the profile_*.json on-disk schema consumed by
+// obs/profdiff and cmd/benchdiff.
 type PhaseProfile struct {
-	Label string
+	Label string `json:"label"`
 	// Compute, Comm and Wait are the mean per-rank seconds spent in the
 	// phase; MaxTotal is the slowest rank's Compute+Comm+Wait.
-	Compute  float64
-	Comm     float64
-	Wait     float64
-	MaxTotal float64
+	Compute  float64 `json:"compute_sec"`
+	Comm     float64 `json:"comm_sec"`
+	Wait     float64 `json:"wait_sec"`
+	MaxTotal float64 `json:"max_total_sec"`
 	// Imbalance is max/mean of the per-rank busy time (Compute+Comm) of
 	// the phase; 1 means perfectly balanced, 0 means the phase did no busy
 	// work anywhere.
-	Imbalance float64
-	Msgs      int // messages sent in the phase, all ranks
-	Bytes     int // bytes sent in the phase, all ranks
+	Imbalance float64 `json:"imbalance"`
+	Msgs      int     `json:"msgs"`  // messages sent in the phase, all ranks
+	Bytes     int     `json:"bytes"` // bytes sent in the phase, all ranks
 }
 
 // Mean returns the mean per-rank time accounted to the phase.
@@ -42,27 +44,29 @@ func (pp PhaseProfile) Mean() float64 { return pp.Compute + pp.Comm + pp.Wait }
 
 // Profile is the aggregate view of one run.
 type Profile struct {
-	P        int
-	Makespan float64
+	P        int     `json:"p"`
+	Makespan float64 `json:"makespan_sec"`
 	// Phases is sorted by label; activity recorded before any BeginPhase
 	// appears under the empty label.
-	Phases []PhaseProfile
+	Phases []PhaseProfile `json:"phases,omitempty"`
 	// Idle is the mean per-rank trailing idle time (after the rank's body
 	// returned, until the slowest rank finished).
-	Idle float64
+	Idle float64 `json:"idle_sec"`
 	// BusyP50, BusyP90 and BusyMax are percentiles of the per-rank busy
 	// time (compute + comm, excluding waits).
-	BusyP50, BusyP90, BusyMax float64
+	BusyP50 float64 `json:"busy_p50_sec"`
+	BusyP90 float64 `json:"busy_p90_sec"`
+	BusyMax float64 `json:"busy_max_sec"`
 	// LoadImbalance is BusyMax over the mean per-rank busy time.
-	LoadImbalance float64
+	LoadImbalance float64 `json:"load_imbalance"`
 	// CriticalPath is the longest busy-time dependency chain through the
 	// run's event graph (0 unless the Profile was built with a trace); see
 	// CriticalPath for the graph definition. Makespan − CriticalPath is
 	// time no schedule could remove without changing the dependence
 	// structure or the per-event work.
-	CriticalPath float64
-	TotalMsgs    int
-	TotalBytes   int
+	CriticalPath float64 `json:"critical_path_sec,omitempty"`
+	TotalMsgs    int     `json:"total_msgs"`
+	TotalBytes   int     `json:"total_bytes"`
 }
 
 // NewProfile aggregates a run's Result. Pass the run's *sim.Trace (or nil)
@@ -72,23 +76,14 @@ func NewProfile(res sim.Result, tr *sim.Trace) *Profile {
 	if p.P == 0 {
 		return p
 	}
-	labels := map[string]bool{}
 	for _, s := range res.Ranks {
-		for l := range s.Phases {
-			labels[l] = true
-		}
 		p.Idle += s.IdleTime
 		p.TotalMsgs += s.MsgsSent
 		p.TotalBytes += s.BytesSent
 	}
 	p.Idle /= float64(p.P)
 
-	sorted := make([]string, 0, len(labels))
-	for l := range labels {
-		sorted = append(sorted, l)
-	}
-	sort.Strings(sorted)
-	for _, l := range sorted {
+	for _, l := range res.PhaseLabels() {
 		pp := PhaseProfile{Label: l}
 		maxBusy, sumBusy := 0.0, 0.0
 		for _, s := range res.Ranks {

@@ -151,6 +151,63 @@ func TestCriticalPathSerialChain(t *testing.T) {
 	}
 }
 
+func TestPercentileEdgeCases(t *testing.T) {
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty slice: got %g, want 0", got)
+	}
+	one := []float64{7}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := percentile(one, q); got != 7 {
+			t.Errorf("single sample q=%g: got %g, want 7", q, got)
+		}
+	}
+	many := []float64{1, 2, 3, 4}
+	if got := percentile(many, 0); got != 1 {
+		t.Errorf("q=0: got %g, want first element", got)
+	}
+	if got := percentile(many, 1); got != 4 {
+		t.Errorf("q=1: got %g, want last element", got)
+	}
+}
+
+// A phase entered by only a subset of ranks must still profile and format:
+// absent ranks contribute zero time, so the imbalance of a one-rank phase
+// on p ranks is exactly p.
+func TestProfileFormatSubsetPhase(t *testing.T) {
+	m := testMachine(3)
+	res, err := m.Run(func(r *sim.Rank) {
+		r.BeginPhase("common")
+		r.Compute(1e-3)
+		if r.ID == 0 {
+			r.BeginPhase("solo")
+			r.Compute(3e-3)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProfile(res, nil)
+	solo := p.Phase("solo")
+	if solo.Label != "solo" {
+		t.Fatalf("solo phase missing: %+v", p.Phases)
+	}
+	if math.Abs(solo.Imbalance-3) > 1e-12 {
+		t.Errorf("solo imbalance %g, want 3 (one busy rank of three)", solo.Imbalance)
+	}
+	if math.Abs(solo.Compute-1e-3) > 1e-12 {
+		t.Errorf("solo mean compute %g, want 1e-3 (3ms over 3 ranks)", solo.Compute)
+	}
+	out := p.Format()
+	for _, want := range []string{"common", "solo"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q:\n%s", want, out)
+		}
+	}
+	if diff := math.Abs(p.Total() - p.Makespan); diff > 1e-9 {
+		t.Errorf("accounting identity broken with subset phase: diff %g", diff)
+	}
+}
+
 func TestWriteBenchJSON(t *testing.T) {
 	path := t.TempDir() + "/BENCH_test.json"
 	err := WriteBenchJSON(path, BenchFile{

@@ -1,0 +1,223 @@
+// Package profdiff compares two obs.Profiles phase by phase, so a makespan
+// regression flagged by obs/regress can be localized: which phase's
+// compute, communication or wait time moved, whether its load imbalance
+// drifted, and how much of the change is critical-path (unrecoverable by
+// scheduling) versus slack. This is the per-phase attribution half of the
+// regression harness; obs/regress answers *whether* a run drifted, profdiff
+// answers *where*.
+package profdiff
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"genmp/internal/obs"
+	"genmp/internal/obs/regress"
+)
+
+// PhaseDelta is the comparison of one phase label across the two runs.
+// Deltas are new − old; for phases present on only one side the missing
+// side's PhaseProfile is the zero value and Verdict is Added or Removed.
+type PhaseDelta struct {
+	Label      string           `json:"label"`
+	Old        obs.PhaseProfile `json:"old"`
+	New        obs.PhaseProfile `json:"new"`
+	DCompute   float64          `json:"d_compute_sec"`
+	DComm      float64          `json:"d_comm_sec"`
+	DWait      float64          `json:"d_wait_sec"`
+	DMaxTotal  float64          `json:"d_max_total_sec"`
+	DImbalance float64          `json:"d_imbalance"`
+	DMsgs      int              `json:"d_msgs"`
+	DBytes     int              `json:"d_bytes"`
+	Verdict    regress.Verdict  `json:"verdict"`
+}
+
+// Diff is the phase-by-phase comparison of two profiles.
+type Diff struct {
+	OldSource string `json:"old_source,omitempty"`
+	NewSource string `json:"new_source,omitempty"`
+	OldP      int    `json:"old_p"`
+	NewP      int    `json:"new_p"`
+
+	OldMakespan    float64 `json:"old_makespan_sec"`
+	NewMakespan    float64 `json:"new_makespan_sec"`
+	DMakespan      float64 `json:"d_makespan_sec"`
+	DCriticalPath  float64 `json:"d_critical_path_sec"`
+	DLoadImbalance float64 `json:"d_load_imbalance"`
+	DIdle          float64 `json:"d_idle_sec"`
+
+	Verdict regress.Verdict `json:"verdict"`
+	Phases  []PhaseDelta    `json:"phases"`
+}
+
+// Compare diffs two profiles under the given makespan tolerance (zero for
+// virtual-time runs: the machine is bit-reproducible).
+func Compare(old, new *obs.Profile, tol regress.Tolerance) *Diff {
+	d := &Diff{
+		OldP: old.P, NewP: new.P,
+		OldMakespan:    old.Makespan,
+		NewMakespan:    new.Makespan,
+		DMakespan:      new.Makespan - old.Makespan,
+		DCriticalPath:  new.CriticalPath - old.CriticalPath,
+		DLoadImbalance: new.LoadImbalance - old.LoadImbalance,
+		DIdle:          new.Idle - old.Idle,
+	}
+	switch {
+	case withinTol(tol, old.Makespan, new.Makespan):
+		d.Verdict = regress.Unchanged
+	case new.Makespan < old.Makespan:
+		d.Verdict = regress.Improved
+	default:
+		d.Verdict = regress.Regressed
+	}
+
+	labels := map[string]bool{}
+	oldPh := map[string]obs.PhaseProfile{}
+	for _, pp := range old.Phases {
+		oldPh[pp.Label] = pp
+		labels[pp.Label] = true
+	}
+	newPh := map[string]obs.PhaseProfile{}
+	for _, pp := range new.Phases {
+		newPh[pp.Label] = pp
+		labels[pp.Label] = true
+	}
+	sorted := make([]string, 0, len(labels))
+	for l := range labels {
+		sorted = append(sorted, l)
+	}
+	sort.Strings(sorted)
+
+	for _, l := range sorted {
+		op, haveOld := oldPh[l]
+		np, haveNew := newPh[l]
+		pd := PhaseDelta{
+			Label:      l,
+			Old:        op,
+			New:        np,
+			DCompute:   np.Compute - op.Compute,
+			DComm:      np.Comm - op.Comm,
+			DWait:      np.Wait - op.Wait,
+			DMaxTotal:  np.MaxTotal - op.MaxTotal,
+			DImbalance: np.Imbalance - op.Imbalance,
+			DMsgs:      np.Msgs - op.Msgs,
+			DBytes:     np.Bytes - op.Bytes,
+		}
+		switch {
+		case haveOld && haveNew:
+			switch {
+			case withinTol(tol, op.MaxTotal, np.MaxTotal):
+				pd.Verdict = regress.Unchanged
+			case np.MaxTotal < op.MaxTotal:
+				pd.Verdict = regress.Improved
+			default:
+				pd.Verdict = regress.Regressed
+			}
+		case haveOld:
+			pd.Verdict = regress.Removed
+		default:
+			pd.Verdict = regress.Added
+		}
+		d.Phases = append(d.Phases, pd)
+	}
+	return d
+}
+
+func withinTol(t regress.Tolerance, old, new float64) bool {
+	diff := math.Abs(new - old)
+	return diff <= t.Rel*math.Abs(old) || diff <= t.Abs
+}
+
+// HasRegression reports whether the run's makespan regressed beyond
+// tolerance.
+func (d *Diff) HasRegression() bool { return d.Verdict == regress.Regressed }
+
+// Culprit returns the phase with the largest absolute max-total delta —
+// the slowest rank's per-phase time is what moves the makespan, so this is
+// the first place to look — or "" if no phase moved.
+func (d *Diff) Culprit() string {
+	best, bestAbs := "", 0.0
+	for _, pd := range d.Phases {
+		if a := math.Abs(pd.DMaxTotal); a > bestAbs {
+			best, bestAbs = pd.Label, a
+		}
+	}
+	return best
+}
+
+// label renders a phase label for reports.
+func label(l string) string {
+	if l == "" {
+		return "(unlabeled)"
+	}
+	return l
+}
+
+// fmtD renders a signed seconds delta in engineering units.
+func fmtD(s float64) string {
+	sign := "+"
+	if s < 0 {
+		sign = "-"
+		s = -s
+	}
+	switch {
+	case s == 0:
+		return "0"
+	case s < 1e-3:
+		return fmt.Sprintf("%s%.2fµs", sign, s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%s%.3fms", sign, s*1e3)
+	default:
+		return fmt.Sprintf("%s%.3fs", sign, s)
+	}
+}
+
+// Text renders the phase-by-phase comparison as an aligned table.
+func (d *Diff) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "profdiff: %s — makespan %.6gs -> %.6gs (%s)\n",
+		d.Verdict, d.OldMakespan, d.NewMakespan, fmtD(d.DMakespan))
+	if d.OldSource != "" || d.NewSource != "" {
+		fmt.Fprintf(&sb, "old: %s\nnew: %s\n", d.OldSource, d.NewSource)
+	}
+	if d.OldP != d.NewP {
+		fmt.Fprintf(&sb, "rank counts differ: %d -> %d (phase deltas compare different machines)\n", d.OldP, d.NewP)
+	}
+	fmt.Fprintf(&sb, "critical path %s, load imbalance %+.4f, trailing idle %s\n",
+		fmtD(d.DCriticalPath), d.DLoadImbalance, fmtD(d.DIdle))
+	fmt.Fprintf(&sb, "%-14s  %9s  %10s  %10s  %10s  %10s  %8s  %9s\n",
+		"phase", "verdict", "Δcompute", "Δcomm", "Δwait", "Δmax", "Δimbal", "Δmsgs")
+	for _, pd := range d.Phases {
+		fmt.Fprintf(&sb, "%-14s  %9s  %10s  %10s  %10s  %10s  %+8.4f  %+9d\n",
+			label(pd.Label), pd.Verdict, fmtD(pd.DCompute), fmtD(pd.DComm), fmtD(pd.DWait),
+			fmtD(pd.DMaxTotal), pd.DImbalance, pd.DMsgs)
+	}
+	if c := d.Culprit(); c != "" {
+		fmt.Fprintf(&sb, "largest phase delta: %s\n", label(c))
+	}
+	return sb.String()
+}
+
+// Markdown renders the comparison for the CI artifact report.
+func (d *Diff) Markdown() string {
+	var sb strings.Builder
+	sb.WriteString("## profdiff report\n\n")
+	if d.OldSource != "" || d.NewSource != "" {
+		fmt.Fprintf(&sb, "- old: `%s`\n- new: `%s`\n\n", d.OldSource, d.NewSource)
+	}
+	fmt.Fprintf(&sb, "**%s** — makespan %.6gs → %.6gs (%s); critical path %s; load imbalance %+.4f\n\n",
+		d.Verdict, d.OldMakespan, d.NewMakespan, fmtD(d.DMakespan), fmtD(d.DCriticalPath), d.DLoadImbalance)
+	sb.WriteString("| phase | verdict | Δcompute | Δcomm | Δwait | Δmax total | Δimbalance | Δmsgs | Δbytes |\n")
+	sb.WriteString("|---|---|---|---|---|---|---|---|---|\n")
+	for _, pd := range d.Phases {
+		fmt.Fprintf(&sb, "| %s | %s | %s | %s | %s | %s | %+.4f | %+d | %+d |\n",
+			label(pd.Label), pd.Verdict, fmtD(pd.DCompute), fmtD(pd.DComm), fmtD(pd.DWait),
+			fmtD(pd.DMaxTotal), pd.DImbalance, pd.DMsgs, pd.DBytes)
+	}
+	if c := d.Culprit(); c != "" {
+		fmt.Fprintf(&sb, "\nLargest phase delta: **%s**\n", label(c))
+	}
+	return sb.String()
+}

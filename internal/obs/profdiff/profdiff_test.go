@@ -1,0 +1,136 @@
+package profdiff
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"genmp/internal/obs"
+	"genmp/internal/obs/regress"
+	"genmp/internal/sim"
+)
+
+// runProfile builds a profile of a two-rank run whose "slow" phase computes
+// extra seconds on rank 1.
+func runProfile(t *testing.T, extra float64) *obs.Profile {
+	t.Helper()
+	m := sim.NewMachine(2,
+		sim.Network{Latency: 10e-6, Bandwidth: 100e6, SendOverhead: 2e-6, RecvOverhead: 2e-6},
+		sim.CPU{FlopsPerSec: 100e6})
+	m.Trace = &sim.Trace{}
+	res, err := m.Run(func(r *sim.Rank) {
+		r.BeginPhase("setup")
+		r.Compute(1e-3)
+		r.BeginPhase("slow")
+		if r.ID == 1 {
+			r.Compute(2e-3 + extra)
+		} else {
+			r.Compute(2e-3)
+		}
+		r.BeginPhase("sync")
+		r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obs.NewProfile(res, m.Trace)
+}
+
+func TestCompareLocalizesRegression(t *testing.T) {
+	old := runProfile(t, 0)
+	slow := runProfile(t, 5e-3)
+	d := Compare(old, slow, regress.Tolerance{})
+	if !d.HasRegression() {
+		t.Fatal("injected phase slowdown not flagged")
+	}
+	if d.DMakespan <= 0 {
+		t.Fatalf("makespan delta %g", d.DMakespan)
+	}
+	if got := d.Culprit(); got != "slow" {
+		t.Errorf("culprit %q, want slow", got)
+	}
+	verdicts := map[string]regress.Verdict{}
+	for _, pd := range d.Phases {
+		verdicts[pd.Label] = pd.Verdict
+	}
+	if verdicts["slow"] != regress.Regressed {
+		t.Errorf("slow phase verdict %v", verdicts["slow"])
+	}
+	if verdicts["setup"] != regress.Unchanged {
+		t.Errorf("setup phase verdict %v", verdicts["setup"])
+	}
+	// The extra compute lands on one rank only, so imbalance must drift up.
+	for _, pd := range d.Phases {
+		if pd.Label == "slow" && pd.DImbalance <= 0 {
+			t.Errorf("slow phase imbalance delta %g, want > 0", pd.DImbalance)
+		}
+	}
+	// All compute, no new waits: the critical path grows with the makespan.
+	if math.Abs(d.DCriticalPath) < 1e-9 {
+		t.Errorf("critical-path delta %g, want the injected compute to appear", d.DCriticalPath)
+	}
+}
+
+func TestCompareIdenticalUnchanged(t *testing.T) {
+	a, b := runProfile(t, 0), runProfile(t, 0)
+	d := Compare(a, b, regress.Tolerance{})
+	if d.HasRegression() || d.Verdict != regress.Unchanged {
+		t.Fatalf("identical profiles: verdict %v", d.Verdict)
+	}
+	if d.Culprit() != "" {
+		t.Errorf("culprit %q on identical profiles", d.Culprit())
+	}
+	// An improvement is not a regression.
+	imp := Compare(runProfile(t, 5e-3), a, regress.Tolerance{})
+	if imp.Verdict != regress.Improved || imp.HasRegression() {
+		t.Errorf("improvement verdict %v", imp.Verdict)
+	}
+	// Tolerance absorbs the drift.
+	tol := Compare(a, runProfile(t, 5e-3), regress.Tolerance{Rel: 5})
+	if tol.Verdict != regress.Unchanged {
+		t.Errorf("tolerated drift verdict %v", tol.Verdict)
+	}
+}
+
+func TestAddedRemovedPhases(t *testing.T) {
+	a, b := runProfile(t, 0), runProfile(t, 0)
+	b2 := *b
+	b2.Phases = append([]obs.PhaseProfile{}, b.Phases...)
+	// Drop "setup" and add "extra" on the new side.
+	var kept []obs.PhaseProfile
+	for _, pp := range b2.Phases {
+		if pp.Label != "setup" {
+			kept = append(kept, pp)
+		}
+	}
+	kept = append(kept, obs.PhaseProfile{Label: "extra", Compute: 1e-3, MaxTotal: 1e-3, Imbalance: 1})
+	b2.Phases = kept
+	d := Compare(a, &b2, regress.Tolerance{})
+	verdicts := map[string]regress.Verdict{}
+	for _, pd := range d.Phases {
+		verdicts[pd.Label] = pd.Verdict
+	}
+	if verdicts["setup"] != regress.Removed || verdicts["extra"] != regress.Added {
+		t.Errorf("phase verdicts: %v", verdicts)
+	}
+}
+
+func TestRenderings(t *testing.T) {
+	d := Compare(runProfile(t, 0), runProfile(t, 5e-3), regress.Tolerance{})
+	txt := d.Text()
+	for _, want := range []string{"profdiff", "regressed", "slow", "largest phase delta: slow"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("text missing %q:\n%s", want, txt)
+		}
+	}
+	md := d.Markdown()
+	for _, want := range []string{"profdiff report", "| phase | verdict |", "| slow |", "**slow**"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	if _, err := json.Marshal(d); err != nil {
+		t.Fatalf("diff not marshalable: %v", err)
+	}
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ProfileSchema is the current profile_*.json schema version.
+const ProfileSchema = 1
+
+// ProfileKind is the envelope discriminator that lets tools (cmd/benchdiff)
+// tell a serialized Profile from a BenchFile without out-of-band hints.
+const ProfileKind = "profile"
+
+// ProfileFile is the on-disk envelope of a serialized Profile, the unit
+// obs/profdiff compares. Like BenchFile it is deterministic JSON: the
+// virtual machine is bit-reproducible and Profile holds only aggregates
+// computed in a fixed order, so regenerating the same configuration yields
+// a byte-identical file.
+type ProfileFile struct {
+	Schema int    `json:"schema"`
+	Kind   string `json:"kind"`
+	// Source records the command line and grid parameters that produced
+	// the profile, so a diff report can say how to reproduce either side.
+	Source  string   `json:"source,omitempty"`
+	Profile *Profile `json:"profile"`
+}
+
+// WriteProfileJSON serializes p to path as indented JSON.
+func WriteProfileJSON(path, source string, p *Profile) error {
+	if p == nil {
+		return fmt.Errorf("obs: write profile: nil profile")
+	}
+	pf := ProfileFile{Schema: ProfileSchema, Kind: ProfileKind, Source: source, Profile: p}
+	data, err := json.MarshalIndent(pf, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal profile file: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadProfileJSON is the strict counterpart of WriteProfileJSON: it
+// validates the envelope (schema version, kind, non-nil profile) so the
+// round trip Profile → disk → Profile is lossless or loudly fails.
+func ReadProfileJSON(path string) (ProfileFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ProfileFile{}, fmt.Errorf("obs: read profile file: %w", err)
+	}
+	var pf ProfileFile
+	if err := json.Unmarshal(data, &pf); err != nil {
+		return ProfileFile{}, fmt.Errorf("obs: parse %s: %w", path, err)
+	}
+	if pf.Kind != ProfileKind {
+		return ProfileFile{}, fmt.Errorf("obs: %s: kind %q is not a profile file", path, pf.Kind)
+	}
+	if pf.Schema != ProfileSchema {
+		return ProfileFile{}, fmt.Errorf("obs: %s: unsupported profile schema %d (this build reads schema %d)", path, pf.Schema, ProfileSchema)
+	}
+	if pf.Profile == nil {
+		return ProfileFile{}, fmt.Errorf("obs: %s: missing profile body", path)
+	}
+	return pf, nil
+}

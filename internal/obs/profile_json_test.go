@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The profile of a traced sim run must survive the disk round trip exactly:
+// profdiff and the CI perf gate compare regenerated profiles against
+// committed ones byte-for-byte.
+func TestProfileJSONRoundTrip(t *testing.T) {
+	res, tr := runPingPong(t)
+	want := NewProfile(res, tr)
+	path := t.TempDir() + "/profile.json"
+	if err := WriteProfileJSON(path, "obs test pingPong p=2", want); err != nil {
+		t.Fatal(err)
+	}
+	pf, err := ReadProfileJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Source != "obs test pingPong p=2" {
+		t.Errorf("source %q", pf.Source)
+	}
+	if !reflect.DeepEqual(pf.Profile, want) {
+		t.Fatalf("round trip changed the profile:\n got %+v\nwant %+v", pf.Profile, want)
+	}
+}
+
+func TestReadProfileJSONValidation(t *testing.T) {
+	dir := t.TempDir()
+	// A bench file is not a profile file.
+	bench := dir + "/BENCH_x.json"
+	if err := WriteBenchJSON(bench, BenchFile{Source: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadProfileJSON(bench); err == nil || !strings.Contains(err.Error(), "not a profile file") {
+		t.Fatalf("want kind error, got %v", err)
+	}
+	if err := WriteProfileJSON(dir+"/nil.json", "t", nil); err == nil {
+		t.Fatal("nil profile accepted")
+	}
+}

@@ -1,0 +1,111 @@
+package regress
+
+import (
+	"fmt"
+	"strings"
+)
+
+// fmtVal renders a metric value compactly: counts as integers, times and
+// ratios with enough digits to see the drift.
+func fmtVal(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.6g", v)
+}
+
+// fmtRel renders the relative delta of a metric row ("n/a" when the old
+// side was zero, so no division hides an appearing value).
+func fmtRel(md MetricDelta) string {
+	if md.Old == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.3f%%", md.Rel*100)
+}
+
+// changedMetrics filters a record's metric rows to the ones worth
+// printing: everything that is not verdict-unchanged.
+func changedMetrics(rd RecordDiff) []MetricDelta {
+	var out []MetricDelta
+	for _, md := range rd.Metrics {
+		if md.Verdict != Unchanged {
+			out = append(out, md)
+		}
+	}
+	return out
+}
+
+// Text renders the diff as an aligned plain-text report: the summary line,
+// then one line per changed metric, grouped by record.
+func (d *Diff) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "benchdiff: %s\n", d.Summary())
+	if d.OldSource != "" || d.NewSource != "" {
+		fmt.Fprintf(&sb, "old: %s\nnew: %s\n", d.OldSource, d.NewSource)
+	}
+	printed := false
+	for _, rd := range d.Records {
+		// A verdict-unchanged record can still carry metric-level
+		// added/removed rows worth surfacing.
+		changed := changedMetrics(rd)
+		if len(changed) == 0 {
+			continue
+		}
+		printed = true
+		fmt.Fprintf(&sb, "\n%s: %s\n", rd.Verdict, rd.Key())
+		for _, md := range changed {
+			switch md.Verdict {
+			case Added:
+				fmt.Fprintf(&sb, "  %-22s (new metric) = %s\n", md.Metric, fmtVal(md.New))
+			case Removed:
+				fmt.Fprintf(&sb, "  %-22s (metric gone) was %s\n", md.Metric, fmtVal(md.Old))
+			default:
+				fmt.Fprintf(&sb, "  %-22s %s -> %s  (%+.6g, %s) %s\n",
+					md.Metric, fmtVal(md.Old), fmtVal(md.New), md.Delta, fmtRel(md), md.Verdict)
+			}
+		}
+	}
+	if !printed {
+		sb.WriteString("\nno drift: every aligned record is within tolerance.\n")
+	}
+	return sb.String()
+}
+
+// Markdown renders the diff as the CI artifact report: a summary, then a
+// table of every changed metric with absolute and relative deltas.
+func (d *Diff) Markdown() string {
+	var sb strings.Builder
+	sb.WriteString("## benchdiff report\n\n")
+	if d.OldSource != "" || d.NewSource != "" {
+		fmt.Fprintf(&sb, "- old: `%s`\n- new: `%s`\n\n", d.OldSource, d.NewSource)
+	}
+	fmt.Fprintf(&sb, "**%s**\n\n", d.Summary())
+	var rows []string
+	for _, rd := range d.Records {
+		for _, md := range changedMetrics(rd) {
+			var oldS, newS, deltaS, relS string
+			switch md.Verdict {
+			case Added:
+				oldS, newS, deltaS, relS = "—", fmtVal(md.New), "—", "—"
+			case Removed:
+				oldS, newS, deltaS, relS = fmtVal(md.Old), "—", "—", "—"
+			default:
+				oldS, newS = fmtVal(md.Old), fmtVal(md.New)
+				deltaS = fmt.Sprintf("%+.6g", md.Delta)
+				relS = fmtRel(md)
+			}
+			rows = append(rows, fmt.Sprintf("| %s | %s | %s | %s | %s | %s | %s |",
+				rd.Key(), md.Verdict, md.Metric, oldS, newS, deltaS, relS))
+		}
+	}
+	if len(rows) == 0 {
+		sb.WriteString("No drift: every aligned record is within tolerance.\n")
+		return sb.String()
+	}
+	sb.WriteString("| record | verdict | metric | old | new | Δ | Δ% |\n")
+	sb.WriteString("|---|---|---|---|---|---|---|\n")
+	for _, r := range rows {
+		sb.WriteString(r + "\n")
+	}
+	return sb.String()
+}

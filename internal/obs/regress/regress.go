@@ -1,0 +1,308 @@
+// Package regress is the consumer side of the BENCH_*.json contract: it
+// aligns two bench files by (suite, name, p) and produces a typed Diff —
+// absolute and relative deltas per metric, including suite-specific Extra
+// keys, with per-suite tolerance rules and a verdict per metric and per
+// record. Because every metric comes from the bit-reproducible virtual
+// machine of internal/sim, the default tolerance is zero: any drift in
+// makespan, message counts or search-node counts is a real behavior
+// change, not measurement noise, so the diff can gate CI with no flake
+// budget. Wall-clock suites (if any are ever added) get their slack
+// through Rules.Suite overrides.
+package regress
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"genmp/internal/obs"
+)
+
+// Verdict classifies one metric or one record after comparison.
+type Verdict int
+
+const (
+	// Unchanged: every compared metric is within tolerance.
+	Unchanged Verdict = iota
+	// Improved: at least one metric moved in the better direction and none
+	// regressed.
+	Improved
+	// Regressed: at least one metric moved in the worse direction beyond
+	// tolerance.
+	Regressed
+	// Added: the record (or metric) exists only on the new side.
+	Added
+	// Removed: the record (or metric) exists only on the old side.
+	Removed
+)
+
+var verdictNames = map[Verdict]string{
+	Unchanged: "unchanged",
+	Improved:  "improved",
+	Regressed: "regressed",
+	Added:     "added",
+	Removed:   "removed",
+}
+
+func (v Verdict) String() string {
+	if s, ok := verdictNames[v]; ok {
+		return s
+	}
+	return fmt.Sprintf("verdict(%d)", int(v))
+}
+
+// MarshalJSON renders the verdict as its lowercase name.
+func (v Verdict) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + v.String() + `"`), nil
+}
+
+// Tolerance is the allowed drift before a delta counts as a change. A
+// delta passes if |new−old| ≤ Rel·|old| or |new−old| ≤ Abs.
+type Tolerance struct {
+	Rel float64 `json:"rel,omitempty"`
+	Abs float64 `json:"abs,omitempty"`
+}
+
+// within reports whether the delta old→new is inside the tolerance.
+func (t Tolerance) within(old, new float64) bool {
+	d := math.Abs(new - old)
+	return d <= t.Rel*math.Abs(old) || d <= t.Abs
+}
+
+// Rules configures a comparison: the default tolerance (zero for the
+// virtual-time metrics) and per-suite overrides for suites whose metrics
+// are legitimately noisy.
+type Rules struct {
+	Default Tolerance
+	Suite   map[string]Tolerance
+}
+
+// tol resolves the tolerance for a suite.
+func (r Rules) tol(suite string) Tolerance {
+	if t, ok := r.Suite[suite]; ok {
+		return t
+	}
+	return r.Default
+}
+
+// MetricDelta is the comparison of one named scalar of one record. Rel is
+// Delta/|Old| and is left 0 when Old is 0 (renderers show it as n/a).
+type MetricDelta struct {
+	Metric  string  `json:"metric"`
+	Old     float64 `json:"old"`
+	New     float64 `json:"new"`
+	Delta   float64 `json:"delta"`
+	Rel     float64 `json:"rel,omitempty"`
+	Verdict Verdict `json:"verdict"`
+}
+
+// RecordDiff is the comparison of one (suite, name, p) record. For Added
+// and Removed records Metrics holds the one present side's values (Old or
+// New respectively) so the report shows what appeared or vanished.
+type RecordDiff struct {
+	Suite   string        `json:"suite"`
+	Name    string        `json:"name"`
+	P       int           `json:"p,omitempty"`
+	Verdict Verdict       `json:"verdict"`
+	Metrics []MetricDelta `json:"metrics,omitempty"`
+}
+
+// Key returns the record's identity.
+func (rd RecordDiff) Key() obs.BenchKey {
+	return obs.BenchKey{Suite: rd.Suite, Name: rd.Name, P: rd.P}
+}
+
+// Diff is the full comparison of two bench files.
+type Diff struct {
+	OldSource string       `json:"old_source,omitempty"`
+	NewSource string       `json:"new_source,omitempty"`
+	Records   []RecordDiff `json:"records"`
+	// Summary counts by record verdict.
+	NImproved  int `json:"improved"`
+	NRegressed int `json:"regressed"`
+	NUnchanged int `json:"unchanged"`
+	NAdded     int `json:"added"`
+	NRemoved   int `json:"removed"`
+}
+
+// HasRegression reports whether any record regressed — the CI gate's exit
+// condition. Added and removed records are surfaced in the report but do
+// not fail the gate on their own: growing or pruning the committed suite
+// is an explicit, reviewable edit of BENCH_results.json.
+func (d *Diff) HasRegression() bool { return d.NRegressed > 0 }
+
+// Summary is the one-line triage count.
+func (d *Diff) Summary() string {
+	return fmt.Sprintf("%d regressed, %d improved, %d unchanged, %d added, %d removed",
+		d.NRegressed, d.NImproved, d.NUnchanged, d.NAdded, d.NRemoved)
+}
+
+// higherIsBetter reports the direction of a metric: speedup grows when
+// things get better; everything else (makespan, traffic, search work,
+// calibration error) regresses when it grows.
+func higherIsBetter(metric string) bool { return metric == "speedup" }
+
+// metricsOf flattens a record into named scalars, following the omitempty
+// presence contract of obs.BenchRecord: a zero builtin field means "not
+// measured", while Extra keys are present whenever set.
+func metricsOf(r obs.BenchRecord) map[string]float64 {
+	m := map[string]float64{}
+	if r.Makespan != 0 {
+		m["makespan_sec"] = r.Makespan
+	}
+	if r.Speedup != 0 {
+		m["speedup"] = r.Speedup
+	}
+	if r.Messages != 0 {
+		m["messages"] = float64(r.Messages)
+	}
+	if r.Bytes != 0 {
+		m["bytes"] = float64(r.Bytes)
+	}
+	for k, v := range r.Extra {
+		m[k] = v
+	}
+	return m
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Compare aligns the records of two bench files by (suite, name, p) and
+// diffs every metric under the given rules. The result lists records in
+// key order; unchanged records carry their metric deltas too, so a -json
+// consumer sees the full comparison, while the renderers only print what
+// changed.
+func Compare(old, new obs.BenchFile, rules Rules) *Diff {
+	d := &Diff{OldSource: old.Source, NewSource: new.Source}
+	oldIdx := map[obs.BenchKey]obs.BenchRecord{}
+	for _, r := range old.Records {
+		oldIdx[r.Key()] = r
+	}
+	newIdx := map[obs.BenchKey]obs.BenchRecord{}
+	for _, r := range new.Records {
+		newIdx[r.Key()] = r
+	}
+	keys := make([]obs.BenchKey, 0, len(oldIdx)+len(newIdx))
+	for k := range oldIdx {
+		keys = append(keys, k)
+	}
+	for k := range newIdx {
+		if _, ok := oldIdx[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].Suite != keys[b].Suite {
+			return keys[a].Suite < keys[b].Suite
+		}
+		if keys[a].Name != keys[b].Name {
+			return keys[a].Name < keys[b].Name
+		}
+		return keys[a].P < keys[b].P
+	})
+
+	for _, k := range keys {
+		or, haveOld := oldIdx[k]
+		nr, haveNew := newIdx[k]
+		rd := RecordDiff{Suite: k.Suite, Name: k.Name, P: k.P}
+		switch {
+		case haveOld && haveNew:
+			rd.Verdict, rd.Metrics = compareRecord(or, nr, rules.tol(k.Suite))
+		case haveOld:
+			rd.Verdict = Removed
+			rd.Metrics = presentMetrics(or, Removed)
+		default:
+			rd.Verdict = Added
+			rd.Metrics = presentMetrics(nr, Added)
+		}
+		d.Records = append(d.Records, rd)
+		switch rd.Verdict {
+		case Improved:
+			d.NImproved++
+		case Regressed:
+			d.NRegressed++
+		case Added:
+			d.NAdded++
+		case Removed:
+			d.NRemoved++
+		default:
+			d.NUnchanged++
+		}
+	}
+	return d
+}
+
+// compareRecord diffs the union of both sides' metrics. A metric present
+// on only one side is marked Added/Removed; it flags the record as changed
+// but is not a regression by itself.
+func compareRecord(or, nr obs.BenchRecord, tol Tolerance) (Verdict, []MetricDelta) {
+	om, nm := metricsOf(or), metricsOf(nr)
+	union := map[string]float64{}
+	for k, v := range om {
+		union[k] = v
+	}
+	for k, v := range nm {
+		union[k] = v
+	}
+	var out []MetricDelta
+	anyImproved, anyRegressed := false, false
+	for _, name := range sortedKeys(union) {
+		ov, haveOld := om[name]
+		nv, haveNew := nm[name]
+		md := MetricDelta{Metric: name, Old: ov, New: nv}
+		switch {
+		case haveOld && haveNew:
+			md.Delta = nv - ov
+			if ov != 0 {
+				md.Rel = md.Delta / math.Abs(ov)
+			}
+			switch {
+			case tol.within(ov, nv):
+				md.Verdict = Unchanged
+			case (nv > ov) == higherIsBetter(name):
+				md.Verdict = Improved
+				anyImproved = true
+			default:
+				md.Verdict = Regressed
+				anyRegressed = true
+			}
+		case haveOld:
+			md.Verdict = Removed
+		default:
+			md.Verdict = Added
+		}
+		out = append(out, md)
+	}
+	switch {
+	case anyRegressed:
+		return Regressed, out
+	case anyImproved:
+		return Improved, out
+	default:
+		return Unchanged, out
+	}
+}
+
+// presentMetrics renders the metrics of a one-sided (added or removed)
+// record, filling only the side that exists.
+func presentMetrics(r obs.BenchRecord, v Verdict) []MetricDelta {
+	m := metricsOf(r)
+	var out []MetricDelta
+	for _, name := range sortedKeys(m) {
+		md := MetricDelta{Metric: name, Verdict: v}
+		if v == Removed {
+			md.Old = m[name]
+		} else {
+			md.New = m[name]
+		}
+		out = append(out, md)
+	}
+	return out
+}

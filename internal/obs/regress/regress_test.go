@@ -1,0 +1,175 @@
+package regress
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"genmp/internal/obs"
+)
+
+func baseFile() obs.BenchFile {
+	return obs.BenchFile{
+		Source: "spbench -json (old)",
+		Records: []obs.BenchRecord{
+			{Suite: "sp-table1-dhpf", Name: "p04", P: 4, Speedup: 2.9,
+				Extra: map[string]float64{"search_nodes": 10}},
+			{Suite: "sp-run", Name: "classB-p16", P: 16, Makespan: 0.100, Messages: 960, Bytes: 1 << 20},
+			{Suite: "adi-strategy", Name: "multipartition", P: 16, Makespan: 0.050},
+			{Suite: "gone", Name: "old-only", P: 2, Makespan: 1},
+		},
+	}
+}
+
+func newFile() obs.BenchFile {
+	return obs.BenchFile{
+		Source: "spbench -json (new)",
+		Records: []obs.BenchRecord{
+			// speedup up (improved), search_nodes up (regressed) → record regresses.
+			{Suite: "sp-table1-dhpf", Name: "p04", P: 4, Speedup: 3.1,
+				Extra: map[string]float64{"search_nodes": 12}},
+			// makespan regressed, traffic unchanged.
+			{Suite: "sp-run", Name: "classB-p16", P: 16, Makespan: 0.105, Messages: 960, Bytes: 1 << 20},
+			// small drift, covered by the suite tolerance below.
+			{Suite: "adi-strategy", Name: "multipartition", P: 16, Makespan: 0.0502},
+			{Suite: "fresh", Name: "new-only", P: 8, Makespan: 2},
+		},
+	}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	rules := Rules{Suite: map[string]Tolerance{"adi-strategy": {Rel: 0.01}}}
+	d := Compare(baseFile(), newFile(), rules)
+
+	if !d.HasRegression() {
+		t.Fatal("regression not detected")
+	}
+	if d.NRegressed != 2 || d.NImproved != 0 || d.NUnchanged != 1 || d.NAdded != 1 || d.NRemoved != 1 {
+		t.Fatalf("summary counts wrong: %s", d.Summary())
+	}
+
+	byKey := map[string]RecordDiff{}
+	for _, rd := range d.Records {
+		byKey[rd.Suite+"/"+rd.Name] = rd
+	}
+	if v := byKey["sp-run/classB-p16"].Verdict; v != Regressed {
+		t.Errorf("makespan drift verdict %v", v)
+	}
+	if v := byKey["adi-strategy/multipartition"].Verdict; v != Unchanged {
+		t.Errorf("tolerated drift verdict %v (suite tolerance ignored)", v)
+	}
+	if v := byKey["fresh/new-only"].Verdict; v != Added {
+		t.Errorf("added record verdict %v", v)
+	}
+	if v := byKey["gone/old-only"].Verdict; v != Removed {
+		t.Errorf("removed record verdict %v", v)
+	}
+
+	// Mixed record: one improved metric does not mask a regressed one.
+	mixed := byKey["sp-table1-dhpf/p04"]
+	if mixed.Verdict != Regressed {
+		t.Errorf("mixed record verdict %v, want regressed", mixed.Verdict)
+	}
+	metricVerdicts := map[string]Verdict{}
+	for _, md := range mixed.Metrics {
+		metricVerdicts[md.Metric] = md.Verdict
+	}
+	if metricVerdicts["speedup"] != Improved {
+		t.Errorf("speedup verdict %v (direction: higher is better)", metricVerdicts["speedup"])
+	}
+	if metricVerdicts["search_nodes"] != Regressed {
+		t.Errorf("search_nodes verdict %v (direction: lower is better)", metricVerdicts["search_nodes"])
+	}
+}
+
+func TestCompareIdenticalIsClean(t *testing.T) {
+	d := Compare(baseFile(), baseFile(), Rules{})
+	if d.HasRegression() || d.NUnchanged != 4 || d.NAdded != 0 || d.NRemoved != 0 {
+		t.Fatalf("identical files not clean: %s", d.Summary())
+	}
+	if !strings.Contains(d.Text(), "no drift") {
+		t.Errorf("clean text report:\n%s", d.Text())
+	}
+}
+
+func TestAbsToleranceAndZeroOld(t *testing.T) {
+	old := obs.BenchFile{Records: []obs.BenchRecord{
+		{Suite: "s", Name: "n", Extra: map[string]float64{"err": 0}},
+	}}
+	new := obs.BenchFile{Records: []obs.BenchRecord{
+		{Suite: "s", Name: "n", Extra: map[string]float64{"err": 0.004}},
+	}}
+	// Rel tolerance alone cannot absorb a move off zero; Abs can.
+	if d := Compare(old, new, Rules{Default: Tolerance{Rel: 0.5}}); !d.HasRegression() {
+		t.Error("0 -> 0.004 passed a purely relative tolerance")
+	}
+	if d := Compare(old, new, Rules{Default: Tolerance{Abs: 0.01}}); d.HasRegression() {
+		t.Error("0 -> 0.004 failed an absolute tolerance of 0.01")
+	}
+	// Rel on a zero old side must render as n/a and still marshal (no Inf).
+	d := Compare(old, new, Rules{})
+	if _, err := json.Marshal(d); err != nil {
+		t.Fatalf("diff not marshalable: %v", err)
+	}
+	if !strings.Contains(d.Text(), "n/a") {
+		t.Errorf("zero-old relative delta not rendered n/a:\n%s", d.Text())
+	}
+}
+
+func TestMarkdownReport(t *testing.T) {
+	d := Compare(baseFile(), newFile(), Rules{Suite: map[string]Tolerance{"adi-strategy": {Rel: 0.01}}})
+	md := d.Markdown()
+	for _, want := range []string{
+		"benchdiff report",
+		"| record | verdict | metric | old | new |",
+		"sp-run/classB-p16 (p=16)",
+		"regressed",
+		"makespan_sec",
+		"fresh/new-only (p=8)",
+		"added",
+		"gone/old-only (p=2)",
+		"removed",
+		"`spbench -json (old)`",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	// The tolerated suite must not appear as a changed row.
+	if strings.Contains(md, "adi-strategy/multipartition") {
+		t.Errorf("tolerated record leaked into the changed-rows table:\n%s", md)
+	}
+	// Verdicts serialize as names.
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"verdict":"regressed"`) {
+		t.Errorf("verdict not serialized by name: %s", data)
+	}
+}
+
+func TestMetricAddedRemovedWithinRecord(t *testing.T) {
+	old := obs.BenchFile{Records: []obs.BenchRecord{
+		{Suite: "s", Name: "n", Makespan: 1, Extra: map[string]float64{"legacy": 5}},
+	}}
+	new := obs.BenchFile{Records: []obs.BenchRecord{
+		{Suite: "s", Name: "n", Makespan: 1, Extra: map[string]float64{"shiny": 7}},
+	}}
+	d := Compare(old, new, Rules{})
+	if d.HasRegression() {
+		t.Fatal("metric appearance/disappearance must not regress on its own")
+	}
+	rd := d.Records[0]
+	verdicts := map[string]Verdict{}
+	for _, md := range rd.Metrics {
+		verdicts[md.Metric] = md.Verdict
+	}
+	if verdicts["legacy"] != Removed || verdicts["shiny"] != Added || verdicts["makespan_sec"] != Unchanged {
+		t.Errorf("metric verdicts: %v", verdicts)
+	}
+	txt := d.Text()
+	if !strings.Contains(txt, "new metric") || !strings.Contains(txt, "metric gone") {
+		t.Errorf("metric add/remove not rendered:\n%s", txt)
+	}
+}

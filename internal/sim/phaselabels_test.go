@@ -1,0 +1,30 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPhaseLabelsSortedUnion(t *testing.T) {
+	m := NewMachine(2, Network{Latency: 1e-6, Bandwidth: 1e8}, CPU{FlopsPerSec: 1e8})
+	res, err := m.Run(func(r *Rank) {
+		if r.ID == 0 {
+			r.BeginPhase("zeta")
+			r.Compute(1e-6)
+			r.BeginPhase("alpha")
+			r.Compute(1e-6)
+		} else {
+			r.BeginPhase("mid")
+			r.Compute(1e-6)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.PhaseLabels(), []string{"alpha", "mid", "zeta"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("result labels %v, want %v", got, want)
+	}
+	if got, want := res.Ranks[0].PhaseLabels(), []string{"alpha", "zeta"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("rank 0 labels %v, want %v", got, want)
+	}
+}

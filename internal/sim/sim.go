@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 )
 
@@ -149,6 +150,18 @@ func (ps PhaseStats) Busy() float64 { return ps.ComputeTime + ps.CommTime }
 // Total returns all time accounted to the bucket.
 func (ps PhaseStats) Total() float64 { return ps.ComputeTime + ps.CommTime + ps.WaitTime }
 
+// PhaseLabels returns the rank's phase labels in sorted order — the
+// deterministic iteration order for Phases, which profiling and
+// serialization rely on for bit-stable output.
+func (s Stats) PhaseLabels() []string {
+	out := make([]string, 0, len(s.Phases))
+	for l := range s.Phases {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // PeerIO is the point-to-point traffic between one rank and one peer.
 type PeerIO struct {
 	MsgsSent  int
@@ -161,6 +174,23 @@ type PeerIO struct {
 type Result struct {
 	Makespan float64 // max final clock over ranks (seconds of virtual time)
 	Ranks    []Stats // per-rank statistics
+}
+
+// PhaseLabels returns the union of all ranks' phase labels in sorted
+// order.
+func (r Result) PhaseLabels() []string {
+	set := map[string]bool{}
+	for _, s := range r.Ranks {
+		for l := range s.Phases {
+			set[l] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // TotalBytes returns the total bytes sent across all ranks.
