@@ -49,8 +49,15 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the per-rank/per-phase profile")
 	jsonPath := flag.String("json", "", "write machine-readable results (BENCH_*.json schema)")
 	profilePath := flag.String("profile", "", "write the serialized per-phase profile (benchdiff input)")
+	topology := flag.String("topology", "", "interconnect topology: crossbar, bus, hypercube, hypercube+contention (default: the network's scaling regime)")
+	collName := flag.String("coll", "", "collective algorithm for transposes: auto, pairwise, ring, bruck")
 	flag.Parse()
 	wantTrace := *timeline || *tracePath != "" || *metrics || *profilePath != ""
+
+	coll, err := sim.ParseAlg(*collName)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	src := builtin
 	if *file != "" {
@@ -98,7 +105,11 @@ func main() {
 		fmt.Println("ON_HOME present: using the dHPF overhead model with partial replication")
 	}
 
-	mach := nas.Origin2000Machine(plan.P)
+	mach, err := nas.Origin2000MachineOn(*topology, plan.P)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mach.Coll = coll
 	if wantTrace {
 		mach.Trace = &sim.Trace{}
 	}
@@ -171,8 +182,12 @@ func main() {
 	if fileID == "" {
 		fileID = "(builtin)"
 	}
-	srcLine := fmt.Sprintf("hpfrun -f %s -steps %d (template %s, eta %s)",
-		fileID, *steps, name, partition.Describe(eta))
+	srcLine := fmt.Sprintf("hpfrun -f %s -steps %d%s (template %s, eta %s)",
+		fileID, *steps, fabricFlags(*topology, *collName), name, partition.Describe(eta))
+	suiteSuffix := ""
+	if *topology != "" && *topology != "default" {
+		suiteSuffix = "@" + *topology
+	}
 	if *profilePath != "" {
 		if err := obs.WriteProfileJSON(*profilePath, srcLine+" -profile", obs.NewProfile(res, mach.Trace)); err != nil {
 			log.Fatal(err)
@@ -183,7 +198,7 @@ func main() {
 		bf := obs.BenchFile{
 			Source: srcLine + " -json",
 			Records: []obs.BenchRecord{{
-				Suite: "hpf-adi", Name: fmt.Sprintf("%s-p%02d", variant, plan.P),
+				Suite: "hpf-adi" + suiteSuffix, Name: fmt.Sprintf("%s-p%02d", variant, plan.P),
 				P: plan.P, Eta: eta, Steps: *steps, Gamma: gammaStr,
 				Makespan: res.Makespan,
 				Messages: res.TotalMessages(), Bytes: res.TotalBytes(),
@@ -194,6 +209,19 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
 	}
+}
+
+// fabricFlags renders the -topology/-coll flags for a BENCH source line,
+// empty when both are defaulted so legacy source lines stay byte-identical.
+func fabricFlags(topology, coll string) string {
+	var s string
+	if topology != "" && topology != "default" {
+		s += " -topology " + topology
+	}
+	if coll != "" && coll != "auto" {
+		s += " -coll " + coll
+	}
+	return s
 }
 
 func trivialEnv(eta []int, ov dist.OverheadModel) (*dist.Env, error) {

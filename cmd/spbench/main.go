@@ -42,7 +42,24 @@ func main() {
 	calibrate := flag.Bool("calibrate", false, "audit the analytic cost model against the simulator, phase by phase")
 	jsonPath := flag.String("json", "", "write machine-readable results (BENCH_*.json schema)")
 	profilePath := flag.String("profile", "", "with -p: write the serialized per-phase profile (benchdiff input)")
+	topology := flag.String("topology", "", "interconnect topology: crossbar, bus, hypercube, hypercube+contention (default: the network's scaling regime)")
+	collName := flag.String("coll", "", "collective algorithm: auto, pairwise, ring, doubling, bruck (applies to the -p instrumented run)")
 	flag.Parse()
+
+	coll, err := sim.ParseAlg(*collName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sim.NewFabric(*topology, sim.Network{}, 1); err != nil {
+		log.Fatal(err)
+	}
+	// Non-default topologies get their own bench suites so their records sit
+	// alongside the committed defaults without tripping the zero-tolerance
+	// perf gate.
+	suiteSuffix := ""
+	if *topology != "" && *topology != "default" {
+		suiteSuffix = "@" + *topology
+	}
 
 	classes := map[string]nas.Class{"S": nas.ClassS, "W": nas.ClassW, "A": nas.ClassA, "B": nas.ClassB}
 	class, ok := classes[strings.ToUpper(*className)]
@@ -62,15 +79,15 @@ func main() {
 	}
 
 	if *pFlag > 0 {
-		src := sourceLine(class, *steps, *procs, fmt.Sprintf(" -p %d", *pFlag))
-		if err := runSingle(class, *steps, *pFlag, *tracePath, *metrics, *jsonPath, *profilePath, src); err != nil {
+		src := sourceLine(class, *steps, *procs, fabricFlags(*topology, *collName)+fmt.Sprintf(" -p %d", *pFlag))
+		if err := runSingle(class, *steps, *pFlag, *topology, coll, suiteSuffix, *tracePath, *metrics, *jsonPath, *profilePath, src); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 
 	if *calibrate {
-		rows, err := exp.Calibrate(class.Eta, *steps)
+		rows, err := exp.CalibrateOn(*topology, class.Eta, *steps)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -78,8 +95,8 @@ func main() {
 		fmt.Printf("(predicted = analytic cost.Calibrated model; measured = simulator per-phase mean)\n\n")
 		fmt.Print(exp.FormatCalibration(rows))
 		if *jsonPath != "" {
-			src := sourceLine(class, *steps, *procs, " -calibrate")
-			if err := writeCalibrationJSON(*jsonPath, class, *steps, rows, src); err != nil {
+			src := sourceLine(class, *steps, *procs, fabricFlags(*topology, "")+" -calibrate")
+			if err := writeCalibrationJSON(*jsonPath, class, *steps, rows, suiteSuffix, src); err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("\nwrote %s\n", *jsonPath)
@@ -91,13 +108,13 @@ func main() {
 		fmt.Printf("NAS SP class %s (%d×%d×%d), %d step(s), virtual Origin 2000\n\n",
 			class.Name, class.Eta[0], class.Eta[1], class.Eta[2], *steps)
 	}
-	rows, err := exp.Table1(class.Eta, *steps)
+	rows, err := exp.Table1On(*topology, class.Eta, *steps)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if *jsonPath != "" {
-		src := sourceLine(class, *steps, *procs, "")
-		if err := writeTable1JSON(*jsonPath, class, *steps, rows, src); err != nil {
+		src := sourceLine(class, *steps, *procs, fabricFlags(*topology, ""))
+		if err := writeTable1JSON(*jsonPath, class, *steps, rows, suiteSuffix, src); err != nil {
 			log.Fatal(err)
 		}
 		if !*csv {
@@ -138,10 +155,22 @@ func sourceLine(class nas.Class, steps int, procs, mode string) string {
 	return fmt.Sprintf("%s%s (eta %s)", s, mode, partition.Describe(class.Eta))
 }
 
+// fabricFlags reconstructs the non-default fabric flags for source lines.
+func fabricFlags(topology, coll string) string {
+	s := ""
+	if topology != "" && topology != "default" {
+		s += " -topology " + topology
+	}
+	if coll != "" && coll != "auto" {
+		s += " -coll " + coll
+	}
+	return s
+}
+
 // runSingle executes one SP configuration with full observability: search
 // counters from the partitioning search, the per-phase profile (printable
 // and serializable), and a Perfetto-loadable trace.
-func runSingle(class nas.Class, steps, p int, tracePath string, metrics bool, jsonPath, profilePath, src string) error {
+func runSingle(class nas.Class, steps, p int, topology string, coll sim.Alg, suiteSuffix, tracePath string, metrics bool, jsonPath, profilePath, src string) error {
 	eta := class.Eta
 	obj := partition.MachineObjective(eta, 20e-6, 80e-9/float64(p))
 	var st partition.SearchStats
@@ -161,6 +190,12 @@ func runSingle(class nas.Class, steps, p int, tracePath string, metrics bool, js
 	cpu := base.CPU
 	cpu.WorkingSetBytes = nas.WorkingSetBytes(eta, p)
 	mach := sim.NewMachine(p, base.Net, cpu)
+	fab, err := sim.NewFabric(topology, mach.Net, p)
+	if err != nil {
+		return err
+	}
+	mach.Fabric = fab
+	mach.Coll = coll
 	if metrics || tracePath != "" || profilePath != "" {
 		mach.Trace = &sim.Trace{}
 	}
@@ -168,8 +203,8 @@ func runSingle(class nas.Class, steps, p int, tracePath string, metrics bool, js
 	if err != nil {
 		return err
 	}
-	fmt.Printf("SP class %s, %d step(s), p=%d, partitioning %s (dHPF overheads)\n",
-		class.Name, steps, p, partition.Describe(res.Gamma))
+	fmt.Printf("SP class %s, %d step(s), p=%d, partitioning %s (dHPF overheads, %s fabric)\n",
+		class.Name, steps, p, partition.Describe(res.Gamma), fab.Name())
 	fmt.Println(st.String())
 	fmt.Printf("makespan %.3f ms, %d messages, %d bytes\n",
 		simRes.Makespan*1e3, simRes.TotalMessages(), simRes.TotalBytes())
@@ -193,7 +228,7 @@ func runSingle(class nas.Class, steps, p int, tracePath string, metrics bool, js
 		bf := obs.BenchFile{
 			Source: src + " -json",
 			Records: []obs.BenchRecord{{
-				Suite: "sp-run", Name: fmt.Sprintf("class%s-p%02d", class.Name, p),
+				Suite: "sp-run" + suiteSuffix, Name: fmt.Sprintf("class%s-p%02d", class.Name, p),
 				P: p, Eta: eta, Steps: steps, Gamma: partition.Describe(res.Gamma),
 				Makespan: simRes.Makespan,
 				Messages: simRes.TotalMessages(), Bytes: simRes.TotalBytes(),
@@ -222,12 +257,12 @@ func searchExtra(st partition.SearchStats) map[string]float64 {
 // writeTable1JSON emits the Table 1 reproduction in the BENCH_*.json schema:
 // one record per (variant, p) cell plus the search counters of the
 // partitioning chosen for the dHPF variant.
-func writeTable1JSON(path string, class nas.Class, steps int, rows []exp.Table1Row, src string) error {
+func writeTable1JSON(path string, class nas.Class, steps int, rows []exp.Table1Row, suiteSuffix, src string) error {
 	bf := obs.BenchFile{Source: src + " -json"}
 	for _, r := range rows {
 		if !math.IsNaN(r.Hand) {
 			bf.Records = append(bf.Records, obs.BenchRecord{
-				Suite: "sp-table1-hand", Name: fmt.Sprintf("p%02d", r.P),
+				Suite: "sp-table1-hand" + suiteSuffix, Name: fmt.Sprintf("p%02d", r.P),
 				P: r.P, Eta: class.Eta, Steps: steps, Speedup: r.Hand,
 			})
 		}
@@ -238,7 +273,7 @@ func writeTable1JSON(path string, class nas.Class, steps int, rows []exp.Table1R
 				return err
 			}
 			bf.Records = append(bf.Records, obs.BenchRecord{
-				Suite: "sp-table1-dhpf", Name: fmt.Sprintf("p%02d", r.P),
+				Suite: "sp-table1-dhpf" + suiteSuffix, Name: fmt.Sprintf("p%02d", r.P),
 				P: r.P, Eta: class.Eta, Steps: steps, Gamma: r.GammaStr, Speedup: r.DHPF,
 				Extra: searchExtra(st),
 			})
@@ -248,11 +283,11 @@ func writeTable1JSON(path string, class nas.Class, steps int, rows []exp.Table1R
 }
 
 // writeCalibrationJSON emits the audit rows in the BENCH_*.json schema.
-func writeCalibrationJSON(path string, class nas.Class, steps int, rows []exp.CalibrationRow, src string) error {
+func writeCalibrationJSON(path string, class nas.Class, steps int, rows []exp.CalibrationRow, suiteSuffix, src string) error {
 	bf := obs.BenchFile{Source: src + " -json"}
 	for _, r := range rows {
 		bf.Records = append(bf.Records, obs.BenchRecord{
-			Suite: "sp-calibration", Name: fmt.Sprintf("p%02d-%s", r.P, r.Phase),
+			Suite: "sp-calibration" + suiteSuffix, Name: fmt.Sprintf("p%02d-%s", r.P, r.Phase),
 			P: r.P, Eta: class.Eta, Steps: steps, Gamma: partition.Describe(r.Gamma),
 			Extra: map[string]float64{
 				"predicted_sec": r.Predicted,

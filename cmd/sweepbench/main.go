@@ -45,8 +45,14 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the per-phase profile of one multipartitioned sweep")
 	jsonPath := flag.String("json", "", "write the strategy comparison as machine-readable results (BENCH_*.json schema)")
 	profilePath := flag.String("profile", "", "write the serialized profile of one multipartitioned sweep (benchdiff input)")
+	topology := flag.String("topology", "", "interconnect topology: crossbar, bus, hypercube, hypercube+contention (default: the network's scaling regime); comma-separated list compares them")
+	collName := flag.String("coll", "", "collective algorithm for transposes: auto, pairwise, ring, bruck")
 	flag.Parse()
 
+	coll, err := sim.ParseAlg(*collName)
+	if err != nil {
+		log.Fatal(err)
+	}
 	var eta []int
 	for _, tok := range strings.Split(*etaStr, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(tok))
@@ -56,9 +62,39 @@ func main() {
 		eta = append(eta, v)
 	}
 
+	if strings.Contains(*topology, ",") {
+		topos := strings.Split(*topology, ",")
+		for i := range topos {
+			topos[i] = strings.TrimSpace(topos[i])
+		}
+		fmt.Printf("ADI strategy comparison across topologies: p=%d, η=%v, %d step(s)\n\n", *p, eta, *steps)
+		rows, err := exp.TopologyComparison(topos, coll, *p, eta, *steps, *grain)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(exp.FormatTopologyComparison(rows))
+		if *jsonPath != "" {
+			var recs []obs.BenchRecord
+			for _, topo := range topos {
+				rs, err := exp.StrategyBenchRecordsOn(topo, coll, *p, eta, *steps, *grain)
+				if err != nil {
+					log.Fatal(err)
+				}
+				recs = append(recs, rs...)
+			}
+			src := fmt.Sprintf("sweepbench -p %d -eta %s -steps %d -grain %d -topology %s -json (eta %s)",
+				*p, *etaStr, *steps, *grain, *topology, partition.Describe(eta))
+			if err := obs.WriteBenchJSON(*jsonPath, obs.BenchFile{Source: src, Records: recs}); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\nwrote %s\n", *jsonPath)
+		}
+		return
+	}
+
 	if *timeline || *tracePath != "" || *metrics || *profilePath != "" {
-		src := fmt.Sprintf("sweepbench -p %d -eta %s -profile (eta %s)", *p, *etaStr, partition.Describe(eta))
-		if err := instrumentedSweep(*p, eta, *timeline, *tracePath, *metrics, *profilePath, src); err != nil {
+		src := fmt.Sprintf("sweepbench -p %d -eta %s%s -profile (eta %s)", *p, *etaStr, fabricFlags(*topology, *collName), partition.Describe(eta))
+		if err := instrumentedSweep(*p, eta, *topology, coll, *timeline, *tracePath, *metrics, *profilePath, src); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -76,7 +112,12 @@ func main() {
 		fmt.Printf("wavefront granularity sweep: p=%d, η=%v (%d lines along dim 0)\n\n", *p, eta, lines)
 		fmt.Printf("%10s  %14s  %10s\n", "grain", "virtual time", "messages")
 		for g := 1; g <= lines; g *= 2 {
-			res, err := nas.Origin2000Machine(*p).Run(func(r *sim.Rank) {
+			mach, err := nas.Origin2000MachineOn(*topology, *p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mach.Coll = coll
+			res, err := mach.Run(func(r *sim.Rank) {
 				blk.WavefrontSweep(r, sweep.Tridiag{}, nil, g)
 			})
 			if err != nil {
@@ -90,7 +131,7 @@ func main() {
 	}
 
 	fmt.Printf("ADI strategy comparison: p=%d, η=%v, %d step(s) (virtual Origin 2000)\n\n", *p, eta, *steps)
-	rows, err := exp.StrategyComparison(*p, eta, *steps, *grain)
+	rows, err := exp.StrategyComparisonOn(*topology, coll, *p, eta, *steps, *grain)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,12 +140,12 @@ func main() {
 		fmt.Printf("%-34s  %12.3fms  %12d  %10d\n", r.Strategy, r.Time*1e3, r.Bytes, r.Messages)
 	}
 	if *jsonPath != "" {
-		recs, err := exp.StrategyBenchRecords(*p, eta, *steps, *grain)
+		recs, err := exp.StrategyBenchRecordsOn(*topology, coll, *p, eta, *steps, *grain)
 		if err != nil {
 			log.Fatal(err)
 		}
-		src := fmt.Sprintf("sweepbench -p %d -eta %s -steps %d -grain %d -json (eta %s)",
-			*p, *etaStr, *steps, *grain, partition.Describe(eta))
+		src := fmt.Sprintf("sweepbench -p %d -eta %s -steps %d -grain %d%s -json (eta %s)",
+			*p, *etaStr, *steps, *grain, fabricFlags(*topology, *collName), partition.Describe(eta))
 		if err := obs.WriteBenchJSON(*jsonPath, obs.BenchFile{Source: src, Records: recs}); err != nil {
 			log.Fatal(err)
 		}
@@ -114,12 +155,25 @@ func main() {
 	fmt.Println("coarse-grain carry messages — the property the paper generalizes to any p.")
 }
 
+// fabricFlags renders the -topology/-coll flags for a BENCH source line,
+// empty when both are defaulted so legacy source lines stay byte-identical.
+func fabricFlags(topology, coll string) string {
+	var s string
+	if topology != "" && topology != "default" {
+		s += " -topology " + topology
+	}
+	if coll != "" && coll != "auto" {
+		s += " -coll " + coll
+	}
+	return s
+}
+
 // instrumentedSweep runs one multipartitioned tridiagonal sweep with
 // tracing and renders whichever views were requested: the ASCII per-rank
 // timeline (the balance property appears as compute bars of equal length in
 // every phase on every rank), the per-phase profile (printed and/or
 // serialized for benchdiff), and a Perfetto trace.
-func instrumentedSweep(p int, eta []int, timeline bool, tracePath string, metrics bool, profilePath, src string) error {
+func instrumentedSweep(p int, eta []int, topology string, coll sim.Alg, timeline bool, tracePath string, metrics bool, profilePath, src string) error {
 	obj := partition.MachineObjective(eta, 20e-6, 80e-9/float64(p))
 	m, err := core.NewOptimal(p, len(eta), obj)
 	if err != nil {
@@ -133,7 +187,11 @@ func instrumentedSweep(p int, eta []int, timeline bool, tracePath string, metric
 	if err != nil {
 		return err
 	}
-	mach := nas.Origin2000Machine(p)
+	mach, err := nas.Origin2000MachineOn(topology, p)
+	if err != nil {
+		return err
+	}
+	mach.Coll = coll
 	mach.Trace = &sim.Trace{}
 	res, err := mach.Run(func(r *sim.Rank) {
 		r.BeginPhase("sweep0")

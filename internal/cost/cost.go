@@ -92,6 +92,24 @@ func Calibrated(net sim.Network, cpu sim.CPU, computeFactor, perMessage float64,
 	}
 }
 
+// CalibratedFabric is Calibrated with the interconnect described by a
+// sim.Fabric instead of the bare Network: the start-up constant uses the
+// topology's mean head latency (hop-count average on a hypercube, the plain
+// wire latency on the uniform fabrics) and K₃ keys off Fabric.SharedMedium
+// rather than the Network scaling field. For the default crossbar and bus
+// fabrics the result is identical to Calibrated.
+func CalibratedFabric(fab sim.Fabric, net sim.Network, cpu sim.CPU, computeFactor, perMessage float64, w SweepWorkload) Model {
+	k3 := ScalableNetwork(w.CarryBytesPerLine / net.Bandwidth)
+	if fab.SharedMedium() {
+		k3 = BusNetwork(w.CarryBytesPerLine / net.Bandwidth)
+	}
+	return Model{
+		K1: w.FlopsPerElement * computeFactor / cpu.EffectiveFlopsPerSec(),
+		K2: float64(w.Passes) * (2*perMessage + net.SendOverhead + net.RecvOverhead + fab.MeanHeadLatency()),
+		K3: k3,
+	}
+}
+
 // Origin2000 returns constants loosely calibrated to the paper's testbed
 // (250 MHz R10000, MPI over a scalable interconnect) for an SP-like
 // workload: a few µs of computation per element and sweep, ~20 µs message

@@ -219,3 +219,46 @@ func TestCalibrated(t *testing.T) {
 		t.Errorf("cache-resident K1 %g should beat %g", mh.K1, m.K1)
 	}
 }
+
+func TestCalibratedFabricMatchesCalibratedOnDefaults(t *testing.T) {
+	net := sim.Network{Latency: 10e-6, Bandwidth: 100e6, SendOverhead: 2e-6, RecvOverhead: 2e-6}
+	cpu := sim.CPU{FlopsPerSec: 200e6}
+	w := SweepWorkload{FlopsPerElement: 100, CarryBytesPerLine: 80, Passes: 2}
+	const p = 8
+
+	// Crossbar and bus fabrics must reproduce the Network-based constants
+	// bit for bit: same K₂ expression, same K₃ regime.
+	plain := Calibrated(net, cpu, 1.0, 1e-6, w)
+	xbar := CalibratedFabric(sim.NewCrossbar(net, p), net, cpu, 1.0, 1e-6, w)
+	if plain.K1 != xbar.K1 || plain.K2 != xbar.K2 || plain.K3(p) != xbar.K3(p) || plain.K3(1) != xbar.K3(1) {
+		t.Errorf("crossbar fabric model differs from Calibrated: K2 %g vs %g, K3(8) %g vs %g",
+			plain.K2, xbar.K2, plain.K3(p), xbar.K3(p))
+	}
+	busNet := net
+	busNet.Scaling = sim.FixedBus
+	plainBus := Calibrated(busNet, cpu, 1.0, 1e-6, w)
+	busFab := CalibratedFabric(sim.NewBus(net, p), net, cpu, 1.0, 1e-6, w)
+	if plainBus.K2 != busFab.K2 || plainBus.K3(p) != busFab.K3(p) {
+		t.Errorf("bus fabric model differs from Calibrated on a bus network")
+	}
+	if busFab.K3(1) != busFab.K3(16) {
+		t.Error("bus fabric K3 must be p-independent")
+	}
+}
+
+func TestCalibratedFabricHypercubeRaisesK2(t *testing.T) {
+	net := sim.Network{Latency: 10e-6, Bandwidth: 100e6, SendOverhead: 2e-6, RecvOverhead: 2e-6}
+	cpu := sim.CPU{FlopsPerSec: 200e6}
+	w := SweepWorkload{FlopsPerElement: 100, CarryBytesPerLine: 80, Passes: 2}
+	const p = 8
+	xbar := CalibratedFabric(sim.NewCrossbar(net, p), net, cpu, 1.0, 1e-6, w)
+	cube := CalibratedFabric(sim.NewHypercube(net, p), net, cpu, 1.0, 1e-6, w)
+	// Mean hop count over distinct pairs of an 8-node cube exceeds 1, so the
+	// start-up constant grows; the scalable K₃ regime is unchanged.
+	if cube.K2 <= xbar.K2 {
+		t.Errorf("hypercube K2 %g should exceed crossbar K2 %g", cube.K2, xbar.K2)
+	}
+	if cube.K3(2*p) >= cube.K3(p) {
+		t.Error("hypercube K3 should stay scalable (decreasing in p)")
+	}
+}

@@ -21,6 +21,9 @@ type Block struct {
 	Eta      []int
 	Dim      int
 	Overhead OverheadModel
+	// Coll selects the all-to-all algorithm of TransposeSweep
+	// (sim.AlgAuto: the direct pairwise exchange).
+	Coll sim.Alg
 }
 
 // NewBlock builds a block unipartitioning along the given dimension.
@@ -229,7 +232,7 @@ func (b *Block) TransposeSweep(r *sim.Rank, solver sweep.Solver, vecs []*grid.Gr
 		tDim = 1
 	}
 
-	b.allToAll(r, nGrids, 0)
+	b.allToAll(r, tDim, nGrids, 0)
 
 	// After the transpose rank q owns the slab [lo,hi) of tDim with the
 	// sweep dimension local: solve whole lines.
@@ -248,27 +251,45 @@ func (b *Block) TransposeSweep(r *sim.Rank, solver sweep.Solver, vecs []*grid.Gr
 	}
 	r.ComputeFlops(solver.FlopsPerElement() * float64(lines*b.Eta[b.Dim]) * b.Overhead.ComputeFactor)
 
-	b.allToAll(r, nGrids, 1)
+	b.allToAll(r, tDim, nGrids, 1)
 }
 
-// allToAll models the transpose communication: every rank sends every other
-// rank its share, p−1 messages of (own elements)/p each, per grid moved.
-func (b *Block) allToAll(r *sim.Rank, nGrids, phase int) {
+// transposeSizes returns the exact modeled bytes rank q must ship to each
+// peer for one transpose phase: the intersection of q's current slab with
+// the peer's post-transpose slab — q's span along the outgoing distributed
+// dimension times the peer's span along the incoming one times the full
+// orthogonal extents. (The historical `own/p` shortcut truncated whenever
+// an extent was not divisible by p, undercounting the traffic.)
+func (b *Block) transposeSizes(q, tDim, nGrids, phase int) []int {
+	ortho := 1
+	for j := range b.Eta {
+		if j != b.Dim && j != tDim {
+			ortho *= b.Eta[j]
+		}
+	}
+	outDim, inDim := b.Dim, tDim // phase 0: Dim-slabs become tDim-slabs
+	if phase == 1 {
+		outDim, inDim = tDim, b.Dim
+	}
+	qlo, qhi := core.BlockRange(b.Eta[outDim], b.P, q)
+	sizes := make([]int, b.P)
+	for d := 0; d < b.P; d++ {
+		if d == q {
+			continue
+		}
+		dlo, dhi := core.BlockRange(b.Eta[inDim], b.P, d)
+		sizes[d] = (qhi - qlo) * (dhi - dlo) * ortho * 8 * nGrids
+	}
+	return sizes
+}
+
+// allToAll models the transpose communication as a sim collective: every
+// rank sends every other rank the exact slab intersection, per grid moved,
+// under the algorithm selected by Block.Coll.
+func (b *Block) allToAll(r *sim.Rank, tDim, nGrids, phase int) {
 	if b.P == 1 {
 		return
 	}
-	q := r.ID
-	own := b.ownedRect(q).Size()
-	bytesPerPeer := own / b.P * 8 * nGrids
-	tag := 1<<27 | phase<<20
-	for off := 1; off < b.P; off++ {
-		dst := (q + off) % b.P
-		r.Compute(b.Overhead.PerMessage)
-		r.Send(dst, tag, sim.Msg{Bytes: bytesPerPeer})
-	}
-	for off := 1; off < b.P; off++ {
-		src := (q + off) % b.P
-		r.Recv(src, tag)
-		r.Compute(b.Overhead.PerMessage)
-	}
+	r.AllToAll(b.transposeSizes(r.ID, tDim, nGrids, phase), nil,
+		sim.CollOpts{Alg: b.Coll, PerMessage: b.Overhead.PerMessage})
 }

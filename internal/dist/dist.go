@@ -31,6 +31,14 @@ import (
 	"genmp/internal/sim"
 )
 
+// Reserved message-tag spaces of the distribution runtime (see
+// sim.ReserveTags). The bases keep the historical literal values
+// ("1<<28 | ..."-style), now checked for collisions at init.
+var (
+	sweepTags = sim.ReserveTags("dist/sweep", 1<<28, 1<<28)
+	haloTags  = sim.ReserveTags("dist/halo", 1<<26, 64)
+)
+
 // OverheadModel captures the per-construct costs that distinguish hand-
 // written message-passing code from compiler-generated code. The paper's
 // Table 1 compares the NASA hand-coded SP (diagonal multipartitioning) with
@@ -188,12 +196,13 @@ func (e *Env) HaloBytes(q, depth, nGrids int) int {
 
 // ExchangeHalos models a stencil boundary exchange of the given depth for
 // nGrids grids: one aggregated message to each of the 2d neighbor
-// processors (the neighbor property makes a single target per direction).
-// In data mode the grids share storage, so the messages carry no payload —
-// they establish ordering and cost. Ranks whose tiles touch the domain
-// boundary in a direction still exchange with their tile-neighbors for the
-// interior faces.
-func (e *Env) ExchangeHalos(r *sim.Rank, depth, nGrids int, tagBase int) {
+// processors (the neighbor property makes a single target per direction),
+// each via the sim.Exchange neighbor primitive under the dist/halo tag
+// space. In data mode the grids share storage, so the messages carry no
+// payload — they establish ordering and cost. Ranks whose tiles touch the
+// domain boundary in a direction still exchange with their tile-neighbors
+// for the interior faces.
+func (e *Env) ExchangeHalos(r *sim.Rank, depth, nGrids int) {
 	if e.M.P() == 1 || depth == 0 {
 		return
 	}
@@ -224,10 +233,7 @@ func (e *Env) ExchangeHalos(r *sim.Rank, depth, nGrids int, tagBase int) {
 			bytes *= 8 * nGrids
 			dst := e.M.NeighborProc(q, dim, step)
 			src := e.M.NeighborProc(q, dim, -step)
-			tag := tagBase + dim*2 + s
-			r.Compute(e.Overhead.PerMessage)
-			r.SendRecv(dst, tag, sim.Msg{Bytes: bytes}, src, tag)
-			r.Compute(e.Overhead.PerMessage)
+			r.Exchange(dst, src, haloTags.Tag(dim*2+s), sim.Msg{Bytes: bytes}, e.Overhead.PerMessage)
 		}
 	}
 }

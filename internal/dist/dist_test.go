@@ -417,6 +417,67 @@ func TestBlockTransposeSweep(t *testing.T) {
 	}
 }
 
+func TestTransposeSizesNonDivisibleExtent(t *testing.T) {
+	// η[0] = 10, η[1] = 7, p = 4: slabs of 3,3,2,2 and 2,2,2,1 — nothing
+	// divides evenly. The per-peer bytes must be the exact slab
+	// intersections, summing to (own − self-overlap) per phase; the
+	// historical own/p shortcut truncated and undercounted.
+	p := 4
+	eta := []int{10, 7, 5}
+	b, err := NewBlock(p, eta, 0, HandCoded())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nGrids, tDim = 3, 1
+	for phase := 0; phase < 2; phase++ {
+		outDim, inDim := 0, tDim
+		if phase == 1 {
+			outDim, inDim = tDim, 0
+		}
+		for q := 0; q < p; q++ {
+			sizes := b.transposeSizes(q, tDim, nGrids, phase)
+			if sizes[q] != 0 {
+				t.Fatalf("phase %d rank %d: self size %d, want 0", phase, q, sizes[q])
+			}
+			qlo, qhi := core.BlockRange(eta[outDim], p, q)
+			ortho := eta[2] // the only dim other than 0 and tDim
+			total := 0
+			for d, s := range sizes {
+				dlo, dhi := core.BlockRange(eta[inDim], p, d)
+				want := (qhi - qlo) * (dhi - dlo) * ortho * 8 * nGrids
+				if d == q {
+					want = 0
+				}
+				if s != want {
+					t.Errorf("phase %d rank %d → %d: %d bytes, want %d", phase, q, d, s, want)
+				}
+				total += s
+			}
+			// Everything q owns along outDim leaves except the slice staying
+			// with q itself.
+			qIn := func() int { lo, hi := core.BlockRange(eta[inDim], p, q); return hi - lo }()
+			wantTotal := (qhi - qlo) * (eta[inDim] - qIn) * ortho * 8 * nGrids
+			if total != wantTotal {
+				t.Errorf("phase %d rank %d: total %d bytes, want %d", phase, q, total, wantTotal)
+			}
+			// The fix matters here: the historical uniform own/p estimate
+			// (truncating division, self block smeared over peers) cannot
+			// match the unequal slab intersections.
+			own := (qhi - qlo) * eta[inDim] * ortho
+			old := own / p * 8 * nGrids
+			uniform := true
+			for d, s := range sizes {
+				if d != q && s != old {
+					uniform = false
+				}
+			}
+			if uniform {
+				t.Errorf("phase %d rank %d: exact sizes all equal the truncated own/p value %d", phase, q, old)
+			}
+		}
+	}
+}
+
 func TestExchangeHalosCompletes(t *testing.T) {
 	p := 8
 	m, err := core.NewGeneralized(p, []int{4, 4, 2})
@@ -428,7 +489,7 @@ func TestExchangeHalosCompletes(t *testing.T) {
 		t.Fatal(err)
 	}
 	res, err := testMachine(p).Run(func(r *sim.Rank) {
-		env.ExchangeHalos(r, 2, 5, 1000)
+		env.ExchangeHalos(r, 2, 5)
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -57,15 +57,15 @@ func (s *MultiSweep) Run(r *sim.Rank, dim int) {
 	}
 }
 
-// sweepTag builds a unique message tag for (dim, pass, phase boundary),
-// offset away from application tags. Per-channel FIFO order disambiguates
+// sweepTag builds a unique message tag for (dim, pass, phase boundary)
+// inside the dist/sweep reservation. Per-channel FIFO order disambiguates
 // the per-tile messages of non-aggregated mode, which share the phase tag.
 func sweepTag(dim int, backward bool, phase int) int {
 	pass := 0
 	if backward {
 		pass = 1
 	}
-	return (dim*2+pass)<<20 | phase | 1<<28
+	return sweepTags.Tag((dim*2+pass)<<20 | phase)
 }
 
 func (s *MultiSweep) pass(r *sim.Rank, dim int, backward bool) {

@@ -35,7 +35,7 @@ func RunADI(pb adi.Problem, env *dist.Env, mach *sim.Machine) (*grid.Grid, sim.R
 				r.ComputeFlops(1 * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
 			}
 		}
-		if g := GatherToRoot(r, u, 1<<23); g != nil {
+		if g := GatherToRoot(r, u, sim.AlgAuto); g != nil {
 			out = g
 		}
 	})

@@ -36,7 +36,7 @@ func RunBT(env *dist.Env, mach *sim.Machine, steps int) (*grid.Grid, sim.Result,
 		fvecs := vecs[3*bb:]
 
 		for step := 0; step < steps; step++ {
-			u.ExchangeHalos(r, 1<<25)
+			u.ExchangeHalos(r)
 			strictComputeRHS(u, rhs)
 			strictScatterBTRHS(rhs, fvecs)
 			r.ComputeFlops(nas.BTFlopsRHS * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
@@ -48,7 +48,7 @@ func RunBT(env *dist.Env, mach *sim.Machine, steps int) (*grid.Grid, sim.Result,
 			strictAdd(u, fvecs[0])
 			r.ComputeFlops(nas.BTFlopsAdd * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
 		}
-		if g := GatherToRoot(r, u, 1<<24); g != nil {
+		if g := GatherToRoot(r, u, sim.AlgAuto); g != nil {
 			out = g
 		}
 	})

@@ -165,13 +165,18 @@ func (f *Field) haloFaceRect(i, dim, side, w int, src bool) grid.Rect {
 	return grid.RectOf(lo, hi)
 }
 
-// haloTag builds per-(dim, direction) message tags.
-func haloTag(base, dim, s int) int { return base + dim*2 + s }
+// Reserved message-tag spaces of the strict runtime (see sim.ReserveTags);
+// the bases keep the historical literal values.
+var (
+	strictSweepTags = sim.ReserveTags("dmem/sweep", 1<<29, 1<<28)
+	strictHaloTags  = sim.ReserveTags("dmem/halo", 1<<25, 64)
+)
 
 // ExchangeHalos fills the field's halo shells with real face data from the
 // neighboring processors: one aggregated payload message per direction per
-// dimension (the neighbor property gives a single peer each way).
-func (f *Field) ExchangeHalos(r *sim.Rank, tagBase int) {
+// dimension (the neighbor property gives a single peer each way), via the
+// sim.Exchange neighbor primitive under the dmem/halo tag space.
+func (f *Field) ExchangeHalos(r *sim.Rank) {
 	if f.Depth == 0 || f.Env.M.P() == 1 {
 		return
 	}
@@ -195,9 +200,8 @@ func (f *Field) ExchangeHalos(r *sim.Rank, tagBase int) {
 			}
 			dst := env.M.NeighborProc(f.Rank, dim, step)
 			src := env.M.NeighborProc(f.Rank, dim, -step)
-			r.Compute(env.Overhead.PerMessage)
-			msg := r.SendRecv(dst, haloTag(tagBase, dim, s), sim.Msg{Payload: payload}, src, haloTag(tagBase, dim, s))
-			r.Compute(env.Overhead.PerMessage)
+			msg := r.Exchange(dst, src, strictHaloTags.Tag(dim*2+s),
+				sim.Msg{Payload: payload}, env.Overhead.PerMessage)
 			// Unpack into the halo shells on the −step side of the tiles
 			// with an in-grid neighbor that way (the shifted bijection
 			// preserves canonical order and cross-sections).
@@ -222,38 +226,30 @@ func (f *Field) ExchangeHalos(r *sim.Rank, tagBase int) {
 }
 
 // GatherToRoot reconstructs the global array on rank 0 from every rank's
-// interiors, over real messages. All ranks must call it; non-root ranks
-// return nil.
-func GatherToRoot(r *sim.Rank, f *Field, tag int) *grid.Grid {
+// interiors, over the sim.GatherTo collective (the default linear
+// algorithm reproduces the historical send-to-root loop exactly; alg
+// selects an alternative). All ranks must call it; non-root ranks return
+// nil.
+func GatherToRoot(r *sim.Rank, f *Field, alg sim.Alg) *grid.Grid {
 	env := f.Env
+	var payload []float64
+	for i := range f.tiles {
+		payload = append(payload, f.tiles[i].Extract(f.InteriorRect(i))...)
+	}
+	parts := r.GatherTo(0, 8*len(payload), payload, sim.CollOpts{Alg: alg})
 	if r.ID != 0 {
-		var payload []float64
-		for i := range f.tiles {
-			payload = append(payload, f.tiles[i].Extract(f.InteriorRect(i))...)
-		}
-		r.Send(0, tag, sim.Msg{Payload: payload})
 		return nil
 	}
 	out := grid.New(env.Eta...)
-	inject := func(field *Field, payload []float64, owner int) {
+	for q := 0; q < env.M.P(); q++ {
 		pos := 0
-		for _, tile := range env.M.TilesOf(owner) {
+		for _, tile := range env.M.TilesOf(q) {
 			lo, hi := env.M.TileBounds(env.Eta, tile)
 			rect := grid.RectOf(lo, hi)
 			size := rect.Size()
-			out.Inject(rect, payload[pos:pos+size])
+			out.Inject(rect, parts[q][pos:pos+size])
 			pos += size
 		}
-	}
-	// Rank 0's own tiles.
-	var own []float64
-	for i := range f.tiles {
-		own = append(own, f.tiles[i].Extract(f.InteriorRect(i))...)
-	}
-	inject(f, own, 0)
-	for q := 1; q < env.M.P(); q++ {
-		msg := r.Recv(q, tag)
-		inject(f, msg.Payload, q)
 	}
 	return out
 }

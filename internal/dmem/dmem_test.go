@@ -80,7 +80,7 @@ func TestFillFuncUsesGlobalCoordinates(t *testing.T) {
 		f := NewField(env, r.ID, 1)
 		f.FillFunc(func(g []int) float64 { return float64(100*g[0] + 10*g[1] + g[2]) })
 		fields[r.ID] = f
-		if g := GatherToRoot(r, f, 77); g != nil {
+		if g := GatherToRoot(r, f, sim.AlgAuto); g != nil {
 			rebuilt = g
 		}
 	})
@@ -99,7 +99,7 @@ func TestHaloExchangeDeliversNeighborFaces(t *testing.T) {
 	_, err := testMachine(4).Run(func(r *sim.Rank) {
 		f := NewField(env, r.ID, 2)
 		f.FillFunc(func(g []int) float64 { return float64(100*g[0] + 10*g[1] + g[2]) })
-		f.ExchangeHalos(r, 500)
+		f.ExchangeHalos(r)
 		// After the exchange, every halo cell adjacent to an in-grid
 		// neighbor must hold the neighbor's value = the same global
 		// formula.
@@ -197,7 +197,7 @@ func TestStrictSweepMatchesSerial(t *testing.T) {
 			fields[v].FillFunc(func(g []int) float64 { return gs[v].At(g...) })
 		}
 		RunSweep(r, sweep.Tridiag{}, fields, 0)
-		if g := GatherToRoot(r, fields[3], 900); g != nil {
+		if g := GatherToRoot(r, fields[3], sim.AlgAuto); g != nil {
 			rebuilt = g
 		}
 	})

@@ -38,7 +38,7 @@ func RunSP(env *dist.Env, mach *sim.Machine, steps int) (*grid.Grid, sim.Result,
 		rhs := vecs[5]
 
 		for step := 0; step < steps; step++ {
-			u.ExchangeHalos(r, 1<<25)
+			u.ExchangeHalos(r)
 			r.Compute(env.Overhead.PerTileVisit * float64(u.NumTiles()))
 			strictComputeRHS(u, rhs)
 			r.ComputeFlops(nas.FlopsRHS * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
@@ -50,7 +50,7 @@ func RunSP(env *dist.Env, mach *sim.Machine, steps int) (*grid.Grid, sim.Result,
 			strictAdd(u, rhs)
 			r.ComputeFlops(nas.FlopsAdd * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
 		}
-		if g := GatherToRoot(r, u, 1<<24); g != nil {
+		if g := GatherToRoot(r, u, sim.AlgAuto); g != nil {
 			out = g
 		}
 	})

@@ -28,7 +28,7 @@ func strictSweepTag(dim int, backward bool, phase int) int {
 	if backward {
 		pass = 1
 	}
-	return (dim*2+pass)<<20 | phase | 1<<29
+	return strictSweepTags.Tag((dim*2+pass)<<20 | phase)
 }
 
 func sweepPass(r *sim.Rank, solver sweep.Solver, fields []*Field, dim int, backward bool) {

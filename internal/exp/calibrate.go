@@ -59,6 +59,14 @@ func spWorkload() cost.SweepWorkload {
 // relative error. The prediction assumes no partial replication, so the
 // audit fixes the dist.HandCoded overhead model.
 func Calibrate(eta []int, steps int) ([]CalibrationRow, error) {
+	return CalibrateOn("", eta, steps)
+}
+
+// CalibrateOn is Calibrate on the named interconnect topology: the
+// prediction side switches to cost.CalibratedFabric (mean hop latency,
+// shared-medium K₃) so the audit stays apples-to-apples with the simulated
+// fabric. The empty topology reproduces Calibrate exactly.
+func CalibrateOn(topology string, eta []int, steps int) ([]CalibrationRow, error) {
 	var rows []CalibrationRow
 	d := len(eta)
 	for _, p := range Table1Procs {
@@ -79,6 +87,11 @@ func Calibrate(eta []int, steps int) ([]CalibrationRow, error) {
 		cpu := base.CPU
 		cpu.WorkingSetBytes = nas.WorkingSetBytes(eta, p)
 		mach := sim.NewMachine(p, base.Net, cpu)
+		fab, err := sim.NewFabric(topology, mach.Net, p)
+		if err != nil {
+			return nil, err
+		}
+		mach.Fabric = fab
 		simRes, err := nas.Run(env, mach, steps, nil)
 		if err != nil {
 			return nil, fmt.Errorf("exp: Calibrate: p=%d: %w", p, err)
@@ -118,10 +131,16 @@ func predictPhases(env *dist.Env, mach *sim.Machine, steps int) map[string]float
 	cf := env.Overhead.ComputeFactor
 	tiles := float64(partition.TilesPerProcessor(p, gamma))
 	net := mach.Net
+	fab := mach.Fabric
+	if fab == nil {
+		fab = sim.DefaultFabric(net, p)
+	}
 	// Per matched send/recv pair on one rank: pack + unpack, both network
-	// overheads, and the wire latency the receiver waits out when both sides
-	// arrive together (the balanced steady state).
-	perPair := 2*env.Overhead.PerMessage + net.SendOverhead + net.RecvOverhead + net.Latency
+	// overheads, and the head latency the receiver waits out when both sides
+	// arrive together (the balanced steady state). On the uniform fabrics
+	// MeanHeadLatency is exactly the wire latency, keeping the default audit
+	// bit-identical to the pre-Fabric one.
+	perPair := 2*env.Overhead.PerMessage + net.SendOverhead + net.RecvOverhead + fab.MeanHeadLatency()
 
 	out := map[string]float64{
 		nas.PhaseRHS: float64(steps) * (tiles*env.Overhead.PerTileVisit + nas.FlopsRHS*perRank*cf/eff),
@@ -151,20 +170,23 @@ func predictPhases(env *dist.Env, mach *sim.Machine, steps int) map[string]float
 	// LHS-build + solve arithmetic (K₁·η/p) and the (γᵢ−1) communication
 	// phases; the per-tile visit charge (LHS build + two sweep passes) is a
 	// runtime overhead outside the paper's model, added on top.
-	model := cost.Calibrated(net, mach.CPU, cf, env.Overhead.PerMessage, spWorkload())
+	model := cost.CalibratedFabric(fab, net, mach.CPU, cf, env.Overhead.PerMessage, spWorkload())
 	for dim := range eta {
 		t := model.SweepTime(p, eta, gamma, dim) + 3*tiles*env.Overhead.PerTileVisit
 		out[nas.PhaseSolve(dim)] = float64(steps) * t
 	}
 
 	// Final residual reduction: ⌈log₂p⌉ exchange rounds of one float64.
+	// Recursive-doubling partners differ by one bit, so even on the
+	// hypercube each round's transfer is one hop; on the uniform fabrics
+	// Transit is bit-identical to the legacy net.Transit(8).
 	reduce := 0.0
 	if p > 1 {
 		rounds := 0
 		for k := 1; k < p; k *= 2 {
 			rounds++
 		}
-		reduce = float64(rounds) * (net.SendOverhead + net.RecvOverhead + net.Transit(8))
+		reduce = float64(rounds) * (net.SendOverhead + net.RecvOverhead + fab.Transit(0, 1, 8))
 	}
 	out[nas.PhaseReduce] = reduce
 	return out

@@ -65,3 +65,47 @@ func TestCalibrateAuditsEveryPhase(t *testing.T) {
 		}
 	}
 }
+
+func TestCalibrateOnTopologies(t *testing.T) {
+	saved := Table1Procs
+	defer func() { Table1Procs = saved }()
+	Table1Procs = []int{4, 16}
+
+	base, err := Calibrate(nas.ClassW.Eta, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The empty topology must reproduce the pre-Fabric audit bit for bit.
+	same, err := CalibrateOn("", nas.ClassW.Eta, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		if base[i].Predicted != same[i].Predicted || base[i].Measured != same[i].Measured {
+			t.Fatalf("default CalibrateOn differs at %s p=%d: pred %g vs %g, meas %g vs %g",
+				base[i].Phase, base[i].P, base[i].Predicted, same[i].Predicted, base[i].Measured, same[i].Measured)
+		}
+	}
+	// On a bus both sides of the audit shift together (shared-medium K₃,
+	// shared-medium simulator): the audit must stay sane, not blow past 2×.
+	busRows, err := CalibrateOn("bus", nas.ClassW.Eta, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range busRows {
+		if r.Measured > 0 && math.Abs(r.RelErr) > 1 {
+			t.Errorf("bus p=%d %s: relative error %.2g out of range", r.P, r.Phase, r.RelErr)
+		}
+	}
+	// The bus simulation is strictly slower than the crossbar on the solve
+	// phases (the carries cross a shared medium).
+	for i := range base {
+		if strings.HasPrefix(base[i].Phase, "solve") && busRows[i].Measured <= base[i].Measured {
+			t.Errorf("bus p=%d %s measured %g not above crossbar %g",
+				base[i].P, base[i].Phase, busRows[i].Measured, base[i].Measured)
+		}
+	}
+	if _, err := CalibrateOn("no-such-topology", nas.ClassW.Eta, 1); err == nil {
+		t.Error("unknown topology should error")
+	}
+}

@@ -68,6 +68,13 @@ type Table1Row struct {
 // NAS SP speedups for the hand-coded diagonal variant (perfect squares
 // only) and the dHPF generalized variant (every processor count).
 func Table1(eta []int, steps int) ([]Table1Row, error) {
+	return Table1On("", eta, steps)
+}
+
+// Table1On is Table1 with the Origin interconnect replaced by the named
+// topology (see sim.FabricNames; "" keeps the default crossbar model and
+// reproduces Table1 exactly). The serial baseline is topology-independent.
+func Table1On(topology string, eta []int, steps int) ([]Table1Row, error) {
 	serial, err := nas.SerialTime(nas.Origin2000Machine(1), eta, steps)
 	if err != nil {
 		return nil, err
@@ -75,7 +82,10 @@ func Table1(eta []int, steps int) ([]Table1Row, error) {
 	rows := make([]Table1Row, 0, len(Table1Procs))
 	for _, p := range Table1Procs {
 		row := Table1Row{P: p, Hand: math.NaN(), DHPF: math.NaN(), DiffPct: math.NaN()}
-		mach := nas.Origin2000Machine(p)
+		mach, err := nas.Origin2000MachineOn(topology, p)
+		if err != nil {
+			return nil, err
+		}
 		if s, err := nas.Speedup(nas.HandCodedDiagonal, p, mach, eta, steps, serial); err == nil {
 			row.Hand = s
 		}
@@ -311,6 +321,14 @@ type StrategyRow struct {
 // sweeps, and dynamic block with transposes, on the virtual machine
 // (model-only). Requires a p with a valid 3-D multipartitioning.
 func StrategyComparison(p int, eta []int, steps, grain int) ([]StrategyRow, error) {
+	return StrategyComparisonOn("", sim.AlgAuto, p, eta, steps, grain)
+}
+
+// StrategyComparisonOn is StrategyComparison on the named interconnect
+// topology ("" keeps the default crossbar and reproduces StrategyComparison
+// exactly). Each strategy run gets its own fabric instance, so contention
+// state never leaks between runs.
+func StrategyComparisonOn(topology string, coll sim.Alg, p int, eta []int, steps, grain int) ([]StrategyRow, error) {
 	pb := adi.Problem{Eta: eta, Alpha: 0.3, Steps: steps}
 	var rows []StrategyRow
 
@@ -323,8 +341,12 @@ func StrategyComparison(p int, eta []int, steps, grain int) ([]StrategyRow, erro
 	if err != nil {
 		return nil, err
 	}
+	machM, err := strategyMachineOn(topology, coll, p)
+	if err != nil {
+		return nil, err
+	}
 	resM, err := adi.Run(pb, nil, adi.Config{
-		Machine: strategyMachine(p), Strategy: adi.Multipartition, Env: env, ModelOnly: true})
+		Machine: machM, Strategy: adi.Multipartition, Env: env, ModelOnly: true})
 	if err != nil {
 		return nil, err
 	}
@@ -338,8 +360,12 @@ func StrategyComparison(p int, eta []int, steps, grain int) ([]StrategyRow, erro
 	if err != nil {
 		return nil, err
 	}
+	machW, err := strategyMachineOn(topology, coll, p)
+	if err != nil {
+		return nil, err
+	}
 	resW, err := adi.Run(pb, nil, adi.Config{
-		Machine: strategyMachine(p), Strategy: adi.BlockWavefront, Block: b, Grain: grain, ModelOnly: true})
+		Machine: machW, Strategy: adi.BlockWavefront, Block: b, Grain: grain, ModelOnly: true})
 	if err != nil {
 		return nil, err
 	}
@@ -348,8 +374,12 @@ func StrategyComparison(p int, eta []int, steps, grain int) ([]StrategyRow, erro
 		Strategy: fmt.Sprintf("block-wavefront (grain %d)", grain),
 		Time:     resW.Makespan, Bytes: resW.TotalBytes(), Messages: resW.TotalMessages()})
 
+	machT, err := strategyMachineOn(topology, coll, p)
+	if err != nil {
+		return nil, err
+	}
 	resT, err := adi.Run(pb, nil, adi.Config{
-		Machine: strategyMachine(p), Strategy: adi.BlockTranspose, Block: b, ModelOnly: true})
+		Machine: machT, Strategy: adi.BlockTranspose, Block: b, ModelOnly: true})
 	if err != nil {
 		return nil, err
 	}
@@ -365,14 +395,26 @@ func StrategyComparison(p int, eta []int, steps, grain int) ([]StrategyRow, erro
 // so sweepbench can contribute to the committed bench trajectory and the
 // CI perf gate.
 func StrategyBenchRecords(p int, eta []int, steps, grain int) ([]obs.BenchRecord, error) {
-	rows, err := StrategyComparison(p, eta, steps, grain)
+	return StrategyBenchRecordsOn("", sim.AlgAuto, p, eta, steps, grain)
+}
+
+// StrategyBenchRecordsOn produces the strategy bench records on the named
+// topology. Non-default topologies get their own suite, "adi-strategy@<t>",
+// so their records sit alongside the default ones without colliding in the
+// zero-tolerance perf gate.
+func StrategyBenchRecordsOn(topology string, coll sim.Alg, p int, eta []int, steps, grain int) ([]obs.BenchRecord, error) {
+	rows, err := StrategyComparisonOn(topology, coll, p, eta, steps, grain)
 	if err != nil {
 		return nil, err
+	}
+	suite := "adi-strategy"
+	if topology != "" && topology != "default" {
+		suite += "@" + topology
 	}
 	recs := make([]obs.BenchRecord, 0, len(rows))
 	for _, r := range rows {
 		recs = append(recs, obs.BenchRecord{
-			Suite: "adi-strategy", Name: r.Key,
+			Suite: suite, Name: r.Key,
 			P: p, Eta: eta, Steps: steps, Gamma: r.Gamma,
 			Makespan: r.Time, Messages: r.Messages, Bytes: r.Bytes,
 		})
@@ -380,8 +422,71 @@ func StrategyBenchRecords(p int, eta []int, steps, grain int) ([]obs.BenchRecord
 	return recs, nil
 }
 
+// TopologyRow is one (topology, strategy) cell of the topology comparison.
+type TopologyRow struct {
+	Topology string
+	Rows     []StrategyRow
+}
+
+// TopologyComparison runs the ADI strategy comparison on every named
+// topology — the experiment behind the EXPERIMENTS.md table asking which
+// distribution strategy wins on a crossbar, a bus, and a hypercube with
+// link contention.
+func TopologyComparison(topologies []string, coll sim.Alg, p int, eta []int, steps, grain int) ([]TopologyRow, error) {
+	out := make([]TopologyRow, 0, len(topologies))
+	for _, topo := range topologies {
+		rows, err := StrategyComparisonOn(topo, coll, p, eta, steps, grain)
+		if err != nil {
+			return nil, fmt.Errorf("exp: topology %q: %w", topo, err)
+		}
+		out = append(out, TopologyRow{Topology: topo, Rows: rows})
+	}
+	return out, nil
+}
+
+// FormatTopologyComparison renders the topology × strategy grid with the
+// per-topology winner marked.
+func FormatTopologyComparison(rows []TopologyRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-22s  %-22s  %12s  %12s  %10s\n",
+		"topology", "strategy", "time", "bytes", "messages")
+	for _, tr := range rows {
+		best := 0
+		for i, r := range tr.Rows {
+			if r.Time < tr.Rows[best].Time {
+				best = i
+			}
+		}
+		name := tr.Topology
+		if name == "" {
+			name = "crossbar (default)"
+		}
+		for i, r := range tr.Rows {
+			mark := "  "
+			if i == best {
+				mark = " *"
+			}
+			fmt.Fprintf(&sb, "%-22s  %-22s  %11.4fs%s  %12d  %10d\n",
+				name, r.Key, r.Time, mark, r.Bytes, r.Messages)
+			name = ""
+		}
+	}
+	return sb.String()
+}
+
 // machine for strategy comparisons.
 func strategyMachine(p int) *sim.Machine { return nas.Origin2000Machine(p) }
+
+// strategyMachineOn builds the comparison machine on the named topology
+// with the given default collective algorithm.
+func strategyMachineOn(topology string, coll sim.Alg, p int) (*sim.Machine, error) {
+	mach, err := nas.Origin2000MachineOn(topology, p)
+	if err != nil {
+		return nil, err
+	}
+	mach.Coll = coll
+	return mach, nil
+}
 
 // BTvsSPRow compares the two NAS-style pseudo-applications on the same
 // multipartitioning: BT's block tridiagonal sweeps ship fatter carries and

@@ -7,6 +7,7 @@ import (
 
 	"genmp/internal/nas"
 	"genmp/internal/numutil"
+	"genmp/internal/sim"
 )
 
 func TestFigure1RenderingMatchesFormula(t *testing.T) {
@@ -199,5 +200,82 @@ func TestStrategyComparison(t *testing.T) {
 	// The transpose strategy moves bulk data: far more bytes.
 	if trans.Bytes <= multi.Bytes {
 		t.Errorf("transpose bytes (%d) should exceed multipartitioning (%d)", trans.Bytes, multi.Bytes)
+	}
+}
+
+func TestStrategyComparisonOnDefaultBitIdentical(t *testing.T) {
+	base, err := StrategyComparison(16, []int{32, 32, 32}, 1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, topo := range []string{"", "default", "crossbar"} {
+		rows, err := StrategyComparisonOn(topo, sim.AlgAuto, 16, []int{32, 32, 32}, 1, 32)
+		if err != nil {
+			t.Fatalf("topology %q: %v", topo, err)
+		}
+		for i := range base {
+			if rows[i].Time != base[i].Time || rows[i].Bytes != base[i].Bytes || rows[i].Messages != base[i].Messages {
+				t.Errorf("topology %q row %s: time %g bytes %d, want %g / %d",
+					topo, rows[i].Key, rows[i].Time, rows[i].Bytes, base[i].Time, base[i].Bytes)
+			}
+		}
+	}
+}
+
+func TestTopologyComparisonDistinguishesFabrics(t *testing.T) {
+	topos := []string{"crossbar", "bus", "hypercube+contention"}
+	rows, err := TopologyComparison(topos, sim.AlgAuto, 16, []int{32, 32, 32}, 1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(topos) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(topos))
+	}
+	// The bus serializes the transpose's bulk all-to-all: its transpose time
+	// must exceed the crossbar's. Virtual times differ per topology while
+	// traffic volume does not.
+	byTopo := map[string]map[string]StrategyRow{}
+	for _, tr := range rows {
+		byTopo[tr.Topology] = map[string]StrategyRow{}
+		for _, r := range tr.Rows {
+			byTopo[tr.Topology][r.Key] = r
+		}
+	}
+	if bus, xbar := byTopo["bus"]["block-transpose"], byTopo["crossbar"]["block-transpose"]; bus.Time <= xbar.Time {
+		t.Errorf("bus transpose (%g) should be slower than crossbar (%g)", bus.Time, xbar.Time)
+	}
+	if cube := byTopo["hypercube+contention"]["multipartition"]; cube.Time <= byTopo["crossbar"]["multipartition"].Time {
+		t.Errorf("hop latency + contention (%g) should slow multipartitioning vs crossbar (%g)",
+			cube.Time, byTopo["crossbar"]["multipartition"].Time)
+	}
+	for _, key := range []string{"multipartition", "block-wavefront", "block-transpose"} {
+		if byTopo["bus"][key].Bytes != byTopo["crossbar"][key].Bytes {
+			t.Errorf("%s: traffic volume must be topology-independent", key)
+		}
+	}
+	out := FormatTopologyComparison(rows)
+	if !strings.Contains(out, "bus") || !strings.Contains(out, "*") {
+		t.Error("formatted comparison missing topology names or winner mark")
+	}
+}
+
+func TestStrategyBenchRecordsOnSuiteNaming(t *testing.T) {
+	recs, err := StrategyBenchRecordsOn("bus", sim.AlgAuto, 16, []int{32, 32, 32}, 1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Suite != "adi-strategy@bus" {
+			t.Errorf("suite = %q, want adi-strategy@bus", r.Suite)
+		}
+	}
+	recs, err = StrategyBenchRecordsOn("", sim.AlgAuto, 16, []int{32, 32, 32}, 1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Suite != "adi-strategy" {
+			t.Errorf("default suite = %q, want adi-strategy", r.Suite)
+		}
 	}
 }

@@ -180,7 +180,7 @@ func BTRun(env *dist.Env, mach *sim.Machine, steps int, u *grid.Grid) (sim.Resul
 	return mach.Run(func(r *sim.Rank) {
 		for step := 0; step < steps; step++ {
 			r.BeginPhase(PhaseHalo)
-			env.ExchangeHalos(r, haloDepth, 1, haloTagBase)
+			env.ExchangeHalos(r, haloDepth, 1)
 			r.BeginPhase(PhaseRHS)
 			env.ComputeOnTiles(r, BTFlopsRHS, tileOp(modelOnly, func(rect grid.Rect) {
 				ComputeRHS(u, rhs, rect)

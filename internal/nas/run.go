@@ -25,9 +25,6 @@ func (s spSolver) FlopsPerElement() float64 {
 	return s.ForwardFlopsPerElement() + s.BackwardFlopsPerElement()
 }
 
-// haloTagBase keeps halo-exchange tags clear of sweep tags.
-const haloTagBase = 1 << 26
-
 // Phase labels stamped on the simulator's per-phase statistics (see
 // sim.Rank.BeginPhase); the calibration audit of internal/exp keys its
 // predicted-vs-measured comparison on these.
@@ -73,7 +70,7 @@ func Run(env *dist.Env, mach *sim.Machine, steps int, u *grid.Grid) (sim.Result,
 	return mach.Run(func(r *sim.Rank) {
 		for step := 0; step < steps; step++ {
 			r.BeginPhase(PhaseHalo)
-			env.ExchangeHalos(r, haloDepth, 1, haloTagBase)
+			env.ExchangeHalos(r, haloDepth, 1)
 			r.BeginPhase(PhaseRHS)
 			env.ComputeOnTiles(r, FlopsRHS, tileOp(modelOnly, func(rect grid.Rect) {
 				ComputeRHS(u, rhs, rect)
@@ -202,6 +199,16 @@ func Speedup(variant Variant, p int, mach *sim.Machine, eta []int, steps int, se
 	cpu := mach.CPU
 	cpu.WorkingSetBytes = WorkingSetBytes(eta, p)
 	pm := sim.NewMachine(p, mach.Net, cpu)
+	pm.Coll = mach.Coll
+	if mach.Fabric != nil {
+		// Rebuild rather than share: fabrics carry per-p state (hop-count
+		// means, contention occupancy) and must not span machines.
+		fab, err := sim.NewFabric(mach.Fabric.Name(), mach.Net, p)
+		if err != nil {
+			return 0, err
+		}
+		pm.Fabric = fab
+	}
 	res, err := Run(env, pm, steps, nil)
 	if err != nil {
 		return 0, err
@@ -235,4 +242,17 @@ func Origin2000Machine(p int) *sim.Machine {
 			RecvOverhead: 4e-6,
 		},
 		sim.CPU{FlopsPerSec: 180e6, CacheBoost: 1.25, L2Bytes: 4 << 20})
+}
+
+// Origin2000MachineOn returns the Table 1 machine with its interconnect
+// replaced by the named topology ("" or "default" keeps the crossbar-like
+// Origin model; see sim.FabricNames).
+func Origin2000MachineOn(topology string, p int) (*sim.Machine, error) {
+	mach := Origin2000Machine(p)
+	fab, err := sim.NewFabric(topology, mach.Net, p)
+	if err != nil {
+		return nil, err
+	}
+	mach.Fabric = fab
+	return mach, nil
 }

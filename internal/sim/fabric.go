@@ -1,0 +1,230 @@
+// Fabric abstracts the interconnect topology behind Network. The paper's
+// Section 3.1 cost model footnotes exactly two regimes — per-link scaling
+// (crossbar-like, K₃ ∝ 1/p) and a shared bus (K₃ constant) — which Network
+// hard-codes as a BandwidthScaling toggle. A Fabric generalizes that: the
+// transit time of a message becomes a function of the endpoint pair (hop
+// counts), the byte count, and optionally the current virtual-time link
+// occupancy (contention). The two legacy regimes are Fabrics too, with
+// bit-identical timing, so the default machine reproduces committed
+// baselines exactly.
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Fabric models the interconnect. A message from src to dst is charged
+// HeadLatency (first byte in flight) plus BodyTime (bytes on the wire); the
+// split matters because the head overlaps with the receiver still being
+// busy, while the body serializes on the receiver's link. Inject maps a
+// sender-side departure time to the actual injection time, which is where a
+// contention model queues overlapping transfers; occupancy-free fabrics
+// return t unchanged.
+//
+// A Fabric instance may carry mutable occupancy state (see WithContention)
+// and must not be shared by concurrently running machines.
+type Fabric interface {
+	// Name identifies the topology ("crossbar", "bus", "hypercube", ...).
+	Name() string
+	// HeadLatency is the time for the first byte from src to reach dst.
+	HeadLatency(src, dst int) float64
+	// BodyTime is the time the message body occupies the endpoint link.
+	BodyTime(src, dst, bytes int) float64
+	// Transit is the full in-flight time, HeadLatency + BodyTime. It is a
+	// separate method (not recombined by callers) so the uniform fabrics
+	// can evaluate the legacy Network.Transit expression unchanged —
+	// floating-point re-association would drift the zero-tolerance gate.
+	Transit(src, dst, bytes int) float64
+	// MeanHeadLatency is the head latency averaged over distinct pairs —
+	// the K₂ flavor an analytic cost model should use for this topology.
+	MeanHeadLatency() float64
+	// Uniform reports whether transit time is independent of the endpoint
+	// pair, letting collective cost models multiply instead of sum rounds.
+	Uniform() bool
+	// SharedMedium reports whether all ranks contend for one medium (the
+	// paper's bus regime: K₃ independent of p).
+	SharedMedium() bool
+	// Inject returns the virtual time the message actually departs given
+	// the sender wants to inject at t, and records any occupancy.
+	Inject(src, dst int, t float64, bytes int) float64
+}
+
+// linkFabric is the occupancy-free fabric behind the two legacy regimes:
+// every endpoint pair is one hop apart and timing is exactly the embedded
+// Network's. The crossbar keeps a private link per rank; the bus shares one
+// medium (Network.Transit divides bandwidth by p via FixedBus).
+type linkFabric struct {
+	net  Network
+	name string
+}
+
+func (f linkFabric) Name() string                     { return f.name }
+func (f linkFabric) HeadLatency(src, dst int) float64 { return f.net.Latency }
+func (f linkFabric) BodyTime(src, dst, bytes int) float64 {
+	return f.net.Transit(bytes) - f.net.Latency
+}
+func (f linkFabric) Transit(src, dst, bytes int) float64               { return f.net.Transit(bytes) }
+func (f linkFabric) MeanHeadLatency() float64                          { return f.net.Latency }
+func (f linkFabric) Uniform() bool                                     { return true }
+func (f linkFabric) SharedMedium() bool                                { return f.net.Scaling == FixedBus }
+func (f linkFabric) Inject(src, dst int, t float64, bytes int) float64 { return t }
+
+// NewCrossbar returns the scalable per-link fabric: one hop everywhere,
+// every rank its own full-bandwidth link (the Origin-like regime).
+func NewCrossbar(net Network, p int) Fabric {
+	net.Scaling = ScalePerProcessor
+	net.p = p
+	return linkFabric{net: net, name: "crossbar"}
+}
+
+// NewBus returns the shared-medium fabric: one hop everywhere, the stated
+// bandwidth divided among all p ranks (the paper's bus footnote).
+func NewBus(net Network, p int) Fabric {
+	net.Scaling = FixedBus
+	net.p = p
+	return linkFabric{net: net, name: "bus"}
+}
+
+// hypercubeFabric routes on a binary hypercube over rank ids: the head
+// latency multiplies by the hop count popcount(src⊕dst) while the body
+// pipelines through at per-link bandwidth (wormhole-style). Non-power-of-2
+// rank counts embed into the enclosing cube.
+type hypercubeFabric struct {
+	net      Network
+	p        int
+	meanHead float64
+}
+
+// NewHypercube builds the hop-count fabric for p ranks.
+func NewHypercube(net Network, p int) Fabric {
+	net.Scaling = ScalePerProcessor
+	net.p = p
+	f := &hypercubeFabric{net: net, p: p}
+	if p > 1 {
+		hops := 0
+		for s := 0; s < p; s++ {
+			for d := 0; d < p; d++ {
+				if s != d {
+					hops += bits.OnesCount(uint(s ^ d))
+				}
+			}
+		}
+		f.meanHead = net.Latency * float64(hops) / float64(p*(p-1))
+	} else {
+		f.meanHead = net.Latency
+	}
+	return f
+}
+
+func (f *hypercubeFabric) hops(src, dst int) int {
+	h := bits.OnesCount(uint(src ^ dst))
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+func (f *hypercubeFabric) Name() string { return "hypercube" }
+func (f *hypercubeFabric) HeadLatency(src, dst int) float64 {
+	return f.net.Latency * float64(f.hops(src, dst))
+}
+func (f *hypercubeFabric) BodyTime(src, dst, bytes int) float64 {
+	return f.net.Transit(bytes) - f.net.Latency
+}
+func (f *hypercubeFabric) Transit(src, dst, bytes int) float64 {
+	return f.HeadLatency(src, dst) + f.BodyTime(src, dst, bytes)
+}
+func (f *hypercubeFabric) MeanHeadLatency() float64                          { return f.meanHead }
+func (f *hypercubeFabric) Uniform() bool                                     { return false }
+func (f *hypercubeFabric) SharedMedium() bool                                { return false }
+func (f *hypercubeFabric) Inject(src, dst int, t float64, bytes int) float64 { return t }
+
+// ContentionFabric wraps a base topology with per-link occupancy: each
+// sender's egress link carries one message body at a time, so overlapping
+// transfers from the same rank serialize in virtual time (an all-to-all
+// burst queues instead of departing simultaneously). Only the egress side
+// is modeled here — ingress already serializes on the receiver's clock in
+// Recv. The occupancy array is indexed by sender and touched only from that
+// rank's goroutine, so runs stay bit-reproducible; Machine.Run resets it so
+// a fabric can be reused across runs (but never across concurrent ones).
+type ContentionFabric struct {
+	base   Fabric
+	egress []float64
+}
+
+// WithContention wraps base with the per-egress-link serialization model.
+func WithContention(base Fabric, p int) *ContentionFabric {
+	return &ContentionFabric{base: base, egress: make([]float64, p)}
+}
+
+// Base returns the wrapped topology.
+func (c *ContentionFabric) Base() Fabric { return c.base }
+
+func (c *ContentionFabric) Name() string                     { return c.base.Name() + "+contention" }
+func (c *ContentionFabric) HeadLatency(src, dst int) float64 { return c.base.HeadLatency(src, dst) }
+func (c *ContentionFabric) BodyTime(src, dst, bytes int) float64 {
+	return c.base.BodyTime(src, dst, bytes)
+}
+func (c *ContentionFabric) Transit(src, dst, bytes int) float64 {
+	return c.base.Transit(src, dst, bytes)
+}
+func (c *ContentionFabric) MeanHeadLatency() float64 { return c.base.MeanHeadLatency() }
+func (c *ContentionFabric) Uniform() bool            { return c.base.Uniform() }
+func (c *ContentionFabric) SharedMedium() bool       { return c.base.SharedMedium() }
+
+func (c *ContentionFabric) Inject(src, dst int, t float64, bytes int) float64 {
+	depart := t
+	if busy := c.egress[src]; busy > depart {
+		depart = busy
+	}
+	c.egress[src] = depart + c.base.BodyTime(src, dst, bytes)
+	return depart
+}
+
+func (c *ContentionFabric) reset() {
+	for i := range c.egress {
+		c.egress[i] = 0
+	}
+}
+
+// DefaultFabric maps a Network's BandwidthScaling to the equivalent fabric:
+// the timing is bit-identical to the pre-Fabric simulator for both regimes.
+func DefaultFabric(net Network, p int) Fabric {
+	if net.Scaling == FixedBus {
+		return NewBus(net, p)
+	}
+	return NewCrossbar(net, p)
+}
+
+// FabricNames lists the topologies NewFabric accepts (a bare name may also
+// take a "+contention" suffix).
+func FabricNames() []string {
+	return []string{"crossbar", "bus", "hypercube", "hypercube+contention"}
+}
+
+// NewFabric builds a fabric by topology name over the given network
+// constants. The empty name (or "default") follows net.Scaling like the
+// pre-Fabric simulator did; explicit names override the scaling field.
+func NewFabric(name string, net Network, p int) (Fabric, error) {
+	base, contend := strings.CutSuffix(name, "+contention")
+	var fab Fabric
+	switch base {
+	case "", "default":
+		fab = DefaultFabric(net, p)
+	case "crossbar":
+		fab = NewCrossbar(net, p)
+	case "bus":
+		fab = NewBus(net, p)
+	case "hypercube":
+		fab = NewHypercube(net, p)
+	default:
+		return nil, fmt.Errorf("sim: unknown topology %q (want one of %s)",
+			name, strings.Join(FabricNames(), ", "))
+	}
+	if contend {
+		fab = WithContention(fab, p)
+	}
+	return fab, nil
+}

@@ -96,9 +96,17 @@ func (c CPU) EffectiveFlopsPerSec() float64 {
 // Machine is a p-rank virtual machine. Set Trace to a non-nil *Trace
 // before Run to collect per-rank event timelines.
 type Machine struct {
-	P     int
-	Net   Network
-	CPU   CPU
+	P   int
+	Net Network
+	CPU CPU
+	// Fabric is the interconnect topology. Left nil, Run installs
+	// DefaultFabric(Net, P) — timing bit-identical to the pre-Fabric
+	// simulator. A stateful fabric (contention) is reset at each Run and
+	// must not be shared by concurrently running machines.
+	Fabric Fabric
+	// Coll is the default collective algorithm applied when a call passes
+	// AlgAuto; zero (AlgAuto) keeps each primitive's legacy algorithm.
+	Coll  Alg
 	Trace *Trace
 }
 
@@ -387,6 +395,10 @@ type Rank struct {
 	clock   float64
 	stats   Stats
 	phase   string
+	// quiet suppresses per-event tracing while > 0 (stats still accrue):
+	// collectives bracket their constituent messages with it so the
+	// timeline carries one labeled interval instead of the pieces.
+	quiet int
 }
 
 // P returns the machine's rank count.
@@ -484,7 +496,7 @@ func (r *Rank) Compute(seconds float64) {
 	start := r.clock
 	r.clock += seconds
 	r.addCompute(seconds)
-	if tr := r.machine.Trace; tr != nil && seconds > 0 {
+	if tr := r.machine.Trace; tr != nil && seconds > 0 && r.quiet == 0 {
 		tr.add(Event{Rank: r.ID, Kind: EvCompute, Start: start, End: r.clock, Peer: -1, Phase: r.phase})
 	}
 }
@@ -507,10 +519,13 @@ func (r *Rank) Send(dst, tag int, m Msg) {
 	m.Tag = tag
 	r.clock += r.machine.Net.SendOverhead
 	r.addComm(r.machine.Net.SendOverhead)
-	m.sent = r.clock
+	// The fabric may delay the departure past the sender's clock when the
+	// egress link is still busy (contention); the sender itself does not
+	// stall — injection is eager.
+	m.sent = r.machine.Fabric.Inject(r.ID, dst, r.clock, m.Bytes)
 	r.addSent(dst, m.Bytes)
-	if tr := r.machine.Trace; tr != nil {
-		tr.add(Event{Rank: r.ID, Kind: EvSend, Start: m.sent - r.machine.Net.SendOverhead, End: m.sent, Peer: dst, Bytes: m.Bytes, Tag: tag, Phase: r.phase})
+	if tr := r.machine.Trace; tr != nil && r.quiet == 0 {
+		tr.add(Event{Rank: r.ID, Kind: EvSend, Start: r.clock - r.machine.Net.SendOverhead, End: r.clock, Peer: dst, Bytes: m.Bytes, Tag: tag, Phase: r.phase})
 	}
 	r.mb.put(msgKey{src: r.ID, dst: dst, tag: tag}, &m)
 }
@@ -526,21 +541,23 @@ func (r *Rank) Recv(src, tag int) Msg {
 	if err != nil {
 		panic(err)
 	}
-	// The first byte reaches the receiver at sent + latency; the message
-	// body then occupies the receiver's link, which serializes concurrent
-	// incoming traffic (all-to-alls pay for their volume).
-	headArrive := m.sent + r.machine.Net.Latency
+	// The first byte reaches the receiver at sent + head latency (fabric
+	// hop count); the message body then occupies the receiver's link,
+	// which serializes concurrent incoming traffic (all-to-alls pay for
+	// their volume).
+	fab := r.machine.Fabric
+	headArrive := m.sent + fab.HeadLatency(src, r.ID)
 	wait := 0.0
 	if headArrive > r.clock {
 		wait = headArrive - r.clock
 		r.addWait(wait)
 		r.clock = headArrive
 	}
-	body := r.machine.Net.Transit(m.Bytes) - r.machine.Net.Latency
+	body := fab.BodyTime(src, r.ID, m.Bytes)
 	r.clock += body + r.machine.Net.RecvOverhead
 	r.addComm(body + r.machine.Net.RecvOverhead)
 	r.addRecvd(src, m.Bytes)
-	if tr := r.machine.Trace; tr != nil {
+	if tr := r.machine.Trace; tr != nil && r.quiet == 0 {
 		tr.add(Event{Rank: r.ID, Kind: EvRecv, Start: recvStart, End: r.clock, Peer: src, Bytes: m.Bytes, Tag: tag, Wait: wait, Phase: r.phase})
 	}
 	return *m
@@ -591,22 +608,49 @@ func (r *Rank) AllReduce(vals []float64, combine func(a, b float64) float64) []f
 	return out
 }
 
+// collectiveCost models a barrier/reduction round structure on this rank:
+// ⌈log₂ p⌉ exchange rounds for the tree algorithms (the legacy default) or
+// p−1 neighbor rounds for ring/pairwise (Machine.Coll). On a uniform
+// fabric the per-round cost is endpoint-independent and multiplies — the
+// exact pre-Fabric expression; on a topology-aware fabric each round is
+// charged at its hypercube partner's (or ring neighbor's) distance.
 func (r *Rank) collectiveCost(bytes int) float64 {
 	p := r.machine.P
 	if p == 1 {
 		return 0
 	}
-	rounds := 0
-	for n := 1; n < p; n *= 2 {
-		rounds++
+	fab := r.machine.Fabric
+	so, ro := r.machine.Net.SendOverhead, r.machine.Net.RecvOverhead
+	switch r.machine.Coll {
+	case AlgRing, AlgPairwise:
+		per := so + ro + fab.Transit(r.ID, (r.ID+1)%p, bytes)
+		return float64(p-1) * per
+	default: // AlgAuto, AlgDoubling, AlgBruck: the ⌈log₂ p⌉ tree
+		rounds := 0
+		for n := 1; n < p; n *= 2 {
+			rounds++
+		}
+		if fab.Uniform() {
+			per := so + ro + fab.Transit(r.ID, (r.ID+1)%p, bytes)
+			return float64(rounds) * per
+		}
+		total := 0.0
+		for k := 0; k < rounds; k++ {
+			total += so + ro + fab.Transit(r.ID, (r.ID^1<<k)%p, bytes)
+		}
+		return total
 	}
-	per := r.machine.Net.SendOverhead + r.machine.Net.RecvOverhead + r.machine.Net.Transit(bytes)
-	return float64(rounds) * per
 }
 
 // Run executes body on every rank concurrently and returns the run's
 // Result. A panic in any rank aborts the run and is returned as an error.
 func (m *Machine) Run(body func(r *Rank)) (Result, error) {
+	if m.Fabric == nil {
+		m.Fabric = DefaultFabric(m.Net, m.P)
+	}
+	if rf, ok := m.Fabric.(interface{ reset() }); ok {
+		rf.reset()
+	}
 	mb := newMailbox(m.P)
 	bar := newBarrier(m.P)
 	ranks := make([]*Rank, m.P)
