@@ -9,6 +9,7 @@ package genmp
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"genmp/internal/adi"
@@ -16,6 +17,7 @@ import (
 	"genmp/internal/dist"
 	"genmp/internal/dmem"
 	"genmp/internal/exp"
+	"genmp/internal/grid"
 	"genmp/internal/modmap"
 	"genmp/internal/nas"
 	"genmp/internal/numutil"
@@ -426,6 +428,165 @@ func BenchmarkRealParallelADI(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// kernelBenchGrids builds a diagonally dominant random system in the
+// solver's vec layout over an eta-shaped domain (band entries reaching
+// outside a line along dim zeroed), or [a, x] for the recurrence.
+func kernelBenchGrids(sv sweep.Solver, eta []int, dim int, rng *rand.Rand) []*grid.Grid {
+	if _, ok := sv.(sweep.Recurrence); ok {
+		a := grid.New(eta...)
+		x := grid.New(eta...)
+		a.FillFunc(func([]int) float64 { return rng.Float64()*1.6 - 0.8 })
+		x.FillFunc(func([]int) float64 { return rng.Float64()*4 - 2 })
+		return []*grid.Grid{a, x}
+	}
+	kl, ku := 1, 1
+	if b, ok := sv.(sweep.Banded); ok {
+		kl, ku = b.KL, b.KU
+	}
+	gs := make([]*grid.Grid, kl+ku+2)
+	for i := range gs {
+		gs[i] = grid.New(eta...)
+	}
+	n := eta[dim]
+	for k := 1; k <= kl; k++ {
+		k := k
+		gs[k-1].FillFunc(func(idx []int) float64 {
+			if idx[dim] < k {
+				return 0
+			}
+			return rng.Float64() - 0.5
+		})
+	}
+	gs[kl].FillFunc(func([]int) float64 { return 4 + float64(kl+ku) + rng.Float64() })
+	for u := 1; u <= ku; u++ {
+		u := u
+		gs[kl+u].FillFunc(func(idx []int) float64 {
+			if idx[dim] >= n-u {
+				return 0
+			}
+			return rng.Float64() - 0.5
+		})
+	}
+	gs[kl+ku+1].FillFunc(func([]int) float64 { return rng.Float64()*10 - 5 })
+	return gs
+}
+
+// BenchmarkKernelPanels measures one full forward+backward sweep over every
+// line of a 48³ domain for each kernel family: the scalar per-line oracle
+// against the batched SoA panel path at several panel widths. This is the
+// microbenchmark behind BENCH_kernels.json's kernels-wall suite.
+func BenchmarkKernelPanels(b *testing.B) {
+	eta := []int{48, 48, 48}
+	dim := 0
+	n := eta[dim]
+	for _, sv := range []sweep.BatchSolver{sweep.Recurrence{}, sweep.Tridiag{}, sweep.NewPenta()} {
+		rng := rand.New(rand.NewSource(17))
+		gs := kernelBenchGrids(sv, eta, dim, rng)
+		nv := len(gs)
+		pristine := make([][]float64, nv)
+		for v := range gs {
+			pristine[v] = append([]float64(nil), gs[v].Data()...)
+		}
+		restore := func() {
+			for v := range gs {
+				copy(gs[v].Data(), pristine[v])
+			}
+		}
+		lines := gs[0].AppendLines(gs[0].Bounds(), dim, nil)
+		elements := int64(len(lines) * n)
+
+		b.Run(fmt.Sprintf("%s/scalar", sv.Name()), func(b *testing.B) {
+			var pan, hdr sweep.Workspace
+			chunk := pan.Panels(nv, n)
+			views := hdr.Views(nv)
+			b.SetBytes(elements * 8 * int64(nv))
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				restore()
+				b.StartTimer()
+				for _, l := range lines {
+					for v := range gs {
+						gs[v].Gather(l, chunk[v][:n])
+						views[v] = chunk[v][:n]
+					}
+					sv.Forward(views, nil, nil)
+					sv.Backward(views, nil, nil)
+					for v := range gs {
+						gs[v].Scatter(l, chunk[v][:n])
+					}
+				}
+			}
+		})
+		for _, batch := range []int{1, 8, 32, 64} {
+			b.Run(fmt.Sprintf("%s/batch=%d", sv.Name(), batch), func(b *testing.B) {
+				var ws sweep.Workspace
+				b.SetBytes(elements * 8 * int64(nv))
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					restore()
+					b.StartTimer()
+					for s0 := 0; s0 < len(lines); s0 += batch {
+						nb := min(batch, len(lines)-s0)
+						panels := ws.Panels(nv, nb*n)
+						blk := lines[s0 : s0+nb]
+						for v := range gs {
+							gs[v].GatherLines(blk, panels[v])
+						}
+						sv.ForwardBatch(panels, nb, nil, nil)
+						sv.BackwardBatch(panels, nb, nil, nil)
+						for v := range gs {
+							gs[v].ScatterLines(blk, panels[v])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMultiSweepSteadyState measures a warmed data-mode
+// multipartitioned pentadiagonal sweep (along the dimension the system is
+// built for) — the allocation figure is the executor's true steady state
+// (pooled payloads, reused arenas, cached geometry; what remains is
+// Machine.Run's fixed per-run bookkeeping).
+func BenchmarkMultiSweepSteadyState(b *testing.B) {
+	p, gamma, eta := 8, []int{4, 4, 2}, []int{32, 32, 32}
+	m, err := core.NewGeneralized(p, gamma)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := dist.NewEnv(m, eta, dist.HandCoded())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	sv := sweep.NewPenta()
+	gs := kernelBenchGrids(sv, eta, 0, rng)
+	pristine := make([][]float64, len(gs))
+	for v := range gs {
+		pristine[v] = append([]float64(nil), gs[v].Data()...)
+	}
+	ms, err := dist.NewMultiSweep(env, sv, gs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mach := nasMachine(p)
+	run := func() {
+		for v := range gs {
+			copy(gs[v].Data(), pristine[v])
+		}
+		if _, err := mach.Run(func(r *sim.Rank) { ms.Run(r, 0) }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run() // warm arenas, geometry caches, and pools
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
 	}
 }
 

@@ -30,7 +30,13 @@ func main() {
 	dimsStr := flag.String("dims", "3,4,5", "dimensionalities for the growth table")
 	top := flag.Int("top", 12, "growth table: show the N largest counts")
 	factor := flag.Int("factor", 0, "run the Figure 2 generator: distributions of r=N instances of one factor into d bins")
+	optimal := flag.Bool("optimal", false, "also run the optimal-partitioning search and report its statistics")
+	serial := flag.Bool("serial", false, "force the serial search walk (default: fan out on large spaces)")
 	flag.Parse()
+
+	if *serial {
+		partition.SetSearchParallelism(1)
+	}
 
 	if *factor > 0 {
 		fmt.Printf("Figure 2 generator: distributions of r = %d instances of one prime\n", *factor)
@@ -84,4 +90,19 @@ func main() {
 	}
 	fmt.Println("\nEach pattern is valid: every slab's tile count is a multiple of p,")
 	fmt.Println("so a balanced multipartitioned mapping exists (Section 4).")
+
+	if *optimal {
+		var stats partition.SearchStats
+		res, err := partition.OptimalStats(*p, *d, partition.UniformObjective(*d), &stats)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := fmt.Sprintf("parallel ≤%d workers", partition.SearchParallelism())
+		if *serial || partition.SearchParallelism() == 1 {
+			mode = "serial"
+		}
+		fmt.Printf("\noptimal under uniform weights (%s search): %s, cost %g\n",
+			mode, partition.Describe(res.Gamma), res.Cost)
+		fmt.Println(stats.String())
+	}
 }

@@ -73,7 +73,21 @@ func (pb Problem) fillCoefficients(dim int, rect grid.Rect, u, lower, diag, uppe
 	dd := diag.Data()
 	pd := upper.Data()
 	rd := rhs.Data()
-	u.EachLine(rect, dim, func(l grid.Line) {
+	// The interior coefficients are constants and rhs is a copy of u, so the
+	// region can be walked along the innermost (stride-1) dimension whatever
+	// dim the half-step solves: same values, contiguous stores.
+	last := u.Dims() - 1
+	u.EachLine(rect, last, func(l grid.Line) {
+		if l.Stride == 1 {
+			end := l.Base + l.N
+			for off := l.Base; off < end; off++ {
+				ld[off] = -a
+				pd[off] = -a
+				dd[off] = 1 + 2*a
+			}
+			copy(rd[l.Base:end], ud[l.Base:end])
+			return
+		}
 		off := l.Base
 		for k := 0; k < l.N; k++ {
 			ld[off] = -a
@@ -90,21 +104,34 @@ func (pb Problem) fillCoefficients(dim int, rect grid.Rect, u, lower, diag, uppe
 	if pb.Periodic {
 		return
 	}
+	zeroFace := func(face grid.Rect, data []float64) {
+		u.EachLine(face, last, func(l grid.Line) {
+			off := l.Base
+			for k := 0; k < l.N; k++ {
+				data[off] = 0
+				off += l.Stride
+			}
+		})
+	}
 	if rect.Lo[dim] == 0 {
-		face := rect.Face(dim, -1)
-		u.EachLine(face, dim, func(l grid.Line) { ld[l.Base] = 0 })
+		zeroFace(rect.Face(dim, -1), ld)
 	}
 	if rect.Hi[dim] == n {
-		face := rect.Face(dim, +1)
-		u.EachLine(face, dim, func(l grid.Line) { pd[l.Base] = 0 })
+		zeroFace(rect.Face(dim, +1), pd)
 	}
 }
 
 // copySolution writes the solve result (left in rhs) back into u over rect.
+// The copy is elementwise, so it walks stride-1 lines regardless of the
+// sweep dimension.
 func copySolution(rect grid.Rect, rhs, u *grid.Grid, dim int) {
 	rd := rhs.Data()
 	ud := u.Data()
-	u.EachLine(rect, dim, func(l grid.Line) {
+	u.EachLine(rect, u.Dims()-1, func(l grid.Line) {
+		if l.Stride == 1 {
+			copy(ud[l.Base:l.Base+l.N], rd[l.Base:l.Base+l.N])
+			return
+		}
 		off := l.Base
 		for k := 0; k < l.N; k++ {
 			ud[off] = rd[off]

@@ -24,6 +24,52 @@ type Block struct {
 	// Coll selects the all-to-all algorithm of TransposeSweep
 	// (sim.AlgAuto: the direct pairwise exchange).
 	Coll sim.Alg
+	// Batch is the panel width of the batched sweep kernels: 0 picks
+	// sweep.DefaultBatchLines, negative forces the scalar per-line path
+	// (the bit-identical oracle, also used as the "before" ablation).
+	Batch int
+	// scratchBuf holds one reusable arena per rank (indexed by rank ID, so
+	// concurrently running ranks never share); presized by NewBlock.
+	scratchBuf []rankScratch
+}
+
+// rankScratch is the per-rank reusable state of a sweep executor: the SoA
+// panel arena, a second workspace for chunked scalar solves (the two must
+// be distinct — a chunk solve runs while panel views are live), and the
+// cached line geometry.
+type rankScratch struct {
+	pan       sweep.Workspace
+	chunk     sweep.Workspace
+	lines     []grid.Line
+	tileLines []int
+	// sched caches a MultiSweep rank's resolved phase geometry per
+	// (dim, pass) key — the schedule and tile bounds are static across
+	// steps, so repeated sweeps rebuild nothing.
+	sched map[int][]msPhase
+}
+
+// msPhase is one cached phase of a rank's sweep schedule: its destination
+// and the resolved geometry of every tile it computes.
+type msPhase struct {
+	sendTo int
+	lines  int // total lines across the phase's tiles
+	tiles  []msTile
+}
+
+// msTile is one tile's cached sweep geometry.
+type msTile struct {
+	rect     grid.Rect
+	lines    int // cross-section line count
+	chunkLen int // extent along the sweep dimension
+}
+
+// scratch returns rank q's arena. Ranks beyond the presized slice (a Block
+// built as a literal) get a throwaway arena — correct, just allocating.
+func (b *Block) scratch(q int) *rankScratch {
+	if q < len(b.scratchBuf) {
+		return &b.scratchBuf[q]
+	}
+	return &rankScratch{}
 }
 
 // NewBlock builds a block unipartitioning along the given dimension.
@@ -37,7 +83,7 @@ func NewBlock(p int, eta []int, dim int, ov OverheadModel) (*Block, error) {
 	if eta[dim] < p {
 		return nil, fmt.Errorf("dist: Block: extent η[%d] = %d smaller than p = %d", dim, eta[dim], p)
 	}
-	return &Block{P: p, Eta: numutil.CopyInts(eta), Dim: dim, Overhead: ov}, nil
+	return &Block{P: p, Eta: numutil.CopyInts(eta), Dim: dim, Overhead: ov, scratchBuf: make([]rankScratch, p)}, nil
 }
 
 // OwnedRange returns rank q's slab [lo, hi) along the partitioned dimension.
@@ -91,28 +137,65 @@ func (b *Block) LocalSweep(r *sim.Rank, dim int, solver sweep.Solver, vecs []*gr
 	elements := lines * b.Eta[dim]
 	r.Compute(b.Overhead.PerTileVisit)
 	if vecs != nil {
-		solveLocalLines(solver, vecs, rect, dim)
+		solveLocalLines(solver, vecs, rect, dim, b.Batch, b.scratch(r.ID))
 	}
 	r.ComputeFlops(solver.FlopsPerElement() * float64(elements) * b.Overhead.ComputeFactor)
 }
 
 // solveLocalLines runs full-line solves over every line of rect along dim.
-func solveLocalLines(solver sweep.Solver, vecs []*grid.Grid, rect grid.Rect, dim int) {
+// Lines are packed into SoA panels of `batch` lines and solved by the
+// batched kernels (bit-identical to the scalar path); solvers without a
+// batched form, or batch < 0, take the per-line scalar path.
+func solveLocalLines(solver sweep.Solver, vecs []*grid.Grid, rect grid.Rect, dim, batch int, sc *rankScratch) {
 	n := rect.Hi[dim] - rect.Lo[dim]
 	nv := solver.NumVecs()
-	chunk := make([][]float64, nv)
-	for v := range chunk {
-		chunk[v] = make([]float64, n)
+	bs, ok := solver.(sweep.BatchSolver)
+	if !ok || batch < 0 {
+		chunk := sc.pan.Panels(nv, n)
+		vecs[0].EachLine(rect, dim, func(l grid.Line) {
+			for v, g := range vecs {
+				g.Gather(l, chunk[v])
+			}
+			sweep.ChunkedSolveWS(solver, chunk, nil, &sc.chunk)
+			for v, g := range vecs {
+				g.Scatter(l, chunk[v])
+			}
+		})
+		return
 	}
-	vecs[0].EachLine(rect, dim, func(l grid.Line) {
+	if batch == 0 {
+		batch = sweep.DefaultBatchLines
+	}
+	sc.lines = vecs[0].AppendLines(rect, dim, sc.lines[:0])
+	lines := sc.lines
+	runBackward := solver.BackwardCarryLen() > 0
+	// Both passes run on one packed panel, so the move masks are the union
+	// of the passes': gather what either touches, scatter what either
+	// writes (skipping a scatter of unmodified values is a numeric no-op).
+	fwdT, fwdW := sweep.PassMasks(solver, false)
+	var bwdT, bwdW []bool
+	if runBackward {
+		bwdT, bwdW = sweep.PassMasks(solver, true)
+	}
+	for s0 := 0; s0 < len(lines); s0 += batch {
+		nb := min(batch, len(lines)-s0)
+		blk := lines[s0 : s0+nb]
+		panels := sc.pan.Panels(nv, nb*n)
 		for v, g := range vecs {
-			g.Gather(l, chunk[v])
+			if sweep.MaskOn(fwdT, v) || (runBackward && sweep.MaskOn(bwdT, v)) {
+				g.GatherLines(blk, panels[v])
+			}
 		}
-		sweep.ChunkedSolve(solver, chunk, nil)
+		bs.ForwardBatch(panels, nb, nil, nil)
+		if runBackward {
+			bs.BackwardBatch(panels, nb, nil, nil)
+		}
 		for v, g := range vecs {
-			g.Scatter(l, chunk[v])
+			if sweep.MaskOn(fwdW, v) || (runBackward && sweep.MaskOn(bwdW, v)) {
+				g.ScatterLines(blk, panels[v])
+			}
 		}
-	})
+	}
 }
 
 // WavefrontSweep performs a pipelined sweep along the partitioned
@@ -151,17 +234,22 @@ func (b *Block) wavefrontPass(r *sim.Rank, solver sweep.Solver, vecs []*grid.Gri
 	totalLines := b.orthoLines(q, b.Dim)
 
 	// Collect this rank's line geometry once (identical ordering on all
-	// ranks: row-major over the full orthogonal extents).
-	var linesGeom []grid.Line
-	var chunk, views [][]float64
+	// ranks: row-major over the full orthogonal extents). The batched path
+	// treats each grain block as one panel and marshals its carries
+	// directly in the line-major wire format, so the outgoing message
+	// payload IS the kernel's carryOut — no per-line copy.
+	sc := b.scratch(q)
+	bs, batched := solver.(sweep.BatchSolver)
+	batched = batched && b.Batch >= 0
+	var chunk [][]float64
+	var touched, written []bool
+	nv := solver.NumVecs()
 	if vecs != nil {
-		vecs[0].EachLine(rect, b.Dim, func(l grid.Line) { linesGeom = append(linesGeom, l) })
-		nv := solver.NumVecs()
-		chunk = make([][]float64, nv)
-		views = make([][]float64, nv)
-		for v := range chunk {
-			chunk[v] = make([]float64, chunkLen)
-			views[v] = chunk[v]
+		sc.lines = vecs[0].AppendLines(rect, b.Dim, sc.lines[:0])
+		if batched {
+			touched, written = sweep.PassMasks(solver, backward)
+		} else {
+			chunk = sc.pan.Panels(nv, chunkLen)
 		}
 	}
 
@@ -178,31 +266,55 @@ func (b *Block) wavefrontPass(r *sim.Rank, solver sweep.Solver, vecs []*grid.Gri
 		}
 		var outBuf []float64
 		if haveDown && carryLen > 0 && vecs != nil {
-			outBuf = make([]float64, count*carryLen)
+			outBuf = r.GetPayload(count * carryLen)
 		}
 
 		if vecs != nil {
-			for i := 0; i < count; i++ {
-				l := linesGeom[first+i]
+			blk := sc.lines[first : first+count]
+			if batched {
+				panels := sc.pan.Panels(nv, count*chunkLen)
 				for v, g := range vecs {
-					g.Gather(l, chunk[v])
-				}
-				var cIn, cOut []float64
-				if inBuf != nil {
-					cIn = inBuf[i*carryLen : (i+1)*carryLen]
-				}
-				if outBuf != nil {
-					cOut = outBuf[i*carryLen : (i+1)*carryLen]
+					if sweep.MaskOn(touched, v) {
+						g.GatherLines(blk, panels[v])
+					}
 				}
 				if backward {
-					solver.Backward(views, cIn, cOut)
+					bs.BackwardBatch(panels, count, inBuf, outBuf)
 				} else {
-					solver.Forward(views, cIn, cOut)
+					bs.ForwardBatch(panels, count, inBuf, outBuf)
 				}
 				for v, g := range vecs {
-					g.Scatter(l, chunk[v])
+					if sweep.MaskOn(written, v) {
+						g.ScatterLines(blk, panels[v])
+					}
+				}
+			} else {
+				for i := 0; i < count; i++ {
+					l := blk[i]
+					for v, g := range vecs {
+						g.Gather(l, chunk[v])
+					}
+					var cIn, cOut []float64
+					if inBuf != nil {
+						cIn = inBuf[i*carryLen : (i+1)*carryLen]
+					}
+					if outBuf != nil {
+						cOut = outBuf[i*carryLen : (i+1)*carryLen]
+					}
+					if backward {
+						solver.Backward(chunk, cIn, cOut)
+					} else {
+						solver.Forward(chunk, cIn, cOut)
+					}
+					for v, g := range vecs {
+						g.Scatter(l, chunk[v])
+					}
 				}
 			}
+		}
+		// A received payload belongs to this rank once consumed; recycle it.
+		if inBuf != nil {
+			r.PutPayload(inBuf)
 		}
 		r.ComputeFlops(flopsPerElem * float64(count*chunkLen) * b.Overhead.ComputeFactor)
 
@@ -247,7 +359,7 @@ func (b *Block) TransposeSweep(r *sim.Rank, solver sweep.Solver, vecs []*grid.Gr
 	}
 	r.Compute(b.Overhead.PerTileVisit)
 	if vecs != nil {
-		solveLocalLines(solver, vecs, rect, b.Dim)
+		solveLocalLines(solver, vecs, rect, b.Dim, b.Batch, b.scratch(q))
 	}
 	r.ComputeFlops(solver.FlopsPerElement() * float64(lines*b.Eta[b.Dim]) * b.Overhead.ComputeFactor)
 

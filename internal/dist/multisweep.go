@@ -27,6 +27,13 @@ type MultiSweep struct {
 	Solver    sweep.Solver
 	Vecs      []*grid.Grid
 	Aggregate bool
+	// Batch is the panel width of the batched sweep kernels: 0 picks
+	// sweep.DefaultBatchLines, negative forces the scalar per-line path
+	// (the bit-identical oracle / "before" ablation).
+	Batch int
+	// scratchBuf holds one reusable arena per rank; presized by
+	// NewMultiSweep so concurrently running ranks never share or resize.
+	scratchBuf []rankScratch
 }
 
 // NewMultiSweep builds a sweep executor; vecs may be nil for model-only
@@ -44,7 +51,17 @@ func NewMultiSweep(env *Env, solver sweep.Solver, vecs []*grid.Grid) (*MultiSwee
 			}
 		}
 	}
-	return &MultiSweep{Env: env, Solver: solver, Vecs: vecs, Aggregate: true}, nil
+	return &MultiSweep{Env: env, Solver: solver, Vecs: vecs, Aggregate: true,
+		scratchBuf: make([]rankScratch, env.M.P())}, nil
+}
+
+// scratch returns rank q's arena (a throwaway one for a literal-built
+// MultiSweep — correct, just allocating).
+func (s *MultiSweep) scratch(q int) *rankScratch {
+	if q < len(s.scratchBuf) {
+		return &s.scratchBuf[q]
+	}
+	return &rankScratch{}
 }
 
 // Run performs the full sweep along dim for the calling rank: the forward
@@ -68,10 +85,44 @@ func sweepTag(dim int, backward bool, phase int) int {
 	return sweepTags.Tag((dim*2+pass)<<20 | phase)
 }
 
+// phasesFor returns rank q's cached schedule geometry for (dim, backward),
+// resolving the schedule and every tile's bounds on first use.
+func (s *MultiSweep) phasesFor(sc *rankScratch, q, dim int, backward bool) []msPhase {
+	key := dim * 2
+	if backward {
+		key++
+	}
+	if sc.sched == nil {
+		sc.sched = map[int][]msPhase{}
+	}
+	if pg, ok := sc.sched[key]; ok {
+		return pg
+	}
+	env := s.Env
+	sched := env.M.SweepSchedule(q, dim, backward)
+	pg := make([]msPhase, len(sched))
+	for k, ph := range sched {
+		pk := msPhase{sendTo: ph.SendTo, tiles: make([]msTile, len(ph.Tiles))}
+		for ti, tile := range ph.Tiles {
+			lo, hi := env.M.TileBounds(env.Eta, tile)
+			n := 1
+			for j := range env.Eta {
+				if j != dim {
+					n *= hi[j] - lo[j]
+				}
+			}
+			pk.tiles[ti] = msTile{rect: grid.RectOf(lo, hi), lines: n, chunkLen: hi[dim] - lo[dim]}
+			pk.lines += n
+		}
+		pg[k] = pk
+	}
+	sc.sched[key] = pg
+	return pg
+}
+
 func (s *MultiSweep) pass(r *sim.Rank, dim int, backward bool) {
 	env := s.Env
 	q := r.ID
-	sched := env.M.SweepSchedule(q, dim, backward)
 	carryLen := s.Solver.ForwardCarryLen()
 	flopsPerElem := s.Solver.ForwardFlopsPerElement()
 	if backward {
@@ -82,53 +133,62 @@ func (s *MultiSweep) pass(r *sim.Rank, dim int, backward bool) {
 	if backward {
 		step = -1
 	}
+	// Per-rank scratch: SoA panel arena, phase geometry, and line geometry,
+	// reused across phases, passes and steps. The batched path packs each
+	// tile's lines into panels and reads/writes its carries directly in the
+	// line-major message payloads — the kernel's carry marshalling IS the
+	// wire format.
+	sc := s.scratch(q)
+	sched := s.phasesFor(sc, q, dim, backward)
 	recvFrom := -1
 	if len(sched) > 1 {
 		recvFrom = env.M.NeighborProc(q, dim, -step)
 	}
-
-	// Scratch: per-line chunk buffers, reused across lines and tiles.
+	bs, batched := s.Solver.(sweep.BatchSolver)
+	batched = batched && s.Batch >= 0
+	batch := s.Batch
+	if batch <= 0 {
+		batch = sweep.DefaultBatchLines
+	}
+	nv := s.Solver.NumVecs()
 	var chunk, views [][]float64
+	var touched, written []bool
 	if s.Vecs != nil {
-		nv := s.Solver.NumVecs()
-		chunk = make([][]float64, nv)
-		views = make([][]float64, nv)
-		for v := range chunk {
-			chunk[v] = make([]float64, env.Eta[dim])
+		if batched {
+			touched, written = sweep.PassMasks(s.Solver, backward)
+		} else {
+			chunk = sc.pan.Panels(nv, env.Eta[dim])
+			views = sc.chunk.Views(nv)
 		}
 	}
 
-	for k, ph := range sched {
-		// Per-tile line counts (identical on the sending and receiving side
-		// of a phase boundary: tiles correspond by a one-slab shift, which
-		// preserves both order and cross-section).
-		lines := 0
-		tileLines := make([]int, len(ph.Tiles))
-		for ti, tile := range ph.Tiles {
-			lo, hi := env.M.TileBounds(env.Eta, tile)
-			n := 1
-			for j := range env.Eta {
-				if j != dim {
-					n *= hi[j] - lo[j]
-				}
-			}
-			tileLines[ti] = n
-			lines += n
-		}
+	for k := range sched {
+		ph := &sched[k]
+		// Per-tile line counts are identical on the sending and receiving
+		// side of a phase boundary: tiles correspond by a one-slab shift,
+		// which preserves both order and cross-section.
+		lines := ph.lines
 
-		// Receive the carries produced by the upstream slab.
+		// Receive the carries produced by the upstream slab. An aggregated
+		// payload is a pooled buffer whose ownership arrives with the
+		// message; it is recycled below once consumed. Non-aggregated
+		// payloads are sub-slices of the sender's buffer and must not be
+		// recycled here.
 		var inBuf []float64
+		pooledIn := false
 		if k > 0 && carryLen > 0 {
 			if s.Aggregate {
 				msg := r.Recv(recvFrom, sweepTag(dim, backward, k))
 				r.Compute(env.Overhead.PerMessage)
 				inBuf = msg.Payload
+				pooledIn = inBuf != nil
 			} else {
 				if s.Vecs != nil {
 					inBuf = make([]float64, lines*carryLen)
 				}
 				off := 0
-				for _, n := range tileLines {
+				for ti := range ph.tiles {
+					n := ph.tiles[ti].lines
 					msg := r.Recv(recvFrom, sweepTag(dim, backward, k))
 					r.Compute(env.Overhead.PerMessage)
 					if inBuf != nil {
@@ -140,22 +200,64 @@ func (s *MultiSweep) pass(r *sim.Rank, dim int, backward bool) {
 		}
 
 		var outBuf []float64
-		if ph.SendTo >= 0 && carryLen > 0 && s.Vecs != nil {
-			outBuf = make([]float64, lines*carryLen)
+		if ph.sendTo >= 0 && carryLen > 0 && s.Vecs != nil {
+			if s.Aggregate {
+				outBuf = r.GetPayload(lines * carryLen)
+			} else {
+				outBuf = make([]float64, lines*carryLen)
+			}
 		}
 
 		// Compute this slab's tiles.
 		elements := 0
 		inOff, outOff := 0, 0
-		for ti, tile := range ph.Tiles {
+		for ti := range ph.tiles {
+			tg := &ph.tiles[ti]
 			r.Compute(env.Overhead.PerTileVisit)
-			lo, hi := env.M.TileBounds(env.Eta, tile)
-			chunkLen := hi[dim] - lo[dim]
-			elements += chunkLen * tileLines[ti]
+			chunkLen := tg.chunkLen
+			elements += chunkLen * tg.lines
 			if s.Vecs == nil {
 				continue
 			}
-			rect := grid.RectOf(lo, hi)
+			rect := tg.rect
+			if batched {
+				n := tg.lines
+				sc.lines = s.Vecs[0].AppendLines(rect, dim, sc.lines[:0])
+				for s0 := 0; s0 < n; s0 += batch {
+					nb := min(batch, n-s0)
+					blk := sc.lines[s0 : s0+nb]
+					panels := sc.pan.Panels(nv, nb*chunkLen)
+					for v, g := range s.Vecs {
+						if sweep.MaskOn(touched, v) {
+							g.GatherLines(blk, panels[v])
+						}
+					}
+					var cIn, cOut []float64
+					if inBuf != nil {
+						cIn = inBuf[inOff+s0*carryLen : inOff+(s0+nb)*carryLen]
+					}
+					if outBuf != nil {
+						cOut = outBuf[outOff+s0*carryLen : outOff+(s0+nb)*carryLen]
+					}
+					if backward {
+						bs.BackwardBatch(panels, nb, cIn, cOut)
+					} else {
+						bs.ForwardBatch(panels, nb, cIn, cOut)
+					}
+					for v, g := range s.Vecs {
+						if sweep.MaskOn(written, v) {
+							g.ScatterLines(blk, panels[v])
+						}
+					}
+				}
+				if inBuf != nil {
+					inOff += n * carryLen
+				}
+				if outBuf != nil {
+					outOff += n * carryLen
+				}
+				continue
+			}
 			s.Vecs[0].EachLine(rect, dim, func(l grid.Line) {
 				for v, g := range s.Vecs {
 					g.Gather(l, chunk[v][:chunkLen])
@@ -180,24 +282,28 @@ func (s *MultiSweep) pass(r *sim.Rank, dim int, backward bool) {
 				}
 			})
 		}
+		if pooledIn {
+			r.PutPayload(inBuf)
+		}
 		r.ComputeFlops(flopsPerElem * float64(elements) * env.Overhead.ComputeFactor)
 
 		// Ship the carries downstream.
-		if ph.SendTo >= 0 && carryLen > 0 {
+		if ph.sendTo >= 0 && carryLen > 0 {
 			if s.Aggregate {
 				r.Compute(env.Overhead.PerMessage)
-				r.Send(ph.SendTo, sweepTag(dim, backward, k+1),
+				r.Send(ph.sendTo, sweepTag(dim, backward, k+1),
 					sim.Msg{Bytes: lines * carryLen * 8, Payload: outBuf})
 			} else {
 				off := 0
-				for _, n := range tileLines {
+				for ti := range ph.tiles {
+					n := ph.tiles[ti].lines
 					r.Compute(env.Overhead.PerMessage)
 					msg := sim.Msg{Bytes: n * carryLen * 8}
 					if outBuf != nil {
 						msg.Payload = outBuf[off : off+n*carryLen]
 					}
 					off += n * carryLen
-					r.Send(ph.SendTo, sweepTag(dim, backward, k+1), msg)
+					r.Send(ph.sendTo, sweepTag(dim, backward, k+1), msg)
 				}
 			}
 		}

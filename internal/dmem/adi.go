@@ -25,12 +25,13 @@ func RunADI(pb adi.Problem, env *dist.Env, mach *sim.Machine) (*grid.Grid, sim.R
 		for v := range vecs {
 			vecs[v] = NewField(env, r.ID, 0)
 		}
+		runner := NewSweepRunner(solver, vecs)
 		const buildFlops = 4
 		for step := 0; step < pb.Steps; step++ {
 			for dim := range pb.Eta {
 				strictFillADI(pb, dim, u, vecs)
 				r.ComputeFlops(buildFlops * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
-				RunSweep(r, solver, vecs, dim)
+				runner.Run(r, dim)
 				strictCopy(vecs[3], u)
 				r.ComputeFlops(1 * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
 			}

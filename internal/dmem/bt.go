@@ -34,6 +34,7 @@ func RunBT(env *dist.Env, mach *sim.Machine, steps int) (*grid.Grid, sim.Result,
 			vecs[v] = NewField(env, r.ID, 0)
 		}
 		fvecs := vecs[3*bb:]
+		runner := NewSweepRunner(solver, vecs)
 
 		for step := 0; step < steps; step++ {
 			u.ExchangeHalos(r)
@@ -43,7 +44,7 @@ func RunBT(env *dist.Env, mach *sim.Machine, steps int) (*grid.Grid, sim.Result,
 			for dim := range env.Eta {
 				strictBuildBTLHS(dim, env.Eta[dim], vecs)
 				r.ComputeFlops(nas.BTFlopsLHSBuild * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
-				RunSweep(r, solver, vecs, dim)
+				runner.Run(r, dim)
 			}
 			strictAdd(u, fvecs[0])
 			r.ComputeFlops(nas.BTFlopsAdd * float64(ownedElements(u)) * env.Overhead.ComputeFactor)

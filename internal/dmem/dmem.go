@@ -31,9 +31,35 @@ type Field struct {
 	// canonical (row-major) tile order; bounds[i] its global interior.
 	tiles  []*grid.Grid
 	bounds []grid.Rect
+	// shapes[i] is tiles[i]'s padded shape and interior[i] its interior
+	// region within the padded grid — cached because the per-line hot paths
+	// (coordinate conversion, sweep geometry) would otherwise re-derive
+	// them per call. Callers must treat both as read-only.
+	shapes   [][]int
+	interior []grid.Rect
 	// index maps a tile's row-major rank in the tile grid to its position
 	// in tiles (or −1 when not owned by this rank).
 	index map[int]int
+	// halo caches the exchange plan per (dim, direction); built lazily on
+	// the first ExchangeHalos call and keyed dim*2+s.
+	halo map[int]*haloDirPlan
+}
+
+// haloFace is one tile's face in a halo exchange: the region within the
+// padded local grid and its flat size.
+type haloFace struct {
+	tile int
+	rect grid.Rect
+	size int
+}
+
+// haloDirPlan caches one (dim, step) exchange: the peer ranks, the faces
+// to pack, and the halo shells to fill.
+type haloDirPlan struct {
+	dst, src  int
+	send      []haloFace
+	recv      []haloFace
+	sendTotal int
 }
 
 // NewField allocates the rank's tile storage for one array.
@@ -52,6 +78,14 @@ func NewField(env *dist.Env, rank, depth int) *Field {
 		f.index[numutil.RankOf(tile, gamma)] = len(f.tiles)
 		f.tiles = append(f.tiles, grid.New(shape...))
 		f.bounds = append(f.bounds, grid.RectOf(lo, hi))
+		f.shapes = append(f.shapes, shape)
+		ilo := make([]int, len(lo))
+		ihi := make([]int, len(lo))
+		for k := range ilo {
+			ilo[k] = depth
+			ihi[k] = depth + hi[k] - lo[k]
+		}
+		f.interior = append(f.interior, grid.RectOf(ilo, ihi))
 	}
 	return f
 }
@@ -66,17 +100,9 @@ func (f *Field) TileGrid(i int) *grid.Grid { return f.tiles[i] }
 func (f *Field) GlobalBounds(i int) grid.Rect { return f.bounds[i] }
 
 // InteriorRect returns the interior region of local tile i within its
-// padded grid.
+// padded grid (a cached Rect — treat as read-only).
 func (f *Field) InteriorRect(i int) grid.Rect {
-	b := f.bounds[i]
-	d := len(b.Lo)
-	lo := make([]int, d)
-	hi := make([]int, d)
-	for k := 0; k < d; k++ {
-		lo[k] = f.Depth
-		hi[k] = f.Depth + b.Hi[k] - b.Lo[k]
-	}
-	return grid.RectOf(lo, hi)
+	return f.interior[i]
 }
 
 // LocalTileOf returns the local index of the tile with the given
@@ -113,8 +139,7 @@ func (f *Field) FillFunc(fn func(global []int) float64) {
 // localToGlobal converts a storage offset of local tile i into global
 // coordinates (writing into dst).
 func (f *Field) localToGlobal(i, offset int, dst []int) {
-	g := f.tiles[i]
-	numutil.CoordOf(offset, g.Shape(), dst)
+	numutil.CoordOf(offset, f.shapes[i], dst)
 	b := f.bounds[i]
 	for k := range dst {
 		dst[k] = dst[k] - f.Depth + b.Lo[k]
@@ -172,10 +197,49 @@ var (
 	strictHaloTags  = sim.ReserveTags("dmem/halo", 1<<25, 64)
 )
 
+// haloDir returns the cached plan for the exchange along dim in direction
+// step (s is the tag index of the direction), building it on first use.
+func (f *Field) haloDir(dim, s, step int) *haloDirPlan {
+	key := dim*2 + s
+	if f.halo == nil {
+		f.halo = map[int]*haloDirPlan{}
+	}
+	if p, ok := f.halo[key]; ok {
+		return p
+	}
+	env := f.Env
+	gamma := env.M.Gamma()
+	p := &haloDirPlan{
+		dst: env.M.NeighborProc(f.Rank, dim, step),
+		src: env.M.NeighborProc(f.Rank, dim, -step),
+	}
+	// Faces of every owned tile with an in-grid neighbor in direction
+	// step, in canonical tile order; halo shells on the −step side of the
+	// tiles with a neighbor that way (the shifted bijection preserves
+	// canonical order and cross-sections).
+	for i := range f.tiles {
+		tile := env.M.TilesOf(f.Rank)[i]
+		if n := tile[dim] + step; n >= 0 && n < gamma[dim] {
+			rect := f.haloFaceRect(i, dim, step, f.Depth, true)
+			p.send = append(p.send, haloFace{tile: i, rect: rect, size: rect.Size()})
+			p.sendTotal += rect.Size()
+		}
+		if n := tile[dim] - step; n >= 0 && n < gamma[dim] {
+			rect := f.haloFaceRect(i, dim, -step, f.Depth, false)
+			p.recv = append(p.recv, haloFace{tile: i, rect: rect, size: rect.Size()})
+		}
+	}
+	f.halo[key] = p
+	return p
+}
+
 // ExchangeHalos fills the field's halo shells with real face data from the
 // neighboring processors: one aggregated payload message per direction per
 // dimension (the neighbor property gives a single peer each way), via the
-// sim.Exchange neighbor primitive under the dmem/halo tag space.
+// sim.Exchange neighbor primitive under the dmem/halo tag space. The face
+// geometry comes from a lazily built per-field plan, and payloads cycle
+// through the machine's buffer pool, so steady-state exchanges allocate
+// nothing.
 func (f *Field) ExchangeHalos(r *sim.Rank) {
 	if f.Depth == 0 || f.Env.M.P() == 1 {
 		return
@@ -187,40 +251,25 @@ func (f *Field) ExchangeHalos(r *sim.Rank) {
 			continue
 		}
 		for s, step := range []int{1, -1} {
-			// Pack the faces of every owned tile that has an in-grid
-			// neighbor in direction step, in canonical tile order.
-			var payload []float64
-			for i := range f.tiles {
-				tile := env.M.TilesOf(f.Rank)[i]
-				n := tile[dim] + step
-				if n < 0 || n >= gamma[dim] {
-					continue
-				}
-				payload = append(payload, f.tiles[i].Extract(f.haloFaceRect(i, dim, step, f.Depth, true))...)
-			}
-			dst := env.M.NeighborProc(f.Rank, dim, step)
-			src := env.M.NeighborProc(f.Rank, dim, -step)
-			msg := r.Exchange(dst, src, strictHaloTags.Tag(dim*2+s),
-				sim.Msg{Payload: payload}, env.Overhead.PerMessage)
-			// Unpack into the halo shells on the −step side of the tiles
-			// with an in-grid neighbor that way (the shifted bijection
-			// preserves canonical order and cross-sections).
+			p := f.haloDir(dim, s, step)
+			payload := r.GetPayload(p.sendTotal)
 			pos := 0
-			for i := range f.tiles {
-				tile := env.M.TilesOf(f.Rank)[i]
-				n := tile[dim] - step
-				if n < 0 || n >= gamma[dim] {
-					continue
-				}
-				rect := f.haloFaceRect(i, dim, -step, f.Depth, false)
-				size := rect.Size()
-				f.tiles[i].Inject(rect, msg.Payload[pos:pos+size])
-				pos += size
+			for _, fc := range p.send {
+				f.tiles[fc.tile].ExtractInto(fc.rect, payload[pos:pos+fc.size])
+				pos += fc.size
+			}
+			msg := r.Exchange(p.dst, p.src, strictHaloTags.Tag(dim*2+s),
+				sim.Msg{Payload: payload}, env.Overhead.PerMessage)
+			pos = 0
+			for _, fc := range p.recv {
+				f.tiles[fc.tile].InjectFrom(fc.rect, msg.Payload[pos:pos+fc.size])
+				pos += fc.size
 			}
 			if pos != len(msg.Payload) {
 				panic(fmt.Sprintf("dmem: halo exchange misaligned: consumed %d of %d values (dim %d step %+d)",
 					pos, len(msg.Payload), dim, step))
 			}
+			r.PutPayload(msg.Payload)
 		}
 	}
 }
@@ -232,9 +281,16 @@ func (f *Field) ExchangeHalos(r *sim.Rank) {
 // nil.
 func GatherToRoot(r *sim.Rank, f *Field, alg sim.Alg) *grid.Grid {
 	env := f.Env
-	var payload []float64
+	total := 0
 	for i := range f.tiles {
-		payload = append(payload, f.tiles[i].Extract(f.InteriorRect(i))...)
+		total += f.interior[i].Size()
+	}
+	payload := make([]float64, total)
+	pos := 0
+	for i := range f.tiles {
+		size := f.interior[i].Size()
+		f.tiles[i].ExtractInto(f.interior[i], payload[pos:pos+size])
+		pos += size
 	}
 	parts := r.GatherTo(0, 8*len(payload), payload, sim.CollOpts{Alg: alg})
 	if r.ID != 0 {

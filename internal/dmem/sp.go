@@ -36,6 +36,7 @@ func RunSP(env *dist.Env, mach *sim.Machine, steps int) (*grid.Grid, sim.Result,
 			vecs[v] = NewField(env, r.ID, 0)
 		}
 		rhs := vecs[5]
+		runner := NewSweepRunner(solver, vecs)
 
 		for step := 0; step < steps; step++ {
 			u.ExchangeHalos(r)
@@ -45,7 +46,7 @@ func RunSP(env *dist.Env, mach *sim.Machine, steps int) (*grid.Grid, sim.Result,
 			for dim := range env.Eta {
 				strictBuildLHS(dim, env.Eta[dim], vecs)
 				r.ComputeFlops(nas.FlopsLHSBuild * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
-				RunSweep(r, solver, vecs, dim)
+				runner.Run(r, dim)
 			}
 			strictAdd(u, rhs)
 			r.ComputeFlops(nas.FlopsAdd * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
@@ -104,8 +105,7 @@ func strictComputeRHS(u *Field, rhs *Field) {
 		rhsInterior := rhs.InteriorRect(i)
 		// Walk u's interior and rhs's interior in lockstep (same shape,
 		// different padding).
-		var rhsLines []grid.Line
-		rg.EachLine(rhsInterior, d-1, func(l grid.Line) { rhsLines = append(rhsLines, l) })
+		rhsLines := rg.AppendLines(rhsInterior, d-1, nil)
 		li := 0
 		ug.EachLine(interiorU, d-1, func(l grid.Line) {
 			rl := rhsLines[li]
@@ -179,8 +179,7 @@ func strictAdd(u *Field, rhs *Field) {
 		rg := rhs.TileGrid(i)
 		ud := ug.Data()
 		rd := rg.Data()
-		var rhsLines []grid.Line
-		rg.EachLine(rhs.InteriorRect(i), d-1, func(l grid.Line) { rhsLines = append(rhsLines, l) })
+		rhsLines := rg.AppendLines(rhs.InteriorRect(i), d-1, nil)
 		li := 0
 		ug.EachLine(u.InteriorRect(i), d-1, func(l grid.Line) {
 			rl := rhsLines[li]

@@ -8,18 +8,72 @@ import (
 	"genmp/internal/sweep"
 )
 
+// SweepRunner executes line sweeps over one rank's strictly distributed
+// fields, keeping everything a sweep needs between calls: the per-dimension
+// schedules, every tile's line geometry for every field (each field may
+// have its own halo depth, so the offsets differ even though the
+// cross-sections coincide), and the SoA panel arenas of the batched
+// kernels. A rank builds one runner and reuses it across timesteps and
+// dimensions, so the steady state allocates nothing: carries travel in
+// pooled payload buffers, and line data moves through the reusable
+// workspace panels.
+type SweepRunner struct {
+	Solver sweep.Solver
+	Fields []*Field
+	// Batch is the panel width of the batched sweep kernels: 0 picks
+	// sweep.DefaultBatchLines, negative forces the scalar per-line path
+	// (the bit-identical oracle / "before" ablation).
+	Batch int
+
+	pan   sweep.Workspace // SoA panel arena (batched) / chunk buffers (scalar)
+	views sweep.Workspace // view headers of the scalar path
+	sched map[int][]phaseGeom
+}
+
+// phaseGeom is one cached sweep phase: its destination and the resolved
+// geometry of every tile it computes.
+type phaseGeom struct {
+	sendTo int
+	lines  int // total lines across the phase's tiles
+	tiles  []tileGeom
+}
+
+// tileGeom is one tile's cached sweep geometry.
+type tileGeom struct {
+	local    int // index into each Field's local tile storage
+	lines    int // cross-section line count
+	chunkLen int // extent along the sweep dimension
+	// geom[v] lists field v's line offsets for this tile, in the shared
+	// canonical order (identical cross-sections, field-specific padding).
+	geom [][]grid.Line
+}
+
+// NewSweepRunner builds a runner for one rank's fields. fields must hold
+// Solver.NumVecs() fields of the same rank.
+func NewSweepRunner(solver sweep.Solver, fields []*Field) *SweepRunner {
+	if len(fields) != solver.NumVecs() {
+		panic(fmt.Sprintf("dmem: solver %s needs %d fields, got %d", solver.Name(), solver.NumVecs(), len(fields)))
+	}
+	return &SweepRunner{Solver: solver, Fields: fields, sched: map[int][]phaseGeom{}}
+}
+
 // RunSweep performs a full line sweep (forward elimination and, when the
 // solver has one, back substitution) along dim over strictly distributed
 // fields: the solver's per-line arrays live in the calling rank's private
 // tile storage, and inter-tile carries travel in real message payloads.
 // fields must hold Solver.NumVecs() fields of this rank.
+//
+// The helper builds a throwaway SweepRunner per call; loops should build
+// one runner up front and call its Run so geometry and arenas persist.
 func RunSweep(r *sim.Rank, solver sweep.Solver, fields []*Field, dim int) {
-	if len(fields) != solver.NumVecs() {
-		panic(fmt.Sprintf("dmem: solver %s needs %d fields, got %d", solver.Name(), solver.NumVecs(), len(fields)))
-	}
-	sweepPass(r, solver, fields, dim, false)
-	if solver.BackwardCarryLen() > 0 || solver.BackwardFlopsPerElement() > 0 {
-		sweepPass(r, solver, fields, dim, true)
+	NewSweepRunner(solver, fields).Run(r, dim)
+}
+
+// Run performs the full sweep along dim for the calling rank.
+func (sr *SweepRunner) Run(r *sim.Rank, dim int) {
+	sr.pass(r, dim, false)
+	if sr.Solver.BackwardCarryLen() > 0 || sr.Solver.BackwardFlopsPerElement() > 0 {
+		sr.pass(r, dim, true)
 	}
 }
 
@@ -31,10 +85,69 @@ func strictSweepTag(dim int, backward bool, phase int) int {
 	return strictSweepTags.Tag((dim*2+pass)<<20 | phase)
 }
 
-func sweepPass(r *sim.Rank, solver sweep.Solver, fields []*Field, dim int, backward bool) {
+// phases returns the cached schedule geometry for (dim, backward),
+// resolving it on first use.
+func (sr *SweepRunner) phases(dim int, backward bool) []phaseGeom {
+	key := dim * 2
+	if backward {
+		key++
+	}
+	if sr.sched == nil {
+		sr.sched = map[int][]phaseGeom{}
+	}
+	if pg, ok := sr.sched[key]; ok {
+		return pg
+	}
+	f0 := sr.Fields[0]
+	env := f0.Env
+	sched := env.M.SweepSchedule(f0.Rank, dim, backward)
+	pg := make([]phaseGeom, len(sched))
+	for k, ph := range sched {
+		pk := phaseGeom{sendTo: ph.SendTo, tiles: make([]tileGeom, len(ph.Tiles))}
+		for ti, tile := range ph.Tiles {
+			i := f0.LocalTileOf(tile)
+			if i < 0 {
+				panic("dmem: sweep schedule names a tile this rank does not own")
+			}
+			b := f0.GlobalBounds(i)
+			n := 1
+			for j := range env.Eta {
+				if j != dim {
+					n *= b.Hi[j] - b.Lo[j]
+				}
+			}
+			tg := tileGeom{local: i, lines: n, chunkLen: b.Hi[dim] - b.Lo[dim],
+				geom: make([][]grid.Line, len(sr.Fields))}
+			for v, f := range sr.Fields {
+				// Fields with equal halo depth have identical padded shapes
+				// and so identical line geometry — share one slice.
+				shared := false
+				for w := 0; w < v; w++ {
+					if sr.Fields[w].Depth == f.Depth {
+						tg.geom[v] = tg.geom[w]
+						shared = true
+						break
+					}
+				}
+				if !shared {
+					tg.geom[v] = f.TileGrid(i).AppendLines(f.InteriorRect(i), dim, make([]grid.Line, 0, n))
+				}
+			}
+			pk.tiles[ti] = tg
+			pk.lines += n
+		}
+		pg[k] = pk
+	}
+	sr.sched[key] = pg
+	return pg
+}
+
+func (sr *SweepRunner) pass(r *sim.Rank, dim int, backward bool) {
+	solver := sr.Solver
+	fields := sr.Fields
 	env := fields[0].Env
 	q := r.ID
-	sched := env.M.SweepSchedule(q, dim, backward)
+	phases := sr.phases(dim, backward)
 	carryLen := solver.ForwardCarryLen()
 	flopsPerElem := solver.ForwardFlopsPerElement()
 	if backward {
@@ -46,40 +159,31 @@ func sweepPass(r *sim.Rank, solver sweep.Solver, fields []*Field, dim int, backw
 		step = -1
 	}
 	recvFrom := -1
-	if len(sched) > 1 {
+	if len(phases) > 1 {
 		recvFrom = env.M.NeighborProc(q, dim, -step)
 	}
 
+	bs, batched := solver.(sweep.BatchSolver)
+	batched = batched && sr.Batch >= 0
+	batch := sr.Batch
+	if batch <= 0 {
+		batch = sweep.DefaultBatchLines
+	}
 	nv := len(fields)
-	chunk := make([][]float64, nv)
-	views := make([][]float64, nv)
-	for v := range chunk {
-		chunk[v] = make([]float64, env.Eta[dim])
+	var chunk, views [][]float64
+	var touched, written []bool
+	if batched {
+		touched, written = sweep.PassMasks(solver, backward)
+	} else {
+		chunk = sr.pan.Panels(nv, env.Eta[dim])
+		views = sr.views.Views(nv)
 	}
 
-	for k, ph := range sched {
-		// Per-tile line counts (identical across the phase boundary by the
-		// shifted-tile bijection).
-		lines := 0
-		tileLines := make([]int, len(ph.Tiles))
-		tileLocal := make([]int, len(ph.Tiles))
-		for ti, tile := range ph.Tiles {
-			i := fields[0].LocalTileOf(tile)
-			if i < 0 {
-				panic("dmem: sweep schedule names a tile this rank does not own")
-			}
-			tileLocal[ti] = i
-			b := fields[0].GlobalBounds(i)
-			n := 1
-			for j := range env.Eta {
-				if j != dim {
-					n *= b.Hi[j] - b.Lo[j]
-				}
-			}
-			tileLines[ti] = n
-			lines += n
-		}
-
+	for k, ph := range phases {
+		// Carries arrive in a pooled payload whose ownership transfers with
+		// the message; it is recycled below once every tile has read its
+		// rows. Outgoing carries are assembled directly in a pooled payload
+		// — the batched kernels' carry marshalling IS the wire format.
 		var inBuf []float64
 		if k > 0 && carryLen > 0 {
 			msg := r.Recv(recvFrom, strictSweepTag(dim, backward, k))
@@ -87,35 +191,57 @@ func sweepPass(r *sim.Rank, solver sweep.Solver, fields []*Field, dim int, backw
 			inBuf = msg.Payload
 		}
 		var outBuf []float64
-		if ph.SendTo >= 0 && carryLen > 0 {
-			outBuf = make([]float64, lines*carryLen)
+		if ph.sendTo >= 0 && carryLen > 0 {
+			outBuf = r.GetPayload(ph.lines * carryLen)
 		}
 
 		elements := 0
 		inOff, outOff := 0, 0
-		for ti := range ph.Tiles {
+		for ti := range ph.tiles {
+			tg := &ph.tiles[ti]
 			r.Compute(env.Overhead.PerTileVisit)
-			i := tileLocal[ti]
-			b := fields[0].GlobalBounds(i)
-			chunkLen := b.Hi[dim] - b.Lo[dim]
-			elements += chunkLen * tileLines[ti]
+			elements += tg.chunkLen * tg.lines
 
-			// Gather/solve/scatter every line chunk of this tile from the
-			// rank-private storage. Each field may have its own halo
-			// depth, so line geometry is computed per field; all share the
-			// same interior cross-section and canonical order.
-			tileGrids := make([]*grid.Grid, nv)
-			tileLineGeom := make([][]grid.Line, nv)
-			for v, f := range fields {
-				tileGrids[v] = f.TileGrid(i)
-				var ls []grid.Line
-				tileGrids[v].EachLine(f.InteriorRect(i), dim, func(l grid.Line) { ls = append(ls, l) })
-				tileLineGeom[v] = ls
+			if batched {
+				for s0 := 0; s0 < tg.lines; s0 += batch {
+					nb := min(batch, tg.lines-s0)
+					panels := sr.pan.Panels(nv, nb*tg.chunkLen)
+					for v, f := range fields {
+						if sweep.MaskOn(touched, v) {
+							f.TileGrid(tg.local).GatherLines(tg.geom[v][s0:s0+nb], panels[v])
+						}
+					}
+					var cIn, cOut []float64
+					if inBuf != nil {
+						cIn = inBuf[inOff+s0*carryLen : inOff+(s0+nb)*carryLen]
+					}
+					if outBuf != nil {
+						cOut = outBuf[outOff+s0*carryLen : outOff+(s0+nb)*carryLen]
+					}
+					if backward {
+						bs.BackwardBatch(panels, nb, cIn, cOut)
+					} else {
+						bs.ForwardBatch(panels, nb, cIn, cOut)
+					}
+					for v, f := range fields {
+						if sweep.MaskOn(written, v) {
+							f.TileGrid(tg.local).ScatterLines(tg.geom[v][s0:s0+nb], panels[v])
+						}
+					}
+				}
+				if inBuf != nil {
+					inOff += tg.lines * carryLen
+				}
+				if outBuf != nil {
+					outOff += tg.lines * carryLen
+				}
+				continue
 			}
-			for li := 0; li < tileLines[ti]; li++ {
-				for v := range fields {
-					tileGrids[v].Gather(tileLineGeom[v][li], chunk[v][:chunkLen])
-					views[v] = chunk[v][:chunkLen]
+
+			for li := 0; li < tg.lines; li++ {
+				for v, f := range fields {
+					f.TileGrid(tg.local).Gather(tg.geom[v][li], chunk[v][:tg.chunkLen])
+					views[v] = chunk[v][:tg.chunkLen]
 				}
 				var cIn, cOut []float64
 				if inBuf != nil {
@@ -131,17 +257,20 @@ func sweepPass(r *sim.Rank, solver sweep.Solver, fields []*Field, dim int, backw
 				} else {
 					solver.Forward(views, cIn, cOut)
 				}
-				for v := range fields {
-					tileGrids[v].Scatter(tileLineGeom[v][li], chunk[v][:chunkLen])
+				for v, f := range fields {
+					f.TileGrid(tg.local).Scatter(tg.geom[v][li], chunk[v][:tg.chunkLen])
 				}
 			}
 		}
+		if inBuf != nil {
+			r.PutPayload(inBuf)
+		}
 		r.ComputeFlops(flopsPerElem * float64(elements) * env.Overhead.ComputeFactor)
 
-		if ph.SendTo >= 0 && carryLen > 0 {
+		if ph.sendTo >= 0 && carryLen > 0 {
 			r.Compute(env.Overhead.PerMessage)
-			r.Send(ph.SendTo, strictSweepTag(dim, backward, k+1),
-				sim.Msg{Payload: outBuf})
+			r.Send(ph.sendTo, strictSweepTag(dim, backward, k+1),
+				sim.Msg{Bytes: ph.lines * carryLen * 8, Payload: outBuf})
 		}
 	}
 }

@@ -1,0 +1,149 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomGrid(rng *rand.Rand, shape ...int) *Grid {
+	g := New(shape...)
+	data := g.Data()
+	for i := range data {
+		data[i] = rng.Float64()
+	}
+	return g
+}
+
+// TestAppendLinesMatchesEachLine: identical lines in identical order.
+func TestAppendLinesMatchesEachLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGrid(rng, 5, 7, 6)
+	rects := []Rect{
+		g.Bounds(),
+		{Lo: []int{1, 2, 0}, Hi: []int{4, 5, 6}},
+		{Lo: []int{0, 0, 3}, Hi: []int{1, 7, 4}},
+	}
+	for _, r := range rects {
+		for dim := 0; dim < 3; dim++ {
+			var want []Line
+			g.EachLine(r, dim, func(l Line) { want = append(want, l) })
+			got := g.AppendLines(r, dim, nil)
+			if len(got) != len(want) {
+				t.Fatalf("dim %d: %d lines, want %d", dim, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("dim %d line %d: %+v != %+v", dim, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	// 1-D grid edge case.
+	g1 := randomGrid(rng, 9)
+	got := g1.AppendLines(g1.Bounds(), 0, nil)
+	if len(got) != 1 || got[0] != (Line{Base: 0, Stride: 1, N: 9}) {
+		t.Fatalf("1-D AppendLines: %+v", got)
+	}
+}
+
+// TestGatherScatterLines: the panel equals per-line Gather, and
+// ScatterLines restores the grid exactly, for every axis (stride-1 and
+// strided line cases) and ragged batch sizes.
+func TestGatherScatterLinesPanel(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomGrid(rng, 6, 5, 9)
+	r := Rect{Lo: []int{1, 0, 2}, Hi: []int{6, 4, 9}}
+	for dim := 0; dim < 3; dim++ {
+		all := g.AppendLines(r, dim, nil)
+		for _, nb := range []int{1, 3, len(all)} {
+			lines := all[:nb]
+			n := lines[0].N
+			panel := make([]float64, n*nb)
+			g.GatherLines(lines, panel)
+			tmp := make([]float64, n)
+			for b, l := range lines {
+				g.Gather(l, tmp)
+				for k := 0; k < n; k++ {
+					if panel[k*nb+b] != tmp[k] {
+						t.Fatalf("dim %d nb %d line %d elem %d: %v != %v", dim, nb, b, k, panel[k*nb+b], tmp[k])
+					}
+				}
+			}
+			// Perturb the panel, scatter, and check against per-line Scatter
+			// on a clone.
+			clone := g.Clone()
+			for i := range panel {
+				panel[i] += 1.0
+			}
+			g2 := g.Clone()
+			g2.ScatterLines(lines, panel)
+			for b, l := range lines {
+				for k := 0; k < n; k++ {
+					tmp[k] = panel[k*nb+b]
+				}
+				clone.Scatter(l, tmp)
+			}
+			if d := MaxAbsDiff(g2, clone); d != 0 {
+				t.Fatalf("dim %d nb %d: ScatterLines differs from per-line Scatter by %v", dim, nb, d)
+			}
+			// Restore g for the next axis.
+			for i := range panel {
+				panel[i] -= 1.0
+			}
+			g.ScatterLines(lines, panel)
+		}
+	}
+}
+
+// TestExtractIntoInjectFrom: exact agreement with Extract/Inject.
+func TestExtractIntoInjectFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, shape := range [][]int{{13}, {4, 6}, {5, 4, 7}, {3, 2, 4, 5}} {
+		g := randomGrid(rng, shape...)
+		r := g.Bounds()
+		for i := range r.Lo {
+			if r.Hi[i] > 2 {
+				r.Lo[i] = 1
+			}
+		}
+		want := g.Extract(r)
+		got := make([]float64, r.Size())
+		g.ExtractInto(r, got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shape %v: ExtractInto[%d] = %v, want %v", shape, i, got[i], want[i])
+			}
+		}
+		for i := range got {
+			got[i] = rng.Float64()
+		}
+		g2 := g.Clone()
+		g.Inject(r, got)
+		g2.InjectFrom(r, got)
+		if d := MaxAbsDiff(g, g2); d != 0 {
+			t.Fatalf("shape %v: InjectFrom differs from Inject by %v", shape, d)
+		}
+	}
+}
+
+// TestPanelOpsZeroAllocs: the batched pack/unpack and region copies are
+// inner-loop operations and must not allocate.
+func TestPanelOpsZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomGrid(rng, 8, 8, 8)
+	r := Rect{Lo: []int{1, 1, 1}, Hi: []int{7, 7, 7}}
+	lines := g.AppendLines(r, 1, nil)
+	panel := make([]float64, lines[0].N*len(lines))
+	buf := make([]float64, r.Size())
+	linesBuf := lines[:0]
+	allocs := testing.AllocsPerRun(10, func() {
+		g.GatherLines(lines, panel)
+		g.ScatterLines(lines, panel)
+		g.ExtractInto(r, buf)
+		g.InjectFrom(r, buf)
+		linesBuf = g.AppendLines(r, 1, linesBuf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("panel ops allocate %v per run, want 0", allocs)
+	}
+}

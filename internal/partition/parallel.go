@@ -1,0 +1,198 @@
+// Parallel partitioning search: the search tree of the optimized exhaustive
+// algorithm is a cross product of per-factor distribution lists, so sharding
+// the FIRST factor's distributions gives naturally independent subtrees that
+// workers can walk without any shared state. Determinism is preserved by
+// folding the per-chunk incumbents in ascending chunk order — exactly the
+// order the serial depth-first walk visits them — so the parallel searches
+// return the same Result as their serial counterparts.
+//
+// Small spaces stay serial (parallelLeafFloor): goroutine dispatch costs
+// more than the walk itself there, and the committed benchmark baselines
+// gate the serial search counters at zero tolerance.
+package partition
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"genmp/internal/numutil"
+)
+
+var (
+	searchParMu sync.Mutex
+	searchParN  int // 0 = automatic (runtime.NumCPU)
+)
+
+// parallelLeafFloor is the minimum brute-force space size before the search
+// fans out to worker goroutines; below it the serial walk is faster than the
+// dispatch. Tests shrink it to force the parallel path on small inputs.
+var parallelLeafFloor = 4096
+
+// SetSearchParallelism sets the number of workers the partitioning searches
+// may use: 1 forces the serial walk, 0 restores the automatic default
+// (runtime.NumCPU()).
+func SetSearchParallelism(n int) {
+	searchParMu.Lock()
+	defer searchParMu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	searchParN = n
+}
+
+// SearchParallelism returns the worker count the searches will use.
+func SearchParallelism() int {
+	searchParMu.Lock()
+	defer searchParMu.Unlock()
+	if searchParN > 0 {
+		return searchParN
+	}
+	return runtime.NumCPU()
+}
+
+// useParallelSearch decides whether a search over a space of the given
+// brute-force size, whose first factor has nChunks distributions, should fan
+// out.
+func useParallelSearch(bruteLeaves, nChunks int) bool {
+	return nChunks > 1 && bruteLeaves >= parallelLeafFloor && SearchParallelism() > 1
+}
+
+// chunkOut is one top-level subtree's outcome: its incumbent and its
+// as-executed accounting.
+type chunkOut struct {
+	best  Result
+	stats SearchStats
+}
+
+// runChunks walks every top-level subtree (one per distribution of the first
+// factor) on up to SearchParallelism() workers, dispatching chunk indices
+// dynamically over an atomic counter. walk receives the chunk's distribution
+// index and its private output slot; it must touch nothing shared.
+func runChunks(nChunks int, walk func(i0 int, out *chunkOut)) []chunkOut {
+	outs := make([]chunkOut, nChunks)
+	workers := min(SearchParallelism(), nChunks)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i0 := int(next.Add(1)) - 1
+				if i0 >= nChunks {
+					return
+				}
+				walk(i0, &outs[i0])
+			}
+		}()
+	}
+	wg.Wait()
+	return outs
+}
+
+// parallelOptimal is the fan-out of OptimalStats' branch-and-bound walk.
+// Every chunk runs the identical optimalRec with a chunk-local incumbent, so
+// each leaf's partial cost is computed by exactly the serial arithmetic; the
+// ascending fold with a strict < then selects the same leaf the serial
+// depth-first walk would have kept (its equal-cost leaves are cut by the
+// entry bound before evaluation, so "first minimal leaf in visit order"
+// fully characterizes the serial answer). The aggregated NodesVisited /
+// PrunedBound / LeavesEvaluated are as-executed counts: chunk-local
+// incumbents prune less than the serial global incumbent, so they upper-bound
+// the serial counters.
+func parallelOptimal(factors []numutil.Factor, dists [][][]int, d int, obj Objective, stats *SearchStats) Result {
+	alpha := factors[0].Prime
+	outs := runChunks(len(dists[0]), func(i0 int, out *chunkOut) {
+		gamma := make([]int, d)
+		for i := range gamma {
+			gamma[i] = 1
+		}
+		partial := obj.Cost(gamma)
+		delta := 0.0
+		for i, e := range dists[0][i0] {
+			if e > 0 {
+				grown := gamma[i] * numutil.Pow(alpha, e)
+				delta += float64(grown-gamma[i]) * obj.Lambda[i]
+				gamma[i] = grown
+			}
+		}
+		out.best = Result{Cost: math.Inf(1)}
+		optimalRec(factors, dists, obj, 1, partial+delta, gamma, &out.best, &out.stats)
+	})
+	stats.NodesVisited++ // the shared root the chunks fan out of
+	best := Result{Cost: math.Inf(1)}
+	for i := range outs {
+		stats.NodesVisited += outs[i].stats.NodesVisited
+		stats.LeavesEvaluated += outs[i].stats.LeavesEvaluated
+		stats.PrunedBound += outs[i].stats.PrunedBound
+		if outs[i].best.Gamma != nil && outs[i].best.Cost < best.Cost {
+			best = outs[i].best
+		}
+	}
+	return best
+}
+
+// parallelOptimalCapped is the fan-out of OptimalCappedStats' streaming
+// scan. It reports ok = false when the space should stay serial. The scan
+// has no bound pruning, so the aggregated counters match the serial walk
+// exactly (the shared root plus every subtree's nodes); incumbents fold in
+// ascending chunk order through the same betterResult comparison the serial
+// stream applies.
+func parallelOptimalCapped(p, d int, obj Objective, caps []int, stats *SearchStats) (Result, bool) {
+	if p == 1 || d == 1 {
+		return Result{}, false
+	}
+	brute := CountElementary(p, d)
+	factors := numutil.Factorize(p)
+	dists := make([][][]int, len(factors))
+	for j, fac := range factors {
+		dists[j] = Distributions(fac.Exp, d)
+	}
+	if !useParallelSearch(brute, len(dists[0])) {
+		return Result{}, false
+	}
+	stats.BruteForceLeaves = brute
+	stats.Factors = len(factors)
+	for j := range dists {
+		stats.Distributions += len(dists[j])
+	}
+	alpha := factors[0].Prime
+	outs := runChunks(len(dists[0]), func(i0 int, out *chunkOut) {
+		gamma := make([]int, d)
+		for i := range gamma {
+			gamma[i] = 1
+		}
+		for i, e := range dists[0][i0] {
+			gamma[i] *= numutil.Pow(alpha, e)
+		}
+		out.best = Result{Cost: math.Inf(1)}
+		stopped := false
+		elemRec(factors, dists, 1, gamma, &out.stats, &stopped, func(g []int) bool {
+			for i, gi := range g {
+				if gi > caps[i] {
+					out.stats.PrunedCap++
+					out.stats.LeavesEvaluated-- // streamed but never costed
+					return true
+				}
+			}
+			c := obj.Cost(g)
+			if betterResult(c, g, out.best) {
+				out.best = Result{Gamma: numutil.CopyInts(g), Cost: c}
+			}
+			return true
+		})
+	})
+	stats.NodesVisited++ // the shared root the chunks fan out of
+	best := Result{Cost: math.Inf(1)}
+	for i := range outs {
+		stats.NodesVisited += outs[i].stats.NodesVisited
+		stats.LeavesEvaluated += outs[i].stats.LeavesEvaluated
+		stats.PrunedCap += outs[i].stats.PrunedCap
+		if outs[i].best.Gamma != nil && betterResult(outs[i].best.Cost, outs[i].best.Gamma, best) {
+			best = outs[i].best
+		}
+	}
+	return best, true
+}

@@ -1,0 +1,151 @@
+package partition
+
+import (
+	"testing"
+
+	"genmp/internal/numutil"
+)
+
+// forceParallel shrinks the fan-out floor and pins a worker count so the
+// parallel path runs even on small spaces and single-CPU machines, restoring
+// both on cleanup.
+func forceParallel(t *testing.T, workers int) {
+	t.Helper()
+	oldFloor := parallelLeafFloor
+	parallelLeafFloor = 1
+	SetSearchParallelism(workers)
+	t.Cleanup(func() {
+		parallelLeafFloor = oldFloor
+		SetSearchParallelism(0)
+	})
+}
+
+func serialOptimal(t *testing.T, p, d int, obj Objective, stats *SearchStats) Result {
+	t.Helper()
+	SetSearchParallelism(1)
+	res, err := OptimalStats(p, d, obj, stats)
+	if err != nil {
+		t.Fatalf("serial Optimal(p=%d,d=%d): %v", p, d, err)
+	}
+	return res
+}
+
+var parallelCases = []struct {
+	p, d int
+}{
+	{4, 2}, {6, 3}, {8, 3}, {12, 3}, {16, 3}, {30, 3}, {36, 3},
+	{60, 3}, {64, 3}, {120, 3}, {210, 3}, {360, 3}, {24, 4}, {96, 4},
+	{720, 4}, {128, 5}, {2520, 3},
+}
+
+func objectivesFor(p, d int) []Objective {
+	eta := make([]int, d)
+	for i := range eta {
+		eta[i] = 40 + 13*i // asymmetric extents: orientation matters
+	}
+	return []Objective{
+		UniformObjective(d),
+		VolumeObjective(eta),
+		MachineObjective(eta, 100, 0.25),
+	}
+}
+
+// TestParallelOptimalMatchesSerial: identical Result (gamma AND cost,
+// exactly) from the fanned-out search for every case × objective, across
+// several worker counts including more workers than chunks.
+func TestParallelOptimalMatchesSerial(t *testing.T) {
+	for _, tc := range parallelCases {
+		for oi, obj := range objectivesFor(tc.p, tc.d) {
+			want := serialOptimal(t, tc.p, tc.d, obj, nil)
+			for _, workers := range []int{2, 3, 8} {
+				forceParallel(t, workers)
+				got, err := OptimalStats(tc.p, tc.d, obj, nil)
+				if err != nil {
+					t.Fatalf("parallel Optimal(p=%d,d=%d,obj=%d,w=%d): %v", tc.p, tc.d, oi, workers, err)
+				}
+				if got.Cost != want.Cost || !numutil.EqualInts(got.Gamma, want.Gamma) {
+					t.Fatalf("p=%d d=%d obj=%d w=%d: parallel %v cost %v, serial %v cost %v",
+						tc.p, tc.d, oi, workers, got.Gamma, got.Cost, want.Gamma, want.Cost)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelOptimalCappedMatchesSerial: the capped scan has no bound
+// pruning, so both the Result and every counter must match the serial walk
+// exactly.
+func TestParallelOptimalCappedMatchesSerial(t *testing.T) {
+	for _, tc := range parallelCases {
+		caps := make([]int, tc.d)
+		for i := range caps {
+			caps[i] = 2 + 3*i // tight asymmetric caps exercise PrunedCap
+		}
+		for oi, obj := range objectivesFor(tc.p, tc.d) {
+			SetSearchParallelism(1)
+			var wantStats SearchStats
+			want, wantErr := OptimalCappedStats(tc.p, tc.d, obj, caps, &wantStats)
+
+			forceParallel(t, 4)
+			var gotStats SearchStats
+			got, gotErr := OptimalCappedStats(tc.p, tc.d, obj, caps, &gotStats)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("p=%d d=%d obj=%d: error mismatch: serial %v, parallel %v", tc.p, tc.d, oi, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			if got.Cost != want.Cost || !numutil.EqualInts(got.Gamma, want.Gamma) {
+				t.Fatalf("p=%d d=%d obj=%d: parallel %v cost %v, serial %v cost %v",
+					tc.p, tc.d, oi, got.Gamma, got.Cost, want.Gamma, want.Cost)
+			}
+			if gotStats != wantStats {
+				t.Fatalf("p=%d d=%d obj=%d: counter mismatch:\nparallel %+v\nserial   %+v",
+					tc.p, tc.d, oi, gotStats, wantStats)
+			}
+		}
+	}
+}
+
+// TestParallelOptimalStatsConsistent: the as-executed parallel counters are
+// self-consistent and bound the serial ones from above (chunk-local
+// incumbents prune less than a global one).
+func TestParallelOptimalStatsConsistent(t *testing.T) {
+	var serialStats SearchStats
+	serialOptimal(t, 360, 3, UniformObjective(3), &serialStats)
+
+	forceParallel(t, 4)
+	var stats SearchStats
+	if _, err := OptimalStats(360, 3, UniformObjective(3), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.BruteForceLeaves != serialStats.BruteForceLeaves ||
+		stats.Factors != serialStats.Factors ||
+		stats.Distributions != serialStats.Distributions {
+		t.Fatalf("static counters differ: parallel %+v, serial %+v", stats, serialStats)
+	}
+	if stats.LeavesEvaluated < serialStats.LeavesEvaluated ||
+		stats.LeavesEvaluated > stats.BruteForceLeaves {
+		t.Fatalf("parallel leaves %d out of range [serial %d, brute %d]",
+			stats.LeavesEvaluated, serialStats.LeavesEvaluated, stats.BruteForceLeaves)
+	}
+	if stats.NodesVisited < serialStats.NodesVisited {
+		t.Fatalf("parallel visited %d nodes < serial %d", stats.NodesVisited, serialStats.NodesVisited)
+	}
+}
+
+// TestSearchParallelismControls: the knob clamps and restores as documented.
+func TestSearchParallelismControls(t *testing.T) {
+	SetSearchParallelism(3)
+	if got := SearchParallelism(); got != 3 {
+		t.Fatalf("SearchParallelism() = %d after Set(3)", got)
+	}
+	SetSearchParallelism(-5)
+	if got := SearchParallelism(); got < 1 {
+		t.Fatalf("SearchParallelism() = %d after Set(-5), want ≥ 1 (auto)", got)
+	}
+	SetSearchParallelism(0)
+	if got := SearchParallelism(); got < 1 {
+		t.Fatalf("SearchParallelism() = %d for auto, want ≥ 1", got)
+	}
+}

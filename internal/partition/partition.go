@@ -288,34 +288,38 @@ func EachElementaryStats(p, d int, stats *SearchStats, f func(gamma []int) bool)
 		stats.Distributions += len(dists[j])
 	}
 	stopped := false
-	var rec func(j int)
-	rec = func(j int) {
-		if stopped {
-			return
+	elemRec(factors, dists, 0, gamma, stats, &stopped, f)
+}
+
+// elemRec walks the cross product of the per-factor distributions from level
+// j down, streaming complete partitionings to f. It is shared by the serial
+// stream and the per-chunk workers of the parallel search, which enter at
+// j = 1 after applying one top-level distribution themselves.
+func elemRec(factors []numutil.Factor, dists [][][]int, j int, gamma []int, stats *SearchStats, stopped *bool, f func([]int) bool) {
+	if *stopped {
+		return
+	}
+	stats.NodesVisited++
+	if j == len(factors) {
+		stats.LeavesEvaluated++
+		if !f(gamma) {
+			*stopped = true
 		}
-		stats.NodesVisited++
-		if j == len(factors) {
-			stats.LeavesEvaluated++
-			if !f(gamma) {
-				stopped = true
-			}
-			return
+		return
+	}
+	alpha := factors[j].Prime
+	for _, bins := range dists[j] {
+		for i, e := range bins {
+			gamma[i] *= numutil.Pow(alpha, e)
 		}
-		alpha := factors[j].Prime
-		for _, bins := range dists[j] {
-			for i, e := range bins {
-				gamma[i] *= numutil.Pow(alpha, e)
-			}
-			rec(j + 1)
-			for i, e := range bins {
-				gamma[i] /= numutil.Pow(alpha, e)
-			}
-			if stopped {
-				return
-			}
+		elemRec(factors, dists, j+1, gamma, stats, stopped, f)
+		for i, e := range bins {
+			gamma[i] /= numutil.Pow(alpha, e)
+		}
+		if *stopped {
+			return
 		}
 	}
-	rec(0)
 }
 
 // CountElementary returns the number of elementary partitionings of p over d
@@ -439,41 +443,49 @@ func OptimalStats(p, d int, obj Objective, stats *SearchStats) (Result, error) {
 	for i := range gamma {
 		gamma[i] = 1
 	}
+	if useParallelSearch(stats.BruteForceLeaves, len(dists[0])) {
+		return parallelOptimal(factors, dists, d, obj, stats), nil
+	}
 	best := Result{Cost: math.Inf(1)}
-	var rec func(j int, partial float64)
-	rec = func(j int, partial float64) {
-		if partial >= best.Cost {
-			stats.PrunedBound++
-			return // lower bound: remaining factors only increase every γᵢ
+	optimalRec(factors, dists, obj, 0, obj.Cost(gamma), gamma, &best, stats)
+	return best, nil
+}
+
+// optimalRec is the branch-and-bound walk of the optimized exhaustive
+// search from level j down. The partial objective is a lower bound because
+// the remaining factors can only grow every γᵢ. Shared by the serial search
+// and the per-chunk workers of the parallel search (which enter at j = 1
+// with a chunk-local incumbent).
+func optimalRec(factors []numutil.Factor, dists [][][]int, obj Objective, j int, partial float64, gamma []int, best *Result, stats *SearchStats) {
+	if partial >= best.Cost {
+		stats.PrunedBound++
+		return // lower bound: remaining factors only increase every γᵢ
+	}
+	stats.NodesVisited++
+	if j == len(factors) {
+		stats.LeavesEvaluated++
+		if partial < best.Cost || (partial == best.Cost && lexLess(gamma, best.Gamma)) {
+			*best = Result{Gamma: numutil.CopyInts(gamma), Cost: partial}
 		}
-		stats.NodesVisited++
-		if j == len(factors) {
-			stats.LeavesEvaluated++
-			if partial < best.Cost || (partial == best.Cost && lexLess(gamma, best.Gamma)) {
-				best = Result{Gamma: numutil.CopyInts(gamma), Cost: partial}
+		return
+	}
+	alpha := factors[j].Prime
+	for _, bins := range dists[j] {
+		delta := 0.0
+		for i, e := range bins {
+			if e > 0 {
+				grown := gamma[i] * numutil.Pow(alpha, e)
+				delta += float64(grown-gamma[i]) * obj.Lambda[i]
+				gamma[i] = grown
 			}
-			return
 		}
-		alpha := factors[j].Prime
-		for _, bins := range dists[j] {
-			delta := 0.0
-			for i, e := range bins {
-				if e > 0 {
-					grown := gamma[i] * numutil.Pow(alpha, e)
-					delta += float64(grown-gamma[i]) * obj.Lambda[i]
-					gamma[i] = grown
-				}
-			}
-			rec(j+1, partial+delta)
-			for i, e := range bins {
-				if e > 0 {
-					gamma[i] /= numutil.Pow(alpha, e)
-				}
+		optimalRec(factors, dists, obj, j+1, partial+delta, gamma, best, stats)
+		for i, e := range bins {
+			if e > 0 {
+				gamma[i] /= numutil.Pow(alpha, e)
 			}
 		}
 	}
-	rec(0, obj.Cost(gamma))
-	return best, nil
 }
 
 // OptimalCapped returns the cheapest elementary partitioning with
@@ -502,6 +514,12 @@ func OptimalCappedStats(p, d int, obj Objective, caps []int, stats *SearchStats)
 	}
 	if stats == nil {
 		stats = &SearchStats{}
+	}
+	if res, ok := parallelOptimalCapped(p, d, obj, caps, stats); ok {
+		if res.Gamma == nil {
+			return Result{}, fmt.Errorf("partition: no elementary partitioning of p = %d fits within caps %v", p, caps)
+		}
+		return res, nil
 	}
 	best := Result{Cost: math.Inf(1)}
 	EachElementaryStats(p, d, stats, func(gamma []int) bool {

@@ -1,0 +1,59 @@
+package sim
+
+import "sync"
+
+// payloadPool recycles message payload buffers machine-wide. Ranks hand
+// buffers to each other through messages (a Send transfers ownership to
+// the receiver), so a per-rank free list would drain at the upstream end
+// of every pipeline while piling up downstream; one shared LIFO keeps the
+// population balanced no matter which direction traffic flows. The mutex
+// is uncontended in practice — a rank touches the pool a handful of times
+// per sweep phase.
+type payloadPool struct {
+	mu   sync.Mutex
+	bufs [][]float64
+}
+
+// poolMaxBufs bounds the free list; beyond it buffers are dropped to the
+// garbage collector (a machine at steady state holds far fewer).
+const poolMaxBufs = 256
+
+func (p *payloadPool) get(n int) []float64 {
+	p.mu.Lock()
+	for i := len(p.bufs) - 1; i >= 0; i-- {
+		if cap(p.bufs[i]) >= n {
+			buf := p.bufs[i]
+			last := len(p.bufs) - 1
+			p.bufs[i] = p.bufs[last]
+			p.bufs[last] = nil
+			p.bufs = p.bufs[:last]
+			p.mu.Unlock()
+			return buf[:n]
+		}
+	}
+	p.mu.Unlock()
+	return make([]float64, n)
+}
+
+func (p *payloadPool) put(buf []float64) {
+	if cap(buf) == 0 {
+		return
+	}
+	p.mu.Lock()
+	if len(p.bufs) < poolMaxBufs {
+		p.bufs = append(p.bufs, buf)
+	}
+	p.mu.Unlock()
+}
+
+// GetPayload returns a length-n buffer for use as a message payload,
+// recycled from the machine-wide pool when one of sufficient capacity is
+// free (contents unspecified — overwrite fully).
+func (r *Rank) GetPayload(n int) []float64 { return r.machine.pool.get(n) }
+
+// PutPayload returns a payload buffer to the machine-wide pool. Ownership
+// follows the message: Send transfers the payload to the receiver, so only
+// the receiver of a message may recycle it (after fully consuming it), and
+// a sender must not touch a payload after Send. Callers who allocated a
+// buffer themselves may of course recycle it too.
+func (r *Rank) PutPayload(buf []float64) { r.machine.pool.put(buf) }

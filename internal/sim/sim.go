@@ -108,6 +108,13 @@ type Machine struct {
 	// AlgAuto; zero (AlgAuto) keeps each primitive's legacy algorithm.
 	Coll  Alg
 	Trace *Trace
+	// pool recycles message payload buffers across ranks (Rank.GetPayload/
+	// PutPayload); zero value ready to use.
+	pool payloadPool
+	// mbox is the reusable mailbox: queues and envelope free list persist
+	// across runs (reset each Run) so repeated runs on one machine do not
+	// re-allocate messaging state.
+	mbox *mailbox
 }
 
 // NewMachine builds a machine with the given rank count, network and CPU.
@@ -236,14 +243,22 @@ type msgKey struct{ src, dst, tag int }
 // already-blocked ranks). That situation — reachable via mismatched
 // programs or a rank dying mid-protocol — fails the run instead of hanging.
 type mailbox struct {
-	mu       sync.Mutex
-	cond     *sync.Cond
-	queues   map[msgKey][]*Msg
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[msgKey][]*Msg
+	// free recycles message envelopes, and drained queues keep their map
+	// entry and backing array, so steady-state messaging allocates nothing
+	// (the executors' hot loops send one message per phase or per block).
+	free     []*Msg
 	waiting  map[int]msgKey // dst rank → key it is blocked on
 	alive    int
 	blocked  int
 	deadlock bool
 }
+
+// mailboxMaxFree bounds the envelope free list; in-flight envelopes live in
+// the queues, so steady state holds far fewer.
+const mailboxMaxFree = 1024
 
 func newMailbox(p int) *mailbox {
 	mb := &mailbox{
@@ -255,9 +270,42 @@ func newMailbox(p int) *mailbox {
 	return mb
 }
 
-func (mb *mailbox) put(k msgKey, m *Msg) {
+// reset readies a mailbox for a fresh run: stale queued messages (left by an
+// aborted run) are recycled, per-run progress state is cleared, and the
+// queues keep their map entries and backing arrays.
+func (mb *mailbox) reset(p int) {
 	mb.mu.Lock()
-	mb.queues[k] = append(mb.queues[k], m)
+	for k, q := range mb.queues {
+		for i, env := range q {
+			*env = Msg{}
+			if len(mb.free) < mailboxMaxFree {
+				mb.free = append(mb.free, env)
+			}
+			q[i] = nil
+		}
+		mb.queues[k] = q[:0]
+	}
+	for k := range mb.waiting {
+		delete(mb.waiting, k)
+	}
+	mb.alive = p
+	mb.blocked = 0
+	mb.deadlock = false
+	mb.mu.Unlock()
+}
+
+func (mb *mailbox) put(k msgKey, m Msg) {
+	mb.mu.Lock()
+	var env *Msg
+	if n := len(mb.free); n > 0 {
+		env = mb.free[n-1]
+		mb.free[n-1] = nil
+		mb.free = mb.free[:n-1]
+	} else {
+		env = new(Msg)
+	}
+	*env = m
+	mb.queues[k] = append(mb.queues[k], env)
 	mb.mu.Unlock()
 	mb.cond.Broadcast()
 }
@@ -273,21 +321,26 @@ func (mb *mailbox) anyDeliverable() bool {
 	return false
 }
 
-func (mb *mailbox) get(k msgKey) (*Msg, error) {
+func (mb *mailbox) get(k msgKey) (Msg, error) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for {
 		if q := mb.queues[k]; len(q) > 0 {
-			m := q[0]
-			if len(q) == 1 {
-				delete(mb.queues, k)
-			} else {
-				mb.queues[k] = q[1:]
+			env := q[0]
+			// Shift down in place (queues are short) so the key keeps its
+			// backing array, and recycle the envelope.
+			copy(q, q[1:])
+			q[len(q)-1] = nil
+			mb.queues[k] = q[:len(q)-1]
+			m := *env
+			*env = Msg{}
+			if len(mb.free) < mailboxMaxFree {
+				mb.free = append(mb.free, env)
 			}
 			return m, nil
 		}
 		if mb.deadlock {
-			return nil, fmt.Errorf("sim: deadlock: rank %d waiting for message from %d tag %d", k.dst, k.src, k.tag)
+			return Msg{}, fmt.Errorf("sim: deadlock: rank %d waiting for message from %d tag %d", k.dst, k.src, k.tag)
 		}
 		mb.waiting[k.dst] = k
 		mb.blocked++
@@ -296,7 +349,7 @@ func (mb *mailbox) get(k msgKey) (*Msg, error) {
 			mb.blocked--
 			delete(mb.waiting, k.dst)
 			mb.cond.Broadcast()
-			return nil, fmt.Errorf("sim: deadlock: all ranks blocked with nothing deliverable (rank %d waits on src %d tag %d)", k.dst, k.src, k.tag)
+			return Msg{}, fmt.Errorf("sim: deadlock: all ranks blocked with nothing deliverable (rank %d waits on src %d tag %d)", k.dst, k.src, k.tag)
 		}
 		mb.cond.Wait()
 		mb.blocked--
@@ -527,7 +580,7 @@ func (r *Rank) Send(dst, tag int, m Msg) {
 	if tr := r.machine.Trace; tr != nil && r.quiet == 0 {
 		tr.add(Event{Rank: r.ID, Kind: EvSend, Start: r.clock - r.machine.Net.SendOverhead, End: r.clock, Peer: dst, Bytes: m.Bytes, Tag: tag, Phase: r.phase})
 	}
-	r.mb.put(msgKey{src: r.ID, dst: dst, tag: tag}, &m)
+	r.mb.put(msgKey{src: r.ID, dst: dst, tag: tag}, m)
 }
 
 // Recv blocks until the next message from src with the given tag arrives,
@@ -560,7 +613,7 @@ func (r *Rank) Recv(src, tag int) Msg {
 	if tr := r.machine.Trace; tr != nil && r.quiet == 0 {
 		tr.add(Event{Rank: r.ID, Kind: EvRecv, Start: recvStart, End: r.clock, Peer: src, Bytes: m.Bytes, Tag: tag, Wait: wait, Phase: r.phase})
 	}
-	return *m
+	return m
 }
 
 // SendRecv posts a send to dst and then receives from src (safe in rings
@@ -651,7 +704,12 @@ func (m *Machine) Run(body func(r *Rank)) (Result, error) {
 	if rf, ok := m.Fabric.(interface{ reset() }); ok {
 		rf.reset()
 	}
-	mb := newMailbox(m.P)
+	if m.mbox == nil {
+		m.mbox = newMailbox(m.P)
+	} else {
+		m.mbox.reset(m.P)
+	}
+	mb := m.mbox
 	bar := newBarrier(m.P)
 	ranks := make([]*Rank, m.P)
 	errs := make([]error, m.P)

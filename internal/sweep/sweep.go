@@ -434,50 +434,6 @@ func abs(v float64) float64 {
 // as a distributed sweep would. vecs are full-line arrays; the solution is
 // produced in place. Used by tests and the serial executors.
 func ChunkedSolve(s Solver, vecs [][]float64, cuts []int) {
-	n := len(vecs[0])
-	bounds := append(append([]int{0}, cuts...), n)
-	nv := len(vecs)
-	chunk := make([][]float64, nv)
-
-	fLen := s.ForwardCarryLen()
-	var cIn, cOut []float64
-	if fLen > 0 {
-		cIn = make([]float64, fLen)
-		cOut = make([]float64, fLen)
-	}
-	first := true
-	for c := 0; c+1 < len(bounds); c++ {
-		lo, hi := bounds[c], bounds[c+1]
-		for v := 0; v < nv; v++ {
-			chunk[v] = vecs[v][lo:hi]
-		}
-		if first {
-			s.Forward(chunk, nil, cOut)
-			first = false
-		} else {
-			s.Forward(chunk, cIn, cOut)
-		}
-		cIn, cOut = cOut, cIn
-	}
-
-	bLen := s.BackwardCarryLen()
-	if bLen == 0 {
-		return
-	}
-	bIn := make([]float64, bLen)
-	bOut := make([]float64, bLen)
-	first = true
-	for c := len(bounds) - 2; c >= 0; c-- {
-		lo, hi := bounds[c], bounds[c+1]
-		for v := 0; v < nv; v++ {
-			chunk[v] = vecs[v][lo:hi]
-		}
-		if first {
-			s.Backward(chunk, nil, bOut)
-			first = false
-		} else {
-			s.Backward(chunk, bIn, bOut)
-		}
-		bIn, bOut = bOut, bIn
-	}
+	var ws Workspace
+	ChunkedSolveWS(s, vecs, cuts, &ws)
 }

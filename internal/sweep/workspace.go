@@ -1,0 +1,115 @@
+package sweep
+
+// Workspace is a reusable per-rank (or per-goroutine) arena for the
+// scratch a sweep executor needs: SoA panels, chunk view headers, carry
+// buffers and chunk bounds. Buffers grow monotonically and are reused
+// across calls, so steady-state sweep iterations perform no heap
+// allocations. A Workspace is NOT safe for concurrent use; executors keep
+// one per rank.
+type Workspace struct {
+	panels         [][]float64
+	views          [][]float64
+	carryA, carryB []float64
+	bounds         []int
+}
+
+// Panels returns nv panel slices of elems elements each, reusing prior
+// capacity. Contents are unspecified; callers overwrite them (GatherLines
+// fills every element).
+func (w *Workspace) Panels(nv, elems int) [][]float64 {
+	if cap(w.panels) < nv {
+		w.panels = append(w.panels[:cap(w.panels)], make([][]float64, nv-cap(w.panels))...)
+	}
+	w.panels = w.panels[:nv]
+	for v := range w.panels {
+		if cap(w.panels[v]) < elems {
+			w.panels[v] = make([]float64, elems)
+		}
+		w.panels[v] = w.panels[v][:elems]
+	}
+	return w.panels
+}
+
+// Views returns nv slice headers for chunk views (contents overwritten by
+// the caller), reusing prior capacity.
+func (w *Workspace) Views(nv int) [][]float64 {
+	if cap(w.views) < nv {
+		w.views = make([][]float64, nv)
+	}
+	return w.views[:nv]
+}
+
+// CarryPair returns two carry buffers of n elements each (the in/out pair
+// a chunk loop swaps), reusing prior capacity.
+func (w *Workspace) CarryPair(n int) (a, b []float64) {
+	if cap(w.carryA) < n {
+		w.carryA = make([]float64, n)
+	}
+	if cap(w.carryB) < n {
+		w.carryB = make([]float64, n)
+	}
+	return w.carryA[:n], w.carryB[:n]
+}
+
+// Bounds returns [0, cuts..., n] reusing prior capacity.
+func (w *Workspace) Bounds(cuts []int, n int) []int {
+	need := len(cuts) + 2
+	if cap(w.bounds) < need {
+		w.bounds = make([]int, 0, need)
+	}
+	w.bounds = w.bounds[:0]
+	w.bounds = append(w.bounds, 0)
+	w.bounds = append(w.bounds, cuts...)
+	w.bounds = append(w.bounds, n)
+	return w.bounds
+}
+
+// ChunkedSolveWS is ChunkedSolve with caller-provided scratch: zero heap
+// allocations once ws has warmed up. Results are identical to ChunkedSolve
+// (same Forward/Backward call sequence on the same views).
+func ChunkedSolveWS(s Solver, vecs [][]float64, cuts []int, ws *Workspace) {
+	n := len(vecs[0])
+	bounds := ws.Bounds(cuts, n)
+	nv := len(vecs)
+	chunk := ws.Views(nv)
+
+	fLen := s.ForwardCarryLen()
+	var cIn, cOut []float64
+	if fLen > 0 {
+		cIn, cOut = ws.CarryPair(fLen)
+	}
+	first := true
+	for c := 0; c+1 < len(bounds); c++ {
+		lo, hi := bounds[c], bounds[c+1]
+		for v := 0; v < nv; v++ {
+			chunk[v] = vecs[v][lo:hi]
+		}
+		if first {
+			s.Forward(chunk, nil, cOut)
+			first = false
+		} else {
+			s.Forward(chunk, cIn, cOut)
+		}
+		cIn, cOut = cOut, cIn
+	}
+
+	bLen := s.BackwardCarryLen()
+	if bLen == 0 {
+		return
+	}
+	bIn, bOut := ws.CarryPair(bLen)
+	first = true
+	for c := len(bounds) - 2; c >= 0; c-- {
+		lo, hi := bounds[c], bounds[c+1]
+		for v := 0; v < nv; v++ {
+			chunk[v] = vecs[v][lo:hi]
+		}
+		if first {
+			s.Backward(chunk, nil, bOut)
+			first = false
+		} else {
+			s.Backward(chunk, bIn, bOut)
+		}
+		bIn, bOut = bOut, bIn
+	}
+}
