@@ -21,7 +21,10 @@ import (
 
 	"genmp/internal/core"
 	"genmp/internal/modmap"
+	"genmp/internal/obs"
 	"genmp/internal/partition"
+	"genmp/internal/plan"
+	"genmp/internal/sweep"
 )
 
 func parseInts(s string) ([]int, error) {
@@ -49,6 +52,7 @@ func main() {
 	gammaStr := flag.String("gamma", "", "explicit tile grid, e.g. 10,15,6 (skips the search)")
 	render := flag.Bool("render", false, "print the tile→processor table (d = 2 or 3)")
 	alternatives := flag.Int("alternatives", 0, "also list up to N distinct alternative legal mappings")
+	planPath := flag.String("plan", "", "compile, validate and dump the tridiagonal SweepPlan over the mapping (requires -eta)")
 	k2 := flag.Float64("k2", 20e-6, "per-phase start-up cost K2 (seconds)")
 	k3 := flag.Float64("k3", 80e-9, "per-element transfer cost K3 (seconds)")
 	flag.Parse()
@@ -117,6 +121,25 @@ func main() {
 		if err := m.RenderSlices(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if *planPath != "" {
+		if eta == nil {
+			log.Fatal("-plan needs -eta: a sweep plan is compiled against concrete array extents")
+		}
+		pl, err := plan.Compile(plan.Spec{M: m, Eta: eta, Solver: sweep.Tridiag{}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pl.Validate(); err != nil {
+			log.Fatalf("plan validation FAILED: %v", err)
+		}
+		src := fmt.Sprintf("mpart -p %d -eta %s -plan", *p, *etaStr)
+		if err := obs.WritePlanJSON(*planPath, src, pl); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s", pl.Summary())
+		fmt.Printf("plan validated and written to %s\n", *planPath)
 	}
 
 	if *alternatives > 0 {

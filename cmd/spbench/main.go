@@ -42,6 +42,7 @@ func main() {
 	calibrate := flag.Bool("calibrate", false, "audit the analytic cost model against the simulator, phase by phase")
 	jsonPath := flag.String("json", "", "write machine-readable results (BENCH_*.json schema)")
 	profilePath := flag.String("profile", "", "with -p: write the serialized per-phase profile (benchdiff input)")
+	planPath := flag.String("plan", "", "with -p: write the compiled SweepPlan dump and print the plan-vs-observed traffic audit")
 	topology := flag.String("topology", "", "interconnect topology: crossbar, bus, hypercube, hypercube+contention (default: the network's scaling regime)")
 	collName := flag.String("coll", "", "collective algorithm: auto, pairwise, ring, doubling, bruck (applies to the -p instrumented run)")
 	flag.Parse()
@@ -80,7 +81,7 @@ func main() {
 
 	if *pFlag > 0 {
 		src := sourceLine(class, *steps, *procs, fabricFlags(*topology, *collName)+fmt.Sprintf(" -p %d", *pFlag))
-		if err := runSingle(class, *steps, *pFlag, *topology, coll, suiteSuffix, *tracePath, *metrics, *jsonPath, *profilePath, src); err != nil {
+		if err := runSingle(class, *steps, *pFlag, *topology, coll, suiteSuffix, *tracePath, *metrics, *jsonPath, *profilePath, *planPath, src); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -170,7 +171,7 @@ func fabricFlags(topology, coll string) string {
 // runSingle executes one SP configuration with full observability: search
 // counters from the partitioning search, the per-phase profile (printable
 // and serializable), and a Perfetto-loadable trace.
-func runSingle(class nas.Class, steps, p int, topology string, coll sim.Alg, suiteSuffix, tracePath string, metrics bool, jsonPath, profilePath, src string) error {
+func runSingle(class nas.Class, steps, p int, topology string, coll sim.Alg, suiteSuffix, tracePath string, metrics bool, jsonPath, profilePath, planPath, src string) error {
 	eta := class.Eta
 	obj := partition.MachineObjective(eta, 20e-6, 80e-9/float64(p))
 	var st partition.SearchStats
@@ -199,7 +200,13 @@ func runSingle(class nas.Class, steps, p int, topology string, coll sim.Alg, sui
 	if metrics || tracePath != "" || profilePath != "" {
 		mach.Trace = &sim.Trace{}
 	}
-	simRes, err := nas.Run(env, mach, steps, nil)
+	// One compiled plan drives the run and the dump/audit: what the dump
+	// shows is exactly the schedule the executor ran.
+	pl, err := nas.CompilePlan(env)
+	if err != nil {
+		return err
+	}
+	simRes, err := nas.RunPlanned(env, mach, steps, nil, pl)
 	if err != nil {
 		return err
 	}
@@ -223,6 +230,18 @@ func runSingle(class nas.Class, steps, p int, topology string, coll sim.Alg, sui
 			return err
 		}
 		fmt.Printf("profile written to %s (compare with benchdiff)\n", profilePath)
+	}
+	if planPath != "" {
+		if err := pl.Validate(); err != nil {
+			return err
+		}
+		if err := obs.WritePlanJSON(planPath, src+" -plan", pl); err != nil {
+			return err
+		}
+		fmt.Printf("plan written to %s\n", planPath)
+		rows := obs.AuditPlanBytes(pl, obs.NewProfile(simRes, mach.Trace), steps, nas.PhaseSolve)
+		fmt.Println()
+		fmt.Print(obs.FormatPlanAudit(rows))
 	}
 	if jsonPath != "" {
 		bf := obs.BenchFile{

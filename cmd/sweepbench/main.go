@@ -45,6 +45,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the per-phase profile of one multipartitioned sweep")
 	jsonPath := flag.String("json", "", "write the strategy comparison as machine-readable results (BENCH_*.json schema)")
 	profilePath := flag.String("profile", "", "write the serialized profile of one multipartitioned sweep (benchdiff input)")
+	planPath := flag.String("plan", "", "write the compiled SweepPlan of one multipartitioned sweep and print the plan-vs-observed traffic audit")
 	topology := flag.String("topology", "", "interconnect topology: crossbar, bus, hypercube, hypercube+contention (default: the network's scaling regime); comma-separated list compares them")
 	collName := flag.String("coll", "", "collective algorithm for transposes: auto, pairwise, ring, bruck")
 	flag.Parse()
@@ -92,9 +93,9 @@ func main() {
 		return
 	}
 
-	if *timeline || *tracePath != "" || *metrics || *profilePath != "" {
+	if *timeline || *tracePath != "" || *metrics || *profilePath != "" || *planPath != "" {
 		src := fmt.Sprintf("sweepbench -p %d -eta %s%s -profile (eta %s)", *p, *etaStr, fabricFlags(*topology, *collName), partition.Describe(eta))
-		if err := instrumentedSweep(*p, eta, *topology, coll, *timeline, *tracePath, *metrics, *profilePath, src); err != nil {
+		if err := instrumentedSweep(*p, eta, *topology, coll, *timeline, *tracePath, *metrics, *profilePath, *planPath, src); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -173,7 +174,7 @@ func fabricFlags(topology, coll string) string {
 // timeline (the balance property appears as compute bars of equal length in
 // every phase on every rank), the per-phase profile (printed and/or
 // serialized for benchdiff), and a Perfetto trace.
-func instrumentedSweep(p int, eta []int, topology string, coll sim.Alg, timeline bool, tracePath string, metrics bool, profilePath, src string) error {
+func instrumentedSweep(p int, eta []int, topology string, coll sim.Alg, timeline bool, tracePath string, metrics bool, profilePath, planPath, src string) error {
 	obj := partition.MachineObjective(eta, 20e-6, 80e-9/float64(p))
 	m, err := core.NewOptimal(p, len(eta), obj)
 	if err != nil {
@@ -223,6 +224,26 @@ func instrumentedSweep(p int, eta []int, topology string, coll sim.Alg, timeline
 			return err
 		}
 		fmt.Printf("profile written to %s (compare with benchdiff)\n", profilePath)
+	}
+	if planPath != "" {
+		pl := ms.CompiledPlan()
+		if err := pl.Validate(); err != nil {
+			return err
+		}
+		if err := obs.WritePlanJSON(planPath, src+" -plan", pl); err != nil {
+			return err
+		}
+		fmt.Printf("plan written to %s\n", planPath)
+		// The run above swept dim 0 once under the "sweep0" label; audit the
+		// plan's dim-0 traffic against it.
+		rows := obs.AuditPlanBytes(pl, obs.NewProfile(res, mach.Trace), 1, func(dim int) string {
+			if dim == 0 {
+				return "sweep0"
+			}
+			return ""
+		})
+		fmt.Println()
+		fmt.Print(obs.FormatPlanAudit(rows))
 	}
 	return nil
 }

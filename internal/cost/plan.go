@@ -1,0 +1,51 @@
+package cost
+
+import "genmp/internal/plan"
+
+// PlanSweepTime returns Tᵢ(p) folded over a compiled multipartitioned
+// sweep plan — the same schedule the executors run — instead of the closed
+// form over (η, γ). The fold reproduces Section 3.1 term by term:
+//
+//   - K₁ volume: the elements the plan computes along dim, summed over
+//     ranks (exactly η for a complete schedule), divided by p.
+//   - Per boundary: each forward-pass phase index at which any rank ships
+//     carries is one synchronized communication step — all ranks cross the
+//     same slab boundary at once — costing one K₂ start-up plus K₃(p) per
+//     line of the crossing hyper-surface (the plan's per-phase line counts
+//     summed over ranks, exactly η/ηᵢ per boundary).
+//
+// The calibrated K₂/K₃ already carry the per-pass factors
+// (SweepWorkload.Passes, CarryBytesPerLine summed over passes), so only
+// forward-pass boundaries are counted, mirroring the (γᵢ−1) of the closed
+// form. For an evenly divided array the fold agrees with SweepTime to
+// float precision; wavefront plans are outside this model (their phases
+// pipeline rather than synchronize).
+func (m Model) PlanSweepTime(pl *plan.SweepPlan, dim int) float64 {
+	p := pl.P
+	t := m.K1 * float64(pl.Elements(dim)) / float64(p)
+	for k := range pl.Pass(0, dim, false).Phases {
+		lines := 0
+		sends := false
+		for q := 0; q < p; q++ {
+			ph := &pl.Pass(q, dim, false).Phases[k]
+			if ph.SendTo >= 0 {
+				sends = true
+				lines += ph.Lines
+			}
+		}
+		if sends {
+			t += m.K2 + m.K3(p)*float64(lines)
+		}
+	}
+	return t
+}
+
+// PlanTotalTime returns Σᵢ PlanSweepTime: the modeled time of one full
+// round of sweeps along every dimension of the plan.
+func (m Model) PlanTotalTime(pl *plan.SweepPlan) float64 {
+	t := 0.0
+	for dim := range pl.Eta {
+		t += m.PlanSweepTime(pl, dim)
+	}
+	return t
+}

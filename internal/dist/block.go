@@ -2,10 +2,12 @@ package dist
 
 import (
 	"fmt"
+	"sync"
 
 	"genmp/internal/core"
 	"genmp/internal/grid"
 	"genmp/internal/numutil"
+	"genmp/internal/plan"
 	"genmp/internal/sim"
 	"genmp/internal/sweep"
 )
@@ -29,8 +31,21 @@ type Block struct {
 	// (the bit-identical oracle, also used as the "before" ablation).
 	Batch int
 	// scratchBuf holds one reusable arena per rank (indexed by rank ID, so
-	// concurrently running ranks never share); presized by NewBlock.
+	// concurrently running ranks never share); presized lazily by scratch,
+	// so literal-built Blocks are allocation-free in steady state too.
 	scratchBuf []rankScratch
+	scOnce     sync.Once
+	// wfPlans caches compiled wavefront schedules per (solver, grain) so
+	// repeated sweeps share one plan across ranks and steps.
+	wfMu    sync.Mutex
+	wfPlans map[wfKey]*plan.SweepPlan
+}
+
+// wfKey identifies one compiled wavefront schedule: the carry lengths come
+// from the named solver, the phase structure from the grain.
+type wfKey struct {
+	solver string
+	grain  int
 }
 
 // rankScratch is the per-rank reusable state of a sweep executor: the SoA
@@ -42,34 +57,39 @@ type rankScratch struct {
 	chunk     sweep.Workspace
 	lines     []grid.Line
 	tileLines []int
-	// sched caches a MultiSweep rank's resolved phase geometry per
-	// (dim, pass) key — the schedule and tile bounds are static across
-	// steps, so repeated sweeps rebuild nothing.
-	sched map[int][]msPhase
 }
 
-// msPhase is one cached phase of a rank's sweep schedule: its destination
-// and the resolved geometry of every tile it computes.
-type msPhase struct {
-	sendTo int
-	lines  int // total lines across the phase's tiles
-	tiles  []msTile
-}
-
-// msTile is one tile's cached sweep geometry.
-type msTile struct {
-	rect     grid.Rect
-	lines    int // cross-section line count
-	chunkLen int // extent along the sweep dimension
-}
-
-// scratch returns rank q's arena. Ranks beyond the presized slice (a Block
-// built as a literal) get a throwaway arena — correct, just allocating.
+// scratch returns rank q's arena, presizing the per-rank slice on first use
+// so a Block built as a literal is served from persistent arenas too.
 func (b *Block) scratch(q int) *rankScratch {
-	if q < len(b.scratchBuf) {
-		return &b.scratchBuf[q]
+	b.scOnce.Do(func() {
+		if b.scratchBuf == nil {
+			b.scratchBuf = make([]rankScratch, b.P)
+		}
+	})
+	return &b.scratchBuf[q]
+}
+
+// wavefrontPlan returns the compiled pipeline schedule for (solver, grain),
+// compiling it on first use. All ranks execute the one shared instance.
+func (b *Block) wavefrontPlan(solver sweep.Solver, grainLines int) *plan.SweepPlan {
+	key := wfKey{solver: solver.Name(), grain: grainLines}
+	b.wfMu.Lock()
+	defer b.wfMu.Unlock()
+	if pl, ok := b.wfPlans[key]; ok {
+		return pl
 	}
-	return &rankScratch{}
+	pl, err := plan.CompileWavefront(plan.WavefrontSpec{
+		P: b.P, Eta: b.Eta, Dim: b.Dim, Grain: grainLines, Solver: solver, Batch: b.Batch,
+	})
+	if err != nil {
+		panic("dist: " + err.Error())
+	}
+	if b.wfPlans == nil {
+		b.wfPlans = map[wfKey]*plan.SweepPlan{}
+	}
+	b.wfPlans[key] = pl
+	return pl
 }
 
 // NewBlock builds a block unipartitioning along the given dimension.
@@ -208,30 +228,23 @@ func (b *Block) WavefrontSweep(r *sim.Rank, solver sweep.Solver, vecs []*grid.Gr
 	if grainLines < 1 {
 		panic("dist: WavefrontSweep: grainLines must be ≥ 1")
 	}
-	b.wavefrontPass(r, solver, vecs, grainLines, false)
+	pl := b.wavefrontPlan(solver, grainLines)
+	b.wavefrontPass(r, solver, vecs, pl, false)
 	if solver.BackwardCarryLen() > 0 || solver.BackwardFlopsPerElement() > 0 {
-		b.wavefrontPass(r, solver, vecs, grainLines, true)
+		b.wavefrontPass(r, solver, vecs, pl, true)
 	}
 }
 
-func (b *Block) wavefrontPass(r *sim.Rank, solver sweep.Solver, vecs []*grid.Grid, grainLines int, backward bool) {
+func (b *Block) wavefrontPass(r *sim.Rank, solver sweep.Solver, vecs []*grid.Grid, pl *plan.SweepPlan, backward bool) {
 	q := r.ID
-	carryLen := solver.ForwardCarryLen()
+	pp := pl.Pass(q, b.Dim, backward)
+	carryLen := pp.CarryLen
 	flopsPerElem := solver.ForwardFlopsPerElement()
 	if backward {
-		carryLen = solver.BackwardCarryLen()
 		flopsPerElem = solver.BackwardFlopsPerElement()
 	}
-	upstream, downstream := q-1, q+1
-	if backward {
-		upstream, downstream = q+1, q-1
-	}
-	haveUp := upstream >= 0 && upstream < b.P
-	haveDown := downstream >= 0 && downstream < b.P
-
 	rect := b.ownedRect(q)
 	chunkLen := rect.Hi[b.Dim] - rect.Lo[b.Dim]
-	totalLines := b.orthoLines(q, b.Dim)
 
 	// Collect this rank's line geometry once (identical ordering on all
 	// ranks: row-major over the full orthogonal extents). The batched path
@@ -253,19 +266,19 @@ func (b *Block) wavefrontPass(r *sim.Rank, solver sweep.Solver, vecs []*grid.Gri
 		}
 	}
 
-	blocks := numutil.CeilDiv(totalLines, grainLines)
-	for m := 0; m < blocks; m++ {
-		first := m * grainLines
-		count := numutil.MinInt(grainLines, totalLines-first)
+	for m := range pp.Phases {
+		ph := &pp.Phases[m]
+		first := ph.Tiles[0].LineOff
+		count := ph.Lines
 
 		var inBuf []float64
-		if haveUp && carryLen > 0 {
-			msg := r.Recv(upstream, sweepTag(b.Dim, backward, m))
+		if ph.RecvFrom >= 0 && carryLen > 0 {
+			msg := r.Recv(ph.RecvFrom, ph.RecvTag)
 			r.Compute(b.Overhead.PerMessage)
 			inBuf = msg.Payload
 		}
 		var outBuf []float64
-		if haveDown && carryLen > 0 && vecs != nil {
+		if ph.SendTo >= 0 && carryLen > 0 && vecs != nil {
 			outBuf = r.GetPayload(count * carryLen)
 		}
 
@@ -318,10 +331,9 @@ func (b *Block) wavefrontPass(r *sim.Rank, solver sweep.Solver, vecs []*grid.Gri
 		}
 		r.ComputeFlops(flopsPerElem * float64(count*chunkLen) * b.Overhead.ComputeFactor)
 
-		if haveDown && carryLen > 0 {
+		if ph.SendTo >= 0 && carryLen > 0 {
 			r.Compute(b.Overhead.PerMessage)
-			r.Send(downstream, sweepTag(b.Dim, backward, m),
-				sim.Msg{Bytes: count * carryLen * 8, Payload: outBuf})
+			r.Send(ph.SendTo, ph.SendTag, sim.Msg{Bytes: ph.SendBytes, Payload: outBuf})
 		}
 	}
 }

@@ -31,13 +31,11 @@ import (
 	"genmp/internal/sim"
 )
 
-// Reserved message-tag spaces of the distribution runtime (see
-// sim.ReserveTags). The bases keep the historical literal values
-// ("1<<28 | ..."-style), now checked for collisions at init.
-var (
-	sweepTags = sim.ReserveTags("dist/sweep", 1<<28, 1<<28)
-	haloTags  = sim.ReserveTags("dist/halo", 1<<26, 64)
-)
+// Reserved message-tag space of the halo exchange (see sim.ReserveTags).
+// Sweep carries are tagged by the compiled schedule itself, from the shared
+// plan.SweepTags reservation — same base as the historical dist/sweep
+// space, so tag values are unchanged.
+var haloTags = sim.ReserveTags("dist/halo", 1<<26, 64)
 
 // OverheadModel captures the per-construct costs that distinguish hand-
 // written message-passing code from compiler-generated code. The paper's

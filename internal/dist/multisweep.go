@@ -2,8 +2,10 @@ package dist
 
 import (
 	"fmt"
+	"sync"
 
 	"genmp/internal/grid"
+	"genmp/internal/plan"
 	"genmp/internal/sim"
 	"genmp/internal/sweep"
 )
@@ -31,9 +33,15 @@ type MultiSweep struct {
 	// sweep.DefaultBatchLines, negative forces the scalar per-line path
 	// (the bit-identical oracle / "before" ablation).
 	Batch int
-	// scratchBuf holds one reusable arena per rank; presized by
-	// NewMultiSweep so concurrently running ranks never share or resize.
+	// Plan is the compiled schedule the executor runs. Leave nil to have
+	// the first Run compile it from (Env, Solver, Batch); pre-set it to
+	// share one instance with other consumers (the cost fold, the obs
+	// dump) — it must have been compiled from the same configuration.
+	Plan *plan.SweepPlan
+	// scratchBuf holds one reusable arena per rank (indexed by rank ID, so
+	// concurrently running ranks never share); presized by init.
 	scratchBuf []rankScratch
+	once       sync.Once
 }
 
 // NewMultiSweep builds a sweep executor; vecs may be nil for model-only
@@ -51,99 +59,59 @@ func NewMultiSweep(env *Env, solver sweep.Solver, vecs []*grid.Grid) (*MultiSwee
 			}
 		}
 	}
-	return &MultiSweep{Env: env, Solver: solver, Vecs: vecs, Aggregate: true,
-		scratchBuf: make([]rankScratch, env.M.P())}, nil
+	return &MultiSweep{Env: env, Solver: solver, Vecs: vecs, Aggregate: true}, nil
 }
 
-// scratch returns rank q's arena (a throwaway one for a literal-built
-// MultiSweep — correct, just allocating).
-func (s *MultiSweep) scratch(q int) *rankScratch {
-	if q < len(s.scratchBuf) {
-		return &s.scratchBuf[q]
-	}
-	return &rankScratch{}
+// init lazily compiles the plan and presizes the per-rank arenas exactly
+// once, so a MultiSweep built as a literal is as allocation-free in steady
+// state as one from NewMultiSweep.
+func (s *MultiSweep) init() {
+	s.once.Do(func() {
+		if s.Plan == nil {
+			pl, err := plan.Compile(plan.Spec{M: s.Env.M, Eta: s.Env.Eta, Solver: s.Solver, Batch: s.Batch})
+			if err != nil {
+				panic("dist: " + err.Error())
+			}
+			s.Plan = pl
+		}
+		if s.scratchBuf == nil {
+			s.scratchBuf = make([]rankScratch, s.Env.M.P())
+		}
+	})
+}
+
+// CompiledPlan returns the executor's SweepPlan, compiling it on first use
+// — the instance the cost model folds over and obs dumps.
+func (s *MultiSweep) CompiledPlan() *plan.SweepPlan {
+	s.init()
+	return s.Plan
 }
 
 // Run performs the full sweep along dim for the calling rank: the forward
 // pass over slabs 0..γ−1 and (if the solver has one) the backward pass over
 // slabs γ−1..0.
 func (s *MultiSweep) Run(r *sim.Rank, dim int) {
+	s.init()
 	s.pass(r, dim, false)
 	if s.Solver.BackwardCarryLen() > 0 || s.Solver.BackwardFlopsPerElement() > 0 {
 		s.pass(r, dim, true)
 	}
 }
 
-// sweepTag builds a unique message tag for (dim, pass, phase boundary)
-// inside the dist/sweep reservation. Per-channel FIFO order disambiguates
-// the per-tile messages of non-aggregated mode, which share the phase tag.
-func sweepTag(dim int, backward bool, phase int) int {
-	pass := 0
-	if backward {
-		pass = 1
-	}
-	return sweepTags.Tag((dim*2+pass)<<20 | phase)
-}
-
-// phasesFor returns rank q's cached schedule geometry for (dim, backward),
-// resolving the schedule and every tile's bounds on first use.
-func (s *MultiSweep) phasesFor(sc *rankScratch, q, dim int, backward bool) []msPhase {
-	key := dim * 2
-	if backward {
-		key++
-	}
-	if sc.sched == nil {
-		sc.sched = map[int][]msPhase{}
-	}
-	if pg, ok := sc.sched[key]; ok {
-		return pg
-	}
-	env := s.Env
-	sched := env.M.SweepSchedule(q, dim, backward)
-	pg := make([]msPhase, len(sched))
-	for k, ph := range sched {
-		pk := msPhase{sendTo: ph.SendTo, tiles: make([]msTile, len(ph.Tiles))}
-		for ti, tile := range ph.Tiles {
-			lo, hi := env.M.TileBounds(env.Eta, tile)
-			n := 1
-			for j := range env.Eta {
-				if j != dim {
-					n *= hi[j] - lo[j]
-				}
-			}
-			pk.tiles[ti] = msTile{rect: grid.RectOf(lo, hi), lines: n, chunkLen: hi[dim] - lo[dim]}
-			pk.lines += n
-		}
-		pg[k] = pk
-	}
-	sc.sched[key] = pg
-	return pg
-}
-
 func (s *MultiSweep) pass(r *sim.Rank, dim int, backward bool) {
 	env := s.Env
 	q := r.ID
-	carryLen := s.Solver.ForwardCarryLen()
+	pp := s.Plan.Pass(q, dim, backward)
+	carryLen := pp.CarryLen
 	flopsPerElem := s.Solver.ForwardFlopsPerElement()
 	if backward {
-		carryLen = s.Solver.BackwardCarryLen()
 		flopsPerElem = s.Solver.BackwardFlopsPerElement()
 	}
-	step := 1
-	if backward {
-		step = -1
-	}
-	// Per-rank scratch: SoA panel arena, phase geometry, and line geometry,
-	// reused across phases, passes and steps. The batched path packs each
-	// tile's lines into panels and reads/writes its carries directly in the
-	// line-major message payloads — the kernel's carry marshalling IS the
-	// wire format.
-	sc := s.scratch(q)
-	sched := s.phasesFor(sc, q, dim, backward)
-	recvFrom := -1
-	if len(sched) > 1 {
-		recvFrom = env.M.NeighborProc(q, dim, -step)
-	}
+	// Per-rank scratch: SoA panel arena and line geometry, reused across
+	// phases, passes and steps. The batched path packs each tile's lines
+	// into panels and reads/writes its carries directly in the line-major
+	// message payloads — the kernel's carry marshalling IS the wire format.
+	sc := &s.scratchBuf[q]
 	bs, batched := s.Solver.(sweep.BatchSolver)
 	batched = batched && s.Batch >= 0
 	batch := s.Batch
@@ -162,12 +130,13 @@ func (s *MultiSweep) pass(r *sim.Rank, dim int, backward bool) {
 		}
 	}
 
-	for k := range sched {
-		ph := &sched[k]
+	for k := range pp.Phases {
+		ph := &pp.Phases[k]
 		// Per-tile line counts are identical on the sending and receiving
 		// side of a phase boundary: tiles correspond by a one-slab shift,
-		// which preserves both order and cross-section.
-		lines := ph.lines
+		// which preserves both order and cross-section (Plan.Validate checks
+		// exactly this symmetry).
+		lines := ph.Lines
 
 		// Receive the carries produced by the upstream slab. An aggregated
 		// payload is a pooled buffer whose ownership arrives with the
@@ -176,9 +145,9 @@ func (s *MultiSweep) pass(r *sim.Rank, dim int, backward bool) {
 		// recycled here.
 		var inBuf []float64
 		pooledIn := false
-		if k > 0 && carryLen > 0 {
+		if ph.RecvFrom >= 0 && carryLen > 0 {
 			if s.Aggregate {
-				msg := r.Recv(recvFrom, sweepTag(dim, backward, k))
+				msg := r.Recv(ph.RecvFrom, ph.RecvTag)
 				r.Compute(env.Overhead.PerMessage)
 				inBuf = msg.Payload
 				pooledIn = inBuf != nil
@@ -187,9 +156,9 @@ func (s *MultiSweep) pass(r *sim.Rank, dim int, backward bool) {
 					inBuf = make([]float64, lines*carryLen)
 				}
 				off := 0
-				for ti := range ph.tiles {
-					n := ph.tiles[ti].lines
-					msg := r.Recv(recvFrom, sweepTag(dim, backward, k))
+				for ti := range ph.Tiles {
+					n := ph.Tiles[ti].Lines
+					msg := r.Recv(ph.RecvFrom, ph.RecvTag)
 					r.Compute(env.Overhead.PerMessage)
 					if inBuf != nil {
 						copy(inBuf[off:off+n*carryLen], msg.Payload)
@@ -200,7 +169,7 @@ func (s *MultiSweep) pass(r *sim.Rank, dim int, backward bool) {
 		}
 
 		var outBuf []float64
-		if ph.sendTo >= 0 && carryLen > 0 && s.Vecs != nil {
+		if ph.SendTo >= 0 && carryLen > 0 && s.Vecs != nil {
 			if s.Aggregate {
 				outBuf = r.GetPayload(lines * carryLen)
 			} else {
@@ -211,17 +180,17 @@ func (s *MultiSweep) pass(r *sim.Rank, dim int, backward bool) {
 		// Compute this slab's tiles.
 		elements := 0
 		inOff, outOff := 0, 0
-		for ti := range ph.tiles {
-			tg := &ph.tiles[ti]
+		for ti := range ph.Tiles {
+			tg := &ph.Tiles[ti]
 			r.Compute(env.Overhead.PerTileVisit)
-			chunkLen := tg.chunkLen
-			elements += chunkLen * tg.lines
+			chunkLen := tg.ChunkLen
+			elements += chunkLen * tg.Lines
 			if s.Vecs == nil {
 				continue
 			}
-			rect := tg.rect
+			rect := tg.Rect
 			if batched {
-				n := tg.lines
+				n := tg.Lines
 				sc.lines = s.Vecs[0].AppendLines(rect, dim, sc.lines[:0])
 				for s0 := 0; s0 < n; s0 += batch {
 					nb := min(batch, n-s0)
@@ -288,22 +257,21 @@ func (s *MultiSweep) pass(r *sim.Rank, dim int, backward bool) {
 		r.ComputeFlops(flopsPerElem * float64(elements) * env.Overhead.ComputeFactor)
 
 		// Ship the carries downstream.
-		if ph.sendTo >= 0 && carryLen > 0 {
+		if ph.SendTo >= 0 && carryLen > 0 {
 			if s.Aggregate {
 				r.Compute(env.Overhead.PerMessage)
-				r.Send(ph.sendTo, sweepTag(dim, backward, k+1),
-					sim.Msg{Bytes: lines * carryLen * 8, Payload: outBuf})
+				r.Send(ph.SendTo, ph.SendTag, sim.Msg{Bytes: ph.SendBytes, Payload: outBuf})
 			} else {
 				off := 0
-				for ti := range ph.tiles {
-					n := ph.tiles[ti].lines
+				for ti := range ph.Tiles {
+					n := ph.Tiles[ti].Lines
 					r.Compute(env.Overhead.PerMessage)
 					msg := sim.Msg{Bytes: n * carryLen * 8}
 					if outBuf != nil {
 						msg.Payload = outBuf[off : off+n*carryLen]
 					}
 					off += n * carryLen
-					r.Send(ph.sendTo, sweepTag(dim, backward, k+1), msg)
+					r.Send(ph.SendTo, ph.SendTag, msg)
 				}
 			}
 		}

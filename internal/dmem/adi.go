@@ -16,6 +16,10 @@ import (
 // adi.Problem.SerialSolve elementwise.
 func RunADI(pb adi.Problem, env *dist.Env, mach *sim.Machine) (*grid.Grid, sim.Result, error) {
 	solver := sweep.Tridiag{}
+	sweepPlan, err := CompileSweepPlan(env, solver)
+	if err != nil {
+		return nil, sim.Result{}, err
+	}
 	var out *grid.Grid
 	res, err := mach.Run(func(r *sim.Rank) {
 		u := NewField(env, r.ID, 0)
@@ -26,6 +30,7 @@ func RunADI(pb adi.Problem, env *dist.Env, mach *sim.Machine) (*grid.Grid, sim.R
 			vecs[v] = NewField(env, r.ID, 0)
 		}
 		runner := NewSweepRunner(solver, vecs)
+		runner.Plan = sweepPlan
 		const buildFlops = 4
 		for step := 0; step < pb.Steps; step++ {
 			for dim := range pb.Eta {

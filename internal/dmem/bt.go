@@ -24,6 +24,10 @@ func RunBT(env *dist.Env, mach *sim.Machine, steps int) (*grid.Grid, sim.Result,
 	const b = nas.BTBlockSize
 	bb := b * b
 	solver := sweep.NewBlockTridiag(b)
+	sweepPlan, err := CompileSweepPlan(env, solver)
+	if err != nil {
+		return nil, sim.Result{}, err
+	}
 	var out *grid.Grid
 	res, err := mach.Run(func(r *sim.Rank) {
 		u := NewField(env, r.ID, haloDepth)
@@ -35,6 +39,7 @@ func RunBT(env *dist.Env, mach *sim.Machine, steps int) (*grid.Grid, sim.Result,
 		}
 		fvecs := vecs[3*bb:]
 		runner := NewSweepRunner(solver, vecs)
+		runner.Plan = sweepPlan
 
 		for step := 0; step < steps; step++ {
 			u.ExchangeHalos(r)

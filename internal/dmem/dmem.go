@@ -190,12 +190,12 @@ func (f *Field) haloFaceRect(i, dim, side, w int, src bool) grid.Rect {
 	return grid.RectOf(lo, hi)
 }
 
-// Reserved message-tag spaces of the strict runtime (see sim.ReserveTags);
-// the bases keep the historical literal values.
-var (
-	strictSweepTags = sim.ReserveTags("dmem/sweep", 1<<29, 1<<28)
-	strictHaloTags  = sim.ReserveTags("dmem/halo", 1<<25, 64)
-)
+// Reserved message-tag space of the strict halo exchange (see
+// sim.ReserveTags). Sweep carries are tagged by the compiled schedule
+// itself, from the shared plan.SweepTags reservation — both runtimes now
+// draw sweep tags from the same space, which is safe because a machine
+// never mixes dist and dmem sweeps.
+var strictHaloTags = sim.ReserveTags("dmem/halo", 1<<25, 64)
 
 // haloDir returns the cached plan for the exchange along dim in direction
 // step (s is the tag index of the direction), building it on first use.

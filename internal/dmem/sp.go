@@ -27,6 +27,10 @@ func RunSP(env *dist.Env, mach *sim.Machine, steps int) (*grid.Grid, sim.Result,
 		}
 	}
 	solver := sweep.NewPenta()
+	sweepPlan, err := CompileSweepPlan(env, solver)
+	if err != nil {
+		return nil, sim.Result{}, err
+	}
 	var out *grid.Grid
 	res, err := mach.Run(func(r *sim.Rank) {
 		u := NewField(env, r.ID, haloDepth)
@@ -37,6 +41,7 @@ func RunSP(env *dist.Env, mach *sim.Machine, steps int) (*grid.Grid, sim.Result,
 		}
 		rhs := vecs[5]
 		runner := NewSweepRunner(solver, vecs)
+		runner.Plan = sweepPlan
 
 		for step := 0; step < steps; step++ {
 			u.ExchangeHalos(r)

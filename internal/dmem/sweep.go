@@ -3,20 +3,23 @@ package dmem
 import (
 	"fmt"
 
+	"genmp/internal/dist"
 	"genmp/internal/grid"
+	"genmp/internal/plan"
 	"genmp/internal/sim"
 	"genmp/internal/sweep"
 )
 
 // SweepRunner executes line sweeps over one rank's strictly distributed
-// fields, keeping everything a sweep needs between calls: the per-dimension
-// schedules, every tile's line geometry for every field (each field may
-// have its own halo depth, so the offsets differ even though the
-// cross-sections coincide), and the SoA panel arenas of the batched
-// kernels. A rank builds one runner and reuses it across timesteps and
-// dimensions, so the steady state allocates nothing: carries travel in
-// pooled payload buffers, and line data moves through the reusable
-// workspace panels.
+// fields. The schedule itself — phases, neighbors, tags, carry byte counts
+// — is a compiled plan.SweepPlan shared with every other consumer; the
+// runner keeps only what binds that plan to this rank's storage: each
+// tile's local index and per-field line geometry (each field may have its
+// own halo depth, so the offsets differ even though the cross-sections
+// coincide), plus the SoA panel arenas of the batched kernels. A rank
+// builds one runner and reuses it across timesteps and dimensions, so the
+// steady state allocates nothing: carries travel in pooled payload
+// buffers, and line data moves through the reusable workspace panels.
 type SweepRunner struct {
 	Solver sweep.Solver
 	Fields []*Field
@@ -24,28 +27,36 @@ type SweepRunner struct {
 	// sweep.DefaultBatchLines, negative forces the scalar per-line path
 	// (the bit-identical oracle / "before" ablation).
 	Batch int
+	// Plan is the compiled schedule the runner executes. Leave nil to have
+	// the first Run compile it from the fields' environment; pre-set it
+	// (see CompileSweepPlan) to share one instance across all rank
+	// runners instead of compiling the full O(p) schedule per rank.
+	Plan *plan.SweepPlan
 
 	pan   sweep.Workspace // SoA panel arena (batched) / chunk buffers (scalar)
 	views sweep.Workspace // view headers of the scalar path
-	sched map[int][]phaseGeom
+	binds map[int][][]tileBind
 }
 
-// phaseGeom is one cached sweep phase: its destination and the resolved
-// geometry of every tile it computes.
-type phaseGeom struct {
-	sendTo int
-	lines  int // total lines across the phase's tiles
-	tiles  []tileGeom
+// tileBind binds one plan tile to this rank's storage: the local tile
+// index and, per field, the tile's line offsets in the shared canonical
+// order (identical cross-sections, field-specific padding).
+type tileBind struct {
+	local int
+	geom  [][]grid.Line
 }
 
-// tileGeom is one tile's cached sweep geometry.
-type tileGeom struct {
-	local    int // index into each Field's local tile storage
-	lines    int // cross-section line count
-	chunkLen int // extent along the sweep dimension
-	// geom[v] lists field v's line offsets for this tile, in the shared
-	// canonical order (identical cross-sections, field-specific padding).
-	geom [][]grid.Line
+// CompileSweepPlan compiles the sweep schedule the strict runtime executes
+// over env with the given solver — the one instance every rank's
+// SweepRunner should share (set SweepRunner.Plan). The fields are assumed
+// unpadded (the solve vectors of the strict applications); runners over
+// padded fields may still share it, since padding only moves storage
+// offsets, which live in the runner's binding cache, not the plan.
+func CompileSweepPlan(env *dist.Env, solver sweep.Solver) (*plan.SweepPlan, error) {
+	return plan.Compile(plan.Spec{
+		M: env.M, Eta: env.Eta, Solver: solver,
+		Halos: make([]int, solver.NumVecs()),
+	})
 }
 
 // NewSweepRunner builds a runner for one rank's fields. fields must hold
@@ -54,7 +65,7 @@ func NewSweepRunner(solver sweep.Solver, fields []*Field) *SweepRunner {
 	if len(fields) != solver.NumVecs() {
 		panic(fmt.Sprintf("dmem: solver %s needs %d fields, got %d", solver.Name(), solver.NumVecs(), len(fields)))
 	}
-	return &SweepRunner{Solver: solver, Fields: fields, sched: map[int][]phaseGeom{}}
+	return &SweepRunner{Solver: solver, Fields: fields, binds: map[int][][]tileBind{}}
 }
 
 // RunSweep performs a full line sweep (forward elimination and, when the
@@ -63,83 +74,96 @@ func NewSweepRunner(solver sweep.Solver, fields []*Field) *SweepRunner {
 // tile storage, and inter-tile carries travel in real message payloads.
 // fields must hold Solver.NumVecs() fields of this rank.
 //
-// The helper builds a throwaway SweepRunner per call; loops should build
-// one runner up front and call its Run so geometry and arenas persist.
+// The helper builds a throwaway SweepRunner (and compiles a throwaway
+// plan) per call; loops should build one runner up front, sharing a
+// CompileSweepPlan instance, so schedule, bindings and arenas persist.
 func RunSweep(r *sim.Rank, solver sweep.Solver, fields []*Field, dim int) {
 	NewSweepRunner(solver, fields).Run(r, dim)
 }
 
+// ensurePlan compiles the runner's schedule on first use when no shared
+// instance was provided.
+func (sr *SweepRunner) ensurePlan() {
+	if sr.Plan != nil {
+		return
+	}
+	f0 := sr.Fields[0]
+	halos := make([]int, len(sr.Fields))
+	for i, f := range sr.Fields {
+		halos[i] = f.Depth
+	}
+	pl, err := plan.Compile(plan.Spec{
+		M: f0.Env.M, Eta: f0.Env.Eta, Solver: sr.Solver,
+		Halos: halos, Batch: sr.Batch,
+	})
+	if err != nil {
+		panic("dmem: " + err.Error())
+	}
+	sr.Plan = pl
+}
+
+// CompiledPlan returns the runner's SweepPlan, compiling it on first use.
+func (sr *SweepRunner) CompiledPlan() *plan.SweepPlan {
+	sr.ensurePlan()
+	return sr.Plan
+}
+
 // Run performs the full sweep along dim for the calling rank.
 func (sr *SweepRunner) Run(r *sim.Rank, dim int) {
+	sr.ensurePlan()
 	sr.pass(r, dim, false)
 	if sr.Solver.BackwardCarryLen() > 0 || sr.Solver.BackwardFlopsPerElement() > 0 {
 		sr.pass(r, dim, true)
 	}
 }
 
-func strictSweepTag(dim int, backward bool, phase int) int {
-	pass := 0
-	if backward {
-		pass = 1
-	}
-	return strictSweepTags.Tag((dim*2+pass)<<20 | phase)
-}
-
-// phases returns the cached schedule geometry for (dim, backward),
-// resolving it on first use.
-func (sr *SweepRunner) phases(dim int, backward bool) []phaseGeom {
+// bindings returns the storage binding of the plan's (dim, backward) pass
+// for this rank's fields, resolving local tile indices and per-field line
+// geometry on first use.
+func (sr *SweepRunner) bindings(pp *plan.Pass, dim int, backward bool) [][]tileBind {
 	key := dim * 2
 	if backward {
 		key++
 	}
-	if sr.sched == nil {
-		sr.sched = map[int][]phaseGeom{}
+	if sr.binds == nil {
+		sr.binds = map[int][][]tileBind{}
 	}
-	if pg, ok := sr.sched[key]; ok {
-		return pg
+	if tb, ok := sr.binds[key]; ok {
+		return tb
 	}
 	f0 := sr.Fields[0]
-	env := f0.Env
-	sched := env.M.SweepSchedule(f0.Rank, dim, backward)
-	pg := make([]phaseGeom, len(sched))
-	for k, ph := range sched {
-		pk := phaseGeom{sendTo: ph.SendTo, tiles: make([]tileGeom, len(ph.Tiles))}
-		for ti, tile := range ph.Tiles {
-			i := f0.LocalTileOf(tile)
+	out := make([][]tileBind, len(pp.Phases))
+	for k := range pp.Phases {
+		ph := &pp.Phases[k]
+		tb := make([]tileBind, len(ph.Tiles))
+		for ti := range ph.Tiles {
+			t := &ph.Tiles[ti]
+			i := f0.LocalTileOf(t.Coord)
 			if i < 0 {
-				panic("dmem: sweep schedule names a tile this rank does not own")
+				panic("dmem: sweep plan names a tile this rank does not own")
 			}
-			b := f0.GlobalBounds(i)
-			n := 1
-			for j := range env.Eta {
-				if j != dim {
-					n *= b.Hi[j] - b.Lo[j]
-				}
-			}
-			tg := tileGeom{local: i, lines: n, chunkLen: b.Hi[dim] - b.Lo[dim],
-				geom: make([][]grid.Line, len(sr.Fields))}
+			geom := make([][]grid.Line, len(sr.Fields))
 			for v, f := range sr.Fields {
 				// Fields with equal halo depth have identical padded shapes
 				// and so identical line geometry — share one slice.
 				shared := false
 				for w := 0; w < v; w++ {
 					if sr.Fields[w].Depth == f.Depth {
-						tg.geom[v] = tg.geom[w]
+						geom[v] = geom[w]
 						shared = true
 						break
 					}
 				}
 				if !shared {
-					tg.geom[v] = f.TileGrid(i).AppendLines(f.InteriorRect(i), dim, make([]grid.Line, 0, n))
+					geom[v] = f.TileGrid(i).AppendLines(f.InteriorRect(i), dim, make([]grid.Line, 0, t.Lines))
 				}
 			}
-			pk.tiles[ti] = tg
-			pk.lines += n
+			tb[ti] = tileBind{local: i, geom: geom}
 		}
-		pg[k] = pk
+		out[k] = tb
 	}
-	sr.sched[key] = pg
-	return pg
+	sr.binds[key] = out
+	return out
 }
 
 func (sr *SweepRunner) pass(r *sim.Rank, dim int, backward bool) {
@@ -147,20 +171,12 @@ func (sr *SweepRunner) pass(r *sim.Rank, dim int, backward bool) {
 	fields := sr.Fields
 	env := fields[0].Env
 	q := r.ID
-	phases := sr.phases(dim, backward)
-	carryLen := solver.ForwardCarryLen()
+	pp := sr.Plan.Pass(q, dim, backward)
+	binds := sr.bindings(pp, dim, backward)
+	carryLen := pp.CarryLen
 	flopsPerElem := solver.ForwardFlopsPerElement()
 	if backward {
-		carryLen = solver.BackwardCarryLen()
 		flopsPerElem = solver.BackwardFlopsPerElement()
-	}
-	step := 1
-	if backward {
-		step = -1
-	}
-	recvFrom := -1
-	if len(phases) > 1 {
-		recvFrom = env.M.NeighborProc(q, dim, -step)
 	}
 
 	bs, batched := solver.(sweep.BatchSolver)
@@ -179,36 +195,38 @@ func (sr *SweepRunner) pass(r *sim.Rank, dim int, backward bool) {
 		views = sr.views.Views(nv)
 	}
 
-	for k, ph := range phases {
+	for k := range pp.Phases {
+		ph := &pp.Phases[k]
 		// Carries arrive in a pooled payload whose ownership transfers with
 		// the message; it is recycled below once every tile has read its
 		// rows. Outgoing carries are assembled directly in a pooled payload
 		// — the batched kernels' carry marshalling IS the wire format.
 		var inBuf []float64
-		if k > 0 && carryLen > 0 {
-			msg := r.Recv(recvFrom, strictSweepTag(dim, backward, k))
+		if ph.RecvFrom >= 0 && carryLen > 0 {
+			msg := r.Recv(ph.RecvFrom, ph.RecvTag)
 			r.Compute(env.Overhead.PerMessage)
 			inBuf = msg.Payload
 		}
 		var outBuf []float64
-		if ph.sendTo >= 0 && carryLen > 0 {
-			outBuf = r.GetPayload(ph.lines * carryLen)
+		if ph.SendTo >= 0 && carryLen > 0 {
+			outBuf = r.GetPayload(ph.Lines * carryLen)
 		}
 
 		elements := 0
 		inOff, outOff := 0, 0
-		for ti := range ph.tiles {
-			tg := &ph.tiles[ti]
+		for ti := range ph.Tiles {
+			t := &ph.Tiles[ti]
+			tb := &binds[k][ti]
 			r.Compute(env.Overhead.PerTileVisit)
-			elements += tg.chunkLen * tg.lines
+			elements += t.ChunkLen * t.Lines
 
 			if batched {
-				for s0 := 0; s0 < tg.lines; s0 += batch {
-					nb := min(batch, tg.lines-s0)
-					panels := sr.pan.Panels(nv, nb*tg.chunkLen)
+				for s0 := 0; s0 < t.Lines; s0 += batch {
+					nb := min(batch, t.Lines-s0)
+					panels := sr.pan.Panels(nv, nb*t.ChunkLen)
 					for v, f := range fields {
 						if sweep.MaskOn(touched, v) {
-							f.TileGrid(tg.local).GatherLines(tg.geom[v][s0:s0+nb], panels[v])
+							f.TileGrid(tb.local).GatherLines(tb.geom[v][s0:s0+nb], panels[v])
 						}
 					}
 					var cIn, cOut []float64
@@ -225,23 +243,23 @@ func (sr *SweepRunner) pass(r *sim.Rank, dim int, backward bool) {
 					}
 					for v, f := range fields {
 						if sweep.MaskOn(written, v) {
-							f.TileGrid(tg.local).ScatterLines(tg.geom[v][s0:s0+nb], panels[v])
+							f.TileGrid(tb.local).ScatterLines(tb.geom[v][s0:s0+nb], panels[v])
 						}
 					}
 				}
 				if inBuf != nil {
-					inOff += tg.lines * carryLen
+					inOff += t.Lines * carryLen
 				}
 				if outBuf != nil {
-					outOff += tg.lines * carryLen
+					outOff += t.Lines * carryLen
 				}
 				continue
 			}
 
-			for li := 0; li < tg.lines; li++ {
+			for li := 0; li < t.Lines; li++ {
 				for v, f := range fields {
-					f.TileGrid(tg.local).Gather(tg.geom[v][li], chunk[v][:tg.chunkLen])
-					views[v] = chunk[v][:tg.chunkLen]
+					f.TileGrid(tb.local).Gather(tb.geom[v][li], chunk[v][:t.ChunkLen])
+					views[v] = chunk[v][:t.ChunkLen]
 				}
 				var cIn, cOut []float64
 				if inBuf != nil {
@@ -258,7 +276,7 @@ func (sr *SweepRunner) pass(r *sim.Rank, dim int, backward bool) {
 					solver.Forward(views, cIn, cOut)
 				}
 				for v, f := range fields {
-					f.TileGrid(tg.local).Scatter(tg.geom[v][li], chunk[v][:tg.chunkLen])
+					f.TileGrid(tb.local).Scatter(tb.geom[v][li], chunk[v][:t.ChunkLen])
 				}
 			}
 		}
@@ -267,10 +285,9 @@ func (sr *SweepRunner) pass(r *sim.Rank, dim int, backward bool) {
 		}
 		r.ComputeFlops(flopsPerElem * float64(elements) * env.Overhead.ComputeFactor)
 
-		if ph.sendTo >= 0 && carryLen > 0 {
+		if ph.SendTo >= 0 && carryLen > 0 {
 			r.Compute(env.Overhead.PerMessage)
-			r.Send(ph.sendTo, strictSweepTag(dim, backward, k+1),
-				sim.Msg{Bytes: ph.lines * carryLen * 8, Payload: outBuf})
+			r.Send(ph.SendTo, ph.SendTag, sim.Msg{Bytes: ph.SendBytes, Payload: outBuf})
 		}
 	}
 }

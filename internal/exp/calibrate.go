@@ -12,6 +12,7 @@ import (
 	"genmp/internal/numutil"
 	"genmp/internal/obs"
 	"genmp/internal/partition"
+	"genmp/internal/plan"
 	"genmp/internal/sim"
 	"genmp/internal/sweep"
 )
@@ -92,12 +93,19 @@ func CalibrateOn(topology string, eta []int, steps int) ([]CalibrationRow, error
 			return nil, err
 		}
 		mach.Fabric = fab
-		simRes, err := nas.Run(env, mach, steps, nil)
+		// One compiled plan feeds both sides of the audit: the executor runs
+		// it, and the analytic side folds over it — predicted and measured
+		// describe the very same schedule instance, not two reconstructions.
+		pl, err := nas.CompilePlan(env)
+		if err != nil {
+			return nil, fmt.Errorf("exp: Calibrate: p=%d: %w", p, err)
+		}
+		simRes, err := nas.RunPlanned(env, mach, steps, nil, pl)
 		if err != nil {
 			return nil, fmt.Errorf("exp: Calibrate: p=%d: %w", p, err)
 		}
 		prof := obs.NewProfile(simRes, nil)
-		pred := predictPhases(env, mach, steps)
+		pred := predictPhases(env, mach, steps, pl)
 		for _, phase := range calibrationPhases(d) {
 			row := CalibrationRow{
 				P:         p,
@@ -120,8 +128,9 @@ func CalibrateOn(topology string, eta []int, steps int) ([]CalibrationRow, error
 
 // predictPhases returns the analytic per-rank time of every SP phase for
 // one run (steps time steps plus the final reduction), from the machine and
-// overhead constants alone. Assumes Overhead.ReplicationDepth == 0.
-func predictPhases(env *dist.Env, mach *sim.Machine, steps int) map[string]float64 {
+// overhead constants plus the compiled sweep plan the executor ran.
+// Assumes Overhead.ReplicationDepth == 0.
+func predictPhases(env *dist.Env, mach *sim.Machine, steps int, pl *plan.SweepPlan) map[string]float64 {
 	eta := env.Eta
 	gamma := env.M.Gamma()
 	p := mach.P
@@ -166,13 +175,14 @@ func predictPhases(env *dist.Env, mach *sim.Machine, steps int) map[string]float
 	}
 	out[nas.PhaseHalo] = float64(steps) * halo
 
-	// Solve phases: the audited model itself. SweepTime covers the fused
-	// LHS-build + solve arithmetic (K₁·η/p) and the (γᵢ−1) communication
-	// phases; the per-tile visit charge (LHS build + two sweep passes) is a
-	// runtime overhead outside the paper's model, added on top.
+	// Solve phases: the audited model itself, folded over the very plan the
+	// executor ran. PlanSweepTime covers the fused LHS-build + solve
+	// arithmetic (K₁·η/p) and the per-boundary communication steps; the
+	// per-tile visit charge (LHS build + two sweep passes) is a runtime
+	// overhead outside the paper's model, added on top.
 	model := cost.CalibratedFabric(fab, net, mach.CPU, cf, env.Overhead.PerMessage, spWorkload())
 	for dim := range eta {
-		t := model.SweepTime(p, eta, gamma, dim) + 3*tiles*env.Overhead.PerTileVisit
+		t := model.PlanSweepTime(pl, dim) + 3*tiles*env.Overhead.PerTileVisit
 		out[nas.PhaseSolve(dim)] = float64(steps) * t
 	}
 

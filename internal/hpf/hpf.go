@@ -15,9 +15,14 @@
 // As the paper explains, when a template is multipartitioned "the number of
 // processors cannot be specified on a per dimension basis … because each
 // hyperplane defined by a partitioning along a multipartitioned template
-// dimension is distributed among all processors": a multi-dimensional
-// PROCESSORS arrangement therefore contributes only its total size to a
-// MULTI distribution.
+// dimension is distributed among all processors": distributing MULTI onto a
+// multi-dimensional PROCESSORS arrangement is therefore rejected as a plan
+// error — declare a one-dimensional arrangement of the total size instead.
+//
+// A planned MULTI distribution compiles further into the executable
+// schedule both runtimes consume: Plan.SweepPlan returns the
+// plan.SweepPlan for a given line solver, with halo widths taken from the
+// aligned arrays' SHADOW declarations.
 package hpf
 
 import (
@@ -28,6 +33,8 @@ import (
 	"genmp/internal/core"
 	"genmp/internal/numutil"
 	"genmp/internal/partition"
+	"genmp/internal/plan"
+	"genmp/internal/sweep"
 )
 
 // SpecKind is one per-dimension distribution specifier.
@@ -441,6 +448,10 @@ func (d *Directives) PlanTemplate(name string, obj *partition.Objective) (*Plan,
 	case len(multiDims) > 0 && len(blockDims) > 0:
 		return nil, fmt.Errorf("hpf: template %s mixes MULTI and BLOCK specifiers; a multipartitioned template distributes every hyperplane over all processors", name)
 	case len(multiDims) > 0:
+		if len(procs.Shape) > 1 {
+			return nil, fmt.Errorf("hpf: template %s: MULTI cannot be distributed onto the %d-dimensional arrangement %s; processors cannot be specified per dimension for a multipartitioning — declare %s(%d) instead",
+				name, len(procs.Shape), procs.Name, procs.Name, p)
+		}
 		m, err := planMulti(p, tmpl.Eta, multiDims, obj)
 		if err != nil {
 			return nil, fmt.Errorf("hpf: template %s: %w", name, err)
@@ -460,6 +471,29 @@ func (d *Directives) PlanTemplate(name string, obj *partition.Objective) (*Plan,
 		}
 	}
 	return plan, nil
+}
+
+// SweepPlan compiles the executable sweep schedule of a MULTI plan for the
+// given line solver: the plan.SweepPlan instance the dist and dmem
+// runtimes execute, the cost model folds over, and obs dumps. Every
+// solver vector gets the template's maximum aligned SHADOW width as its
+// halo annotation. Non-MULTI plans (BLOCK, collapsed) have no
+// multipartitioned sweep schedule and return an error.
+func (p *Plan) SweepPlan(solver sweep.Solver) (*plan.SweepPlan, error) {
+	if p.Multi == nil {
+		return nil, fmt.Errorf("hpf: template %s is not multipartitioned; only MULTI distributions compile to a sweep plan", p.Template.Name)
+	}
+	width := 0
+	for _, w := range p.ShadowWidths {
+		if w > width {
+			width = w
+		}
+	}
+	halos := make([]int, solver.NumVecs())
+	for i := range halos {
+		halos[i] = width
+	}
+	return plan.Compile(plan.Spec{M: p.Multi, Eta: p.Template.Eta, Solver: solver, Halos: halos})
 }
 
 // planMulti searches the optimal partitioning over the MULTI dimensions

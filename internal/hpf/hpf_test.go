@@ -56,9 +56,10 @@ func TestParseAndPlanMulti(t *testing.T) {
 	}
 }
 
-func TestMultiDimensionalProcessorsUseTotal(t *testing.T) {
-	// The paper: for multipartitioned templates the PROCESSORS arrangement
-	// contributes only its total size.
+func TestMultiDimensionalProcessorsRejected(t *testing.T) {
+	// The paper: the number of processors cannot be specified per dimension
+	// for a multipartitioned template, so MULTI onto a multi-dimensional
+	// arrangement is a plan error (not a silent collapse to the total).
 	src := `
 !HPF$ PROCESSORS GRID(4, 3)
 !HPF$ TEMPLATE T(60, 60, 60)
@@ -68,15 +69,31 @@ func TestMultiDimensionalProcessorsUseTotal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := d.PlanTemplate("T", nil)
+	_, err = d.PlanTemplate("T", nil)
+	if err == nil {
+		t.Fatal("MULTI onto a 2-D arrangement should fail to plan")
+	}
+	for _, want := range []string{"GRID", "per dimension", "GRID(12)"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q should mention %q", err, want)
+		}
+	}
+	// The same arrangement remains fine for a BLOCK distribution.
+	src = `
+!HPF$ PROCESSORS GRID(4, 3)
+!HPF$ TEMPLATE B(60, 60, 60)
+!HPF$ DISTRIBUTE B(BLOCK, *, *) ONTO GRID
+`
+	d, err = Parse(src)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if plan.P != 12 {
-		t.Errorf("plan P = %d, want 12", plan.P)
+	bp, err := d.PlanTemplate("B", nil)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if plan.Multi.P() != 12 {
-		t.Errorf("mapping P = %d", plan.Multi.P())
+	if bp.P != 12 || bp.BlockDim != 0 {
+		t.Errorf("BLOCK plan = {P:%d BlockDim:%d}, want {12 0}", bp.P, bp.BlockDim)
 	}
 }
 

@@ -1,0 +1,92 @@
+package hpf
+
+import (
+	"strings"
+	"testing"
+
+	"genmp/internal/plan"
+	"genmp/internal/sweep"
+)
+
+func TestShadowArityPlanError(t *testing.T) {
+	// A SHADOW whose arity disagrees with the aligned template parses fine
+	// (arrays are declared independently) but must fail at plan time.
+	src := `
+!HPF$ PROCESSORS P(4)
+!HPF$ TEMPLATE T(12, 12, 12)
+!HPF$ DISTRIBUTE T(MULTI, MULTI, MULTI) ONTO P
+!HPF$ ALIGN U WITH T
+!HPF$ SHADOW U(2, 2)
+`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = d.PlanTemplate("T", nil)
+	if err == nil || !strings.Contains(err.Error(), "SHADOW") {
+		t.Fatalf("mismatched SHADOW arity should fail to plan, got %v", err)
+	}
+}
+
+func TestPlanSweepPlan(t *testing.T) {
+	src := `
+!HPF$ PROCESSORS P(4)
+!HPF$ TEMPLATE T(12, 12, 12)
+!HPF$ DISTRIBUTE T(MULTI, MULTI, MULTI) ONTO P
+!HPF$ ALIGN U WITH T
+!HPF$ SHADOW U(2, 2, 2)
+`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.PlanTemplate("T", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := sweep.Tridiag{}
+	pl, err := p.SweepPlan(solver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatalf("planned schedule invalid: %v", err)
+	}
+	if pl.Kind != plan.KindMultipartition || pl.P != 4 {
+		t.Errorf("plan kind/p = %v/%d", pl.Kind, pl.P)
+	}
+	if len(pl.Halos) != solver.NumVecs() {
+		t.Fatalf("halos = %v, want %d entries", pl.Halos, solver.NumVecs())
+	}
+	for _, h := range pl.Halos {
+		if h != 2 {
+			t.Errorf("halos = %v, want SHADOW width 2 throughout", pl.Halos)
+		}
+	}
+	// A full sweep must cover the template exactly once per dimension.
+	want := 12 * 12 * 12
+	for dim := 0; dim < 3; dim++ {
+		if got := pl.Elements(dim); got != want {
+			t.Errorf("Elements(%d) = %d, want %d", dim, got, want)
+		}
+	}
+}
+
+func TestSweepPlanRequiresMulti(t *testing.T) {
+	src := `
+!HPF$ PROCESSORS P(4)
+!HPF$ TEMPLATE T(12, 12)
+!HPF$ DISTRIBUTE T(BLOCK, *) ONTO P
+`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.PlanTemplate("T", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.SweepPlan(sweep.Tridiag{}); err == nil {
+		t.Fatal("BLOCK plan should not compile to a sweep plan")
+	}
+}

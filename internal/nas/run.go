@@ -7,6 +7,7 @@ import (
 	"genmp/internal/dist"
 	"genmp/internal/grid"
 	"genmp/internal/partition"
+	"genmp/internal/plan"
 	"genmp/internal/sim"
 	"genmp/internal/sweep"
 )
@@ -39,11 +40,25 @@ const (
 // (LHS build + forward/backward passes).
 func PhaseSolve(dim int) string { return fmt.Sprintf("solve%d", dim) }
 
+// CompilePlan compiles the SweepPlan of the SP application over env: the
+// schedule its solve phases execute, the instance the cost model folds
+// over (cost.PlanSweepTime) and obs dumps. Pass it to RunPlanned so
+// prediction and measurement consume the very same plan.
+func CompilePlan(env *dist.Env) (*plan.SweepPlan, error) {
+	return plan.Compile(plan.Spec{M: env.M, Eta: env.Eta, Solver: newSPSolver()})
+}
+
 // Run advances the SP pseudo-application for the given number of steps on a
 // multipartitioned domain. In data mode u is advanced in place and matches
 // SerialSolve; in model-only mode (u == nil) only virtual time and traffic
 // are produced.
 func Run(env *dist.Env, mach *sim.Machine, steps int, u *grid.Grid) (sim.Result, error) {
+	return RunPlanned(env, mach, steps, u, nil)
+}
+
+// RunPlanned is Run executing a pre-compiled SweepPlan (from CompilePlan
+// over the same env); pl == nil compiles one internally.
+func RunPlanned(env *dist.Env, mach *sim.Machine, steps int, u *grid.Grid, pl *plan.SweepPlan) (sim.Result, error) {
 	modelOnly := u == nil
 	var vecs []*grid.Grid // l1, l2, diag, u1, u2, rhs
 	var rhs *grid.Grid
@@ -58,6 +73,7 @@ func Run(env *dist.Env, mach *sim.Machine, steps int, u *grid.Grid) (sim.Result,
 	if err != nil {
 		return sim.Result{}, err
 	}
+	ms.Plan = pl
 	d := len(env.Eta)
 	// The dissipation stencil reaches ±2, needing depth-2 halos of u;
 	// partial replication of computation into the shadow region (a dHPF

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"genmp/internal/plan"
+)
+
+// PlanSchema is the current plan_*.json schema version.
+const PlanSchema = 1
+
+// PlanFileKind is the envelope discriminator of a serialized SweepPlan.
+const PlanFileKind = "plan"
+
+// PlanFile is the on-disk envelope of a compiled SweepPlan: the full
+// materialized schedule — per rank × dimension × direction, every phase
+// with its neighbors, tags, tile geometry and byte counts. Compilation is
+// deterministic and the encoder walks fixed struct order, so regenerating
+// the same configuration yields a byte-identical file (the CI perf gate
+// diffs a committed fixture against a fresh dump).
+type PlanFile struct {
+	Schema int    `json:"schema"`
+	Kind   string `json:"kind"`
+	// Source records the command line that produced the dump.
+	Source string   `json:"source,omitempty"`
+	Plan   PlanJSON `json:"plan"`
+}
+
+// PlanJSON mirrors plan.SweepPlan field by field in a stable wire shape.
+type PlanJSON struct {
+	Kind          string         `json:"plan_kind"`
+	P             int            `json:"p"`
+	Eta           []int          `json:"eta"`
+	Gamma         []int          `json:"gamma,omitempty"`
+	Dim           int            `json:"dim"`
+	Grain         int            `json:"grain,omitempty"`
+	Solver        string         `json:"solver"`
+	ForwardCarry  int            `json:"forward_carry"`
+	BackwardCarry int            `json:"backward_carry"`
+	Halos         []int          `json:"halos,omitempty"`
+	Batch         int            `json:"batch,omitempty"`
+	TagSpace      string         `json:"tag_space"`
+	TagBase       int            `json:"tag_base"`
+	TagSize       int            `json:"tag_size"`
+	Ranks         []PlanRankJSON `json:"ranks"`
+}
+
+// PlanRankJSON is one rank's pass table.
+type PlanRankJSON struct {
+	Rank   int            `json:"rank"`
+	Passes []PlanPassJSON `json:"passes"`
+}
+
+// PlanPassJSON is one (dimension, direction) pass.
+type PlanPassJSON struct {
+	Dim      int             `json:"dim"`
+	Backward bool            `json:"backward"`
+	CarryLen int             `json:"carry_len"`
+	Phases   []PlanPhaseJSON `json:"phases"`
+}
+
+// PlanPhaseJSON is one phase of a pass.
+type PlanPhaseJSON struct {
+	Slab      int            `json:"slab"`
+	RecvFrom  int            `json:"recv_from"`
+	SendTo    int            `json:"send_to"`
+	RecvTag   int            `json:"recv_tag"`
+	SendTag   int            `json:"send_tag"`
+	RecvBytes int            `json:"recv_bytes"`
+	SendBytes int            `json:"send_bytes"`
+	Lines     int            `json:"lines"`
+	Tiles     []PlanTileJSON `json:"tiles"`
+}
+
+// PlanTileJSON is one tile's geometry within a phase.
+type PlanTileJSON struct {
+	Coord    []int `json:"coord,omitempty"`
+	Lo       []int `json:"lo"`
+	Hi       []int `json:"hi"`
+	LineOff  int   `json:"line_off"`
+	Lines    int   `json:"lines"`
+	ChunkLen int   `json:"chunk_len"`
+}
+
+// NewPlanJSON converts a compiled SweepPlan into its wire shape.
+func NewPlanJSON(pl *plan.SweepPlan) PlanJSON {
+	out := PlanJSON{
+		Kind: string(pl.Kind), P: pl.P, Eta: pl.Eta, Gamma: pl.Gamma,
+		Dim: pl.Dim, Grain: pl.Grain,
+		Solver: pl.Solver, ForwardCarry: pl.ForwardCarry, BackwardCarry: pl.BackwardCarry,
+		Halos: pl.Halos, Batch: pl.Batch,
+		TagSpace: pl.Tags.Name(), TagBase: pl.Tags.Base(), TagSize: pl.Tags.Size(),
+		Ranks: make([]PlanRankJSON, pl.P),
+	}
+	for q := 0; q < pl.P; q++ {
+		rj := PlanRankJSON{Rank: q, Passes: make([]PlanPassJSON, len(pl.Passes[q]))}
+		for k, pp := range pl.Passes[q] {
+			pj := PlanPassJSON{Dim: pp.Dim, Backward: pp.Backward, CarryLen: pp.CarryLen,
+				Phases: make([]PlanPhaseJSON, len(pp.Phases))}
+			for i, ph := range pp.Phases {
+				phj := PlanPhaseJSON{
+					Slab: ph.Slab, RecvFrom: ph.RecvFrom, SendTo: ph.SendTo,
+					RecvTag: ph.RecvTag, SendTag: ph.SendTag,
+					RecvBytes: ph.RecvBytes, SendBytes: ph.SendBytes,
+					Lines: ph.Lines, Tiles: make([]PlanTileJSON, len(ph.Tiles)),
+				}
+				for t, tg := range ph.Tiles {
+					phj.Tiles[t] = PlanTileJSON{Coord: tg.Coord, Lo: tg.Rect.Lo, Hi: tg.Rect.Hi,
+						LineOff: tg.LineOff, Lines: tg.Lines, ChunkLen: tg.ChunkLen}
+				}
+				pj.Phases[i] = phj
+			}
+			rj.Passes[k] = pj
+		}
+		out.Ranks[q] = rj
+	}
+	return out
+}
+
+// WritePlanJSON serializes a compiled plan to path as indented JSON.
+func WritePlanJSON(path, source string, pl *plan.SweepPlan) error {
+	if pl == nil {
+		return fmt.Errorf("obs: write plan: nil plan")
+	}
+	pf := PlanFile{Schema: PlanSchema, Kind: PlanFileKind, Source: source, Plan: NewPlanJSON(pl)}
+	data, err := json.MarshalIndent(pf, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: marshal plan file: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadPlanJSON validates the envelope of a plan dump on the way back in.
+func ReadPlanJSON(path string) (PlanFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return PlanFile{}, fmt.Errorf("obs: read plan file: %w", err)
+	}
+	var pf PlanFile
+	if err := json.Unmarshal(data, &pf); err != nil {
+		return PlanFile{}, fmt.Errorf("obs: parse %s: %w", path, err)
+	}
+	if pf.Kind != PlanFileKind {
+		return PlanFile{}, fmt.Errorf("obs: %s: kind %q is not a plan file", path, pf.Kind)
+	}
+	if pf.Schema != PlanSchema {
+		return PlanFile{}, fmt.Errorf("obs: %s: unsupported plan schema %d (this build reads schema %d)", path, pf.Schema, PlanSchema)
+	}
+	return pf, nil
+}
+
+// PlanAuditRow is one phase of the plan-vs-profile traffic audit: the
+// bytes a compiled plan schedules for a profiled phase against the bytes
+// the simulator measured in it. A non-zero delta means executor and plan
+// disagree about the very schedule the executor claims to run.
+type PlanAuditRow struct {
+	Phase    string
+	Expected int // bytes the plan schedules (all ranks), × repeats
+	Observed int // bytes the profile measured in the phase, all ranks
+}
+
+// Delta returns Observed − Expected.
+func (r PlanAuditRow) Delta() int { return r.Observed - r.Expected }
+
+// AuditPlanBytes compares a compiled plan's scheduled carry traffic with a
+// measured profile, phase by phase: phaseOf maps each sweep dimension to
+// its profile label, and repeats is how many full sweeps of that dimension
+// the profiled run executed (time steps). Only dimensions whose label has
+// a profiled phase are audited.
+func AuditPlanBytes(pl *plan.SweepPlan, prof *Profile, repeats int, phaseOf func(dim int) string) []PlanAuditRow {
+	var rows []PlanAuditRow
+	for dim := range pl.Eta {
+		label := phaseOf(dim)
+		pp := prof.Phase(label)
+		if pp.Label == "" {
+			continue
+		}
+		rows = append(rows, PlanAuditRow{
+			Phase:    label,
+			Expected: repeats * pl.DimSendBytes(dim),
+			Observed: pp.Bytes,
+		})
+	}
+	return rows
+}
+
+// FormatPlanAudit renders the audit as an aligned table.
+func FormatPlanAudit(rows []PlanAuditRow) string {
+	out := fmt.Sprintf("%-10s  %14s  %14s  %10s\n", "phase", "plan bytes", "observed", "delta")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-10s  %14d  %14d  %10d\n", r.Phase, r.Expected, r.Observed, r.Delta())
+	}
+	return out
+}

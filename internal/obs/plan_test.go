@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"genmp/internal/core"
+	"genmp/internal/plan"
+	"genmp/internal/sweep"
+)
+
+func compileTestPlan(t *testing.T) *plan.SweepPlan {
+	t.Helper()
+	m, err := core.NewGeneralized(4, []int{2, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := plan.Compile(plan.Spec{M: m, Eta: []int{8, 8, 8}, Solver: sweep.Tridiag{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestWritePlanJSONRoundTrip(t *testing.T) {
+	pl := compileTestPlan(t)
+	path := filepath.Join(t.TempDir(), "plan.json")
+	if err := WritePlanJSON(path, "test source", pl); err != nil {
+		t.Fatal(err)
+	}
+	pf, err := ReadPlanJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Source != "test source" || pf.Plan.P != 4 || pf.Plan.Solver != pl.Solver {
+		t.Errorf("round trip lost header: %+v", pf.Plan)
+	}
+	if len(pf.Plan.Ranks) != 4 {
+		t.Fatalf("ranks = %d, want 4", len(pf.Plan.Ranks))
+	}
+	if got := len(pf.Plan.Ranks[0].Passes); got != 6 {
+		t.Errorf("rank 0 has %d passes, want 6 (3 dims × 2 directions)", got)
+	}
+	// The dump must carry the real tag values the executor uses.
+	ph := pf.Plan.Ranks[0].Passes[0].Phases
+	sent := false
+	for _, p := range ph {
+		if p.SendTo >= 0 {
+			sent = true
+			if !pl.Tags.Contains(p.SendTag) {
+				t.Errorf("dumped send tag %d outside reservation", p.SendTag)
+			}
+		}
+	}
+	if !sent {
+		t.Error("rank 0 dim 0 forward pass never sends; bad fixture")
+	}
+
+	// Writing the same plan again must be byte-identical (the CI fixture
+	// contract).
+	path2 := filepath.Join(t.TempDir(), "plan2.json")
+	if err := WritePlanJSON(path2, "test source", pl); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(path)
+	b, _ := os.ReadFile(path2)
+	if string(a) != string(b) {
+		t.Error("repeated dumps of one plan differ")
+	}
+
+	if _, err := ReadPlanJSON(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("reading a missing plan file should fail")
+	}
+	if err := WritePlanJSON(filepath.Join(t.TempDir(), "nil.json"), "", nil); err == nil {
+		t.Error("writing a nil plan should fail")
+	}
+}
+
+func TestAuditPlanBytes(t *testing.T) {
+	pl := compileTestPlan(t)
+	steps := 2
+	prof := &Profile{Phases: []PhaseProfile{
+		{Label: "solve0", Bytes: steps * pl.DimSendBytes(0)},
+		{Label: "solve1", Bytes: steps*pl.DimSendBytes(1) + 16},
+		// solve2 absent from the profile: skipped, not zero-filled.
+	}}
+	rows := AuditPlanBytes(pl, prof, steps, func(dim int) string {
+		return "solve" + string(rune('0'+dim))
+	})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (unprofiled dim skipped)", len(rows))
+	}
+	if rows[0].Delta() != 0 {
+		t.Errorf("solve0 delta = %d, want 0", rows[0].Delta())
+	}
+	if rows[1].Delta() != 16 {
+		t.Errorf("solve1 delta = %d, want the injected 16", rows[1].Delta())
+	}
+	out := FormatPlanAudit(rows)
+	for _, want := range []string{"plan bytes", "solve0", "solve1", "16"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("audit table missing %q:\n%s", want, out)
+		}
+	}
+}
