@@ -23,6 +23,7 @@ import (
 	"genmp/internal/hpf"
 	"genmp/internal/nas"
 	"genmp/internal/obs"
+	"genmp/internal/obs/live"
 	"genmp/internal/partition"
 	"genmp/internal/sim"
 )
@@ -51,8 +52,19 @@ func main() {
 	profilePath := flag.String("profile", "", "write the serialized per-phase profile (benchdiff input)")
 	topology := flag.String("topology", "", "interconnect topology: crossbar, bus, hypercube, hypercube+contention (default: the network's scaling regime)")
 	collName := flag.String("coll", "", "collective algorithm for transposes: auto, pairwise, ring, bruck")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics (/metrics Prometheus text, /metrics.json) and net/http/pprof on this address, e.g. localhost:9090")
+	flightDepth := flag.Int("flightrec", 0, "per-rank flight-recorder ring depth: a deadlock dumps each rank's last N events (0 = off)")
+	pprofLabels := flag.Bool("pprof-labels", false, "tag rank goroutines with rank/phase pprof labels (costs allocations; pair with /debug/pprof/profile)")
 	flag.Parse()
 	wantTrace := *timeline || *tracePath != "" || *metrics || *profilePath != ""
+
+	tel, err := live.Start(live.Config{Addr: *metricsAddr, FlightDepth: *flightDepth, PProfLabels: *pprofLabels})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if tel.Server != nil {
+		log.Printf("serving live metrics on http://%s/metrics", tel.Server.Addr)
+	}
 
 	coll, err := sim.ParseAlg(*collName)
 	if err != nil {

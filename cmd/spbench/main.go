@@ -23,8 +23,10 @@ import (
 	"genmp/internal/core"
 	"genmp/internal/dist"
 	"genmp/internal/exp"
+	"genmp/internal/grid"
 	"genmp/internal/nas"
 	"genmp/internal/obs"
+	"genmp/internal/obs/live"
 	"genmp/internal/partition"
 	"genmp/internal/sim"
 )
@@ -45,7 +47,19 @@ func main() {
 	planPath := flag.String("plan", "", "with -p: write the compiled SweepPlan dump and print the plan-vs-observed traffic audit")
 	topology := flag.String("topology", "", "interconnect topology: crossbar, bus, hypercube, hypercube+contention (default: the network's scaling regime)")
 	collName := flag.String("coll", "", "collective algorithm: auto, pairwise, ring, doubling, bruck (applies to the -p instrumented run)")
+	dataMode := flag.Bool("data", false, "with -p: run in data mode (real arrays advanced in place) instead of model-only, exercising the payload pool and sweep arenas")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics (/metrics Prometheus text, /metrics.json) and net/http/pprof on this address, e.g. localhost:9090")
+	flightDepth := flag.Int("flightrec", 0, "per-rank flight-recorder ring depth: a deadlock dumps each rank's last N events (0 = off)")
+	pprofLabels := flag.Bool("pprof-labels", false, "tag rank goroutines with rank/phase pprof labels (costs allocations; pair with /debug/pprof/profile)")
 	flag.Parse()
+
+	tel, err := live.Start(live.Config{Addr: *metricsAddr, FlightDepth: *flightDepth, PProfLabels: *pprofLabels})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if tel.Server != nil {
+		log.Printf("serving live metrics on http://%s/metrics", tel.Server.Addr)
+	}
 
 	coll, err := sim.ParseAlg(*collName)
 	if err != nil {
@@ -81,7 +95,7 @@ func main() {
 
 	if *pFlag > 0 {
 		src := sourceLine(class, *steps, *procs, fabricFlags(*topology, *collName)+fmt.Sprintf(" -p %d", *pFlag))
-		if err := runSingle(class, *steps, *pFlag, *topology, coll, suiteSuffix, *tracePath, *metrics, *jsonPath, *profilePath, *planPath, src); err != nil {
+		if err := runSingle(class, *steps, *pFlag, *topology, coll, suiteSuffix, *tracePath, *metrics, *dataMode, *jsonPath, *profilePath, *planPath, src); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -171,7 +185,7 @@ func fabricFlags(topology, coll string) string {
 // runSingle executes one SP configuration with full observability: search
 // counters from the partitioning search, the per-phase profile (printable
 // and serializable), and a Perfetto-loadable trace.
-func runSingle(class nas.Class, steps, p int, topology string, coll sim.Alg, suiteSuffix, tracePath string, metrics bool, jsonPath, profilePath, planPath, src string) error {
+func runSingle(class nas.Class, steps, p int, topology string, coll sim.Alg, suiteSuffix, tracePath string, metrics, dataMode bool, jsonPath, profilePath, planPath, src string) error {
 	eta := class.Eta
 	obj := partition.MachineObjective(eta, 20e-6, 80e-9/float64(p))
 	var st partition.SearchStats
@@ -206,7 +220,15 @@ func runSingle(class nas.Class, steps, p int, topology string, coll sim.Alg, sui
 	if err != nil {
 		return err
 	}
-	simRes, err := nas.RunPlanned(env, mach, steps, nil, pl)
+	// Data mode advances a real array so carries travel in pooled payloads
+	// and line data moves through the sweep arenas — the traffic the pool
+	// and workspace hit-rate metrics measure. Virtual time is identical to
+	// model-only.
+	var u *grid.Grid
+	if dataMode {
+		u = nas.InitialState(eta)
+	}
+	simRes, err := nas.RunPlanned(env, mach, steps, u, pl)
 	if err != nil {
 		return err
 	}

@@ -27,6 +27,7 @@ import (
 	"genmp/internal/exp"
 	"genmp/internal/nas"
 	"genmp/internal/obs"
+	"genmp/internal/obs/live"
 	"genmp/internal/partition"
 	"genmp/internal/sim"
 	"genmp/internal/sweep"
@@ -48,7 +49,18 @@ func main() {
 	planPath := flag.String("plan", "", "write the compiled SweepPlan of one multipartitioned sweep and print the plan-vs-observed traffic audit")
 	topology := flag.String("topology", "", "interconnect topology: crossbar, bus, hypercube, hypercube+contention (default: the network's scaling regime); comma-separated list compares them")
 	collName := flag.String("coll", "", "collective algorithm for transposes: auto, pairwise, ring, bruck")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics (/metrics Prometheus text, /metrics.json) and net/http/pprof on this address, e.g. localhost:9090")
+	flightDepth := flag.Int("flightrec", 0, "per-rank flight-recorder ring depth: a deadlock dumps each rank's last N events (0 = off)")
+	pprofLabels := flag.Bool("pprof-labels", false, "tag rank goroutines with rank/phase pprof labels (costs allocations; pair with /debug/pprof/profile)")
 	flag.Parse()
+
+	tel, err := live.Start(live.Config{Addr: *metricsAddr, FlightDepth: *flightDepth, PProfLabels: *pprofLabels})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if tel.Server != nil {
+		log.Printf("serving live metrics on http://%s/metrics", tel.Server.Addr)
+	}
 
 	coll, err := sim.ParseAlg(*collName)
 	if err != nil {

@@ -42,7 +42,17 @@ func TestWavefrontPerBlockAllocFree(t *testing.T) {
 			}
 		}
 		run() // warm the per-rank arenas and the machine's payload pool
-		return testing.AllocsPerRun(5, run)
+		resetScratchStats(b.scratchBuf)
+		pool := mach.PayloadPoolStats()
+		allocs := testing.AllocsPerRun(5, run)
+		// Warmed arenas must serve every acquisition from existing capacity,
+		// and the payload pool must recycle (scheduling can make a rank
+		// request a buffer before a peer returns one, so allow a small slack).
+		if ws := b.WorkspaceStats(); ws.Gets == 0 || ws.HitRate() != 1 {
+			t.Errorf("grain %d: steady-state workspace hit rate = %v (%+v), want 1", grain, ws.HitRate(), ws)
+		}
+		assertPoolSteadyState(t, mach, pool)
+		return allocs
 	}
 	many := measure(1)   // 12×12 = 144 single-line blocks per slab
 	one := measure(1000) // whole slab in one block
@@ -77,10 +87,43 @@ func TestMultiSweepSteadyStateAllocFree(t *testing.T) {
 	}
 	run() // warm arenas and pools
 	baseline := runOverhead(mach, p)
+	resetScratchStats(ms.scratchBuf)
+	pool := mach.PayloadPoolStats()
 	allocs := testing.AllocsPerRun(5, run)
 	t.Logf("allocs per run: sweep %v, bare machine %v", allocs, baseline)
 	if allocs > baseline+32 {
 		t.Errorf("warmed multipartitioned sweep allocates %v per run vs %v for an empty run: executor path is allocating", allocs, baseline)
+	}
+	if ws := ms.WorkspaceStats(); ws.Gets == 0 || ws.HitRate() != 1 {
+		t.Errorf("steady-state workspace hit rate = %v (%+v), want 1", ws.HitRate(), ws)
+	}
+	assertPoolSteadyState(t, mach, pool)
+}
+
+// resetScratchStats zeroes the arena counters of warmed per-rank scratch so
+// hit rates are measured from a steady-state baseline.
+func resetScratchStats(buf []rankScratch) {
+	for q := range buf {
+		buf[q].pan.ResetStats()
+		buf[q].chunk.ResetStats()
+	}
+}
+
+// assertPoolSteadyState checks that the payload pool recycled nearly every
+// buffer requested since the pre snapshot. Goroutine interleaving can make
+// a rank request a payload before a peer has returned one, so a warmed pool
+// may still miss occasionally; ≥ 90% recycled means the hot path is served
+// by the pool, not the heap.
+func assertPoolSteadyState(t *testing.T, mach *sim.Machine, pre sim.PoolStats) {
+	t.Helper()
+	post := mach.PayloadPoolStats()
+	gets, hits := post.Gets-pre.Gets, post.Hits-pre.Hits
+	if gets == 0 {
+		t.Error("steady-state runs requested no pooled payloads")
+		return
+	}
+	if rate := float64(hits) / float64(gets); rate < 0.9 {
+		t.Errorf("steady-state payload pool hit rate = %v (%d/%d gets), want ≈ 1", rate, hits, gets)
 	}
 }
 

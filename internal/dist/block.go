@@ -57,6 +57,27 @@ type rankScratch struct {
 	chunk     sweep.Workspace
 	lines     []grid.Line
 	tileLines []int
+	pub       sweep.WorkspacePublisher
+}
+
+// publish streams this rank's arena acquisition counters into the run's
+// live registry (a no-op when metrics are off).
+func (sc *rankScratch) publish(r *sim.Rank) {
+	sc.pub.Publish(r.MetricsRegistry(), &sc.pan, &sc.chunk)
+}
+
+// scratchWorkspaceStats aggregates arena counters across a per-rank
+// scratch slice — the executor-wide hit/miss view the alloc tests assert
+// on. Callers must not race it against running ranks.
+func scratchWorkspaceStats(buf []rankScratch) sweep.WorkspaceStats {
+	var out sweep.WorkspaceStats
+	for q := range buf {
+		for _, s := range []sweep.WorkspaceStats{buf[q].pan.Stats(), buf[q].chunk.Stats()} {
+			out.Gets += s.Gets
+			out.Hits += s.Hits
+		}
+	}
+	return out
 }
 
 // scratch returns rank q's arena, presizing the per-rank slice on first use
@@ -68,6 +89,13 @@ func (b *Block) scratch(q int) *rankScratch {
 		}
 	})
 	return &b.scratchBuf[q]
+}
+
+// WorkspaceStats aggregates arena acquisition counters across all ranks'
+// scratch; with warmed arenas the hit rate is 1. Not safe against ranks
+// still running.
+func (b *Block) WorkspaceStats() sweep.WorkspaceStats {
+	return scratchWorkspaceStats(b.scratchBuf)
 }
 
 // wavefrontPlan returns the compiled pipeline schedule for (solver, grain),
@@ -157,7 +185,9 @@ func (b *Block) LocalSweep(r *sim.Rank, dim int, solver sweep.Solver, vecs []*gr
 	elements := lines * b.Eta[dim]
 	r.Compute(b.Overhead.PerTileVisit)
 	if vecs != nil {
-		solveLocalLines(solver, vecs, rect, dim, b.Batch, b.scratch(r.ID))
+		sc := b.scratch(r.ID)
+		solveLocalLines(solver, vecs, rect, dim, b.Batch, sc)
+		sc.publish(r)
 	}
 	r.ComputeFlops(solver.FlopsPerElement() * float64(elements) * b.Overhead.ComputeFactor)
 }
@@ -336,6 +366,7 @@ func (b *Block) wavefrontPass(r *sim.Rank, solver sweep.Solver, vecs []*grid.Gri
 			r.Send(ph.SendTo, ph.SendTag, sim.Msg{Bytes: ph.SendBytes, Payload: outBuf})
 		}
 	}
+	sc.publish(r)
 }
 
 // TransposeSweep performs the dynamic-block strategy for the partitioned
@@ -371,7 +402,9 @@ func (b *Block) TransposeSweep(r *sim.Rank, solver sweep.Solver, vecs []*grid.Gr
 	}
 	r.Compute(b.Overhead.PerTileVisit)
 	if vecs != nil {
-		solveLocalLines(solver, vecs, rect, b.Dim, b.Batch, b.scratch(q))
+		sc := b.scratch(q)
+		solveLocalLines(solver, vecs, rect, b.Dim, b.Batch, sc)
+		sc.publish(r)
 	}
 	r.ComputeFlops(solver.FlopsPerElement() * float64(lines*b.Eta[b.Dim]) * b.Overhead.ComputeFactor)
 

@@ -87,6 +87,13 @@ func (s *MultiSweep) CompiledPlan() *plan.SweepPlan {
 	return s.Plan
 }
 
+// WorkspaceStats aggregates arena acquisition counters across all ranks'
+// scratch; with warmed arenas the hit rate is 1. Not safe against ranks
+// still running.
+func (s *MultiSweep) WorkspaceStats() sweep.WorkspaceStats {
+	return scratchWorkspaceStats(s.scratchBuf)
+}
+
 // Run performs the full sweep along dim for the calling rank: the forward
 // pass over slabs 0..γ−1 and (if the solver has one) the backward pass over
 // slabs γ−1..0.
@@ -276,4 +283,5 @@ func (s *MultiSweep) pass(r *sim.Rank, dim int, backward bool) {
 			}
 		}
 	}
+	sc.publish(r)
 }

@@ -35,7 +35,20 @@ type SweepRunner struct {
 
 	pan   sweep.Workspace // SoA panel arena (batched) / chunk buffers (scalar)
 	views sweep.Workspace // view headers of the scalar path
+	pub   sweep.WorkspacePublisher
 	binds map[int][][]tileBind
+}
+
+// WorkspaceStats reports this runner's arena acquisition counters; with
+// warmed arenas the hit rate is 1. Runners are per-rank, so read it only
+// after the owning rank has finished.
+func (sr *SweepRunner) WorkspaceStats() sweep.WorkspaceStats {
+	var out sweep.WorkspaceStats
+	for _, s := range []sweep.WorkspaceStats{sr.pan.Stats(), sr.views.Stats()} {
+		out.Gets += s.Gets
+		out.Hits += s.Hits
+	}
+	return out
 }
 
 // tileBind binds one plan tile to this rank's storage: the local tile
@@ -115,6 +128,7 @@ func (sr *SweepRunner) Run(r *sim.Rank, dim int) {
 	if sr.Solver.BackwardCarryLen() > 0 || sr.Solver.BackwardFlopsPerElement() > 0 {
 		sr.pass(r, dim, true)
 	}
+	sr.pub.Publish(r.MetricsRegistry(), &sr.pan, &sr.views)
 }
 
 // bindings returns the storage binding of the plan's (dim, backward) pass

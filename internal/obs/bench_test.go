@@ -70,6 +70,33 @@ func TestReadBenchJSONRejectsDuplicateKeys(t *testing.T) {
 	}
 }
 
+// A bench file cut off mid-write (or a path that never existed) must fail
+// loudly rather than yield an empty BenchFile the perf gate would compare
+// against.
+func TestReadBenchJSONTruncated(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadBenchJSON(dir + "/absent.json"); err == nil {
+		t.Error("missing file: want error, got nil")
+	}
+
+	valid := dir + "/BENCH_ok.json"
+	in := BenchFile{Source: "t", Records: []BenchRecord{{Suite: "s", Name: "a", P: 2, Makespan: 1}}}
+	if err := WriteBenchJSON(valid, in); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := dir + "/BENCH_cut.json"
+	if err := os.WriteFile(trunc, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBenchJSON(trunc); err == nil || !strings.Contains(err.Error(), "parse") {
+		t.Errorf("truncated file: want parse error, got %v", err)
+	}
+}
+
 func TestMergeBenchFiles(t *testing.T) {
 	a := BenchFile{Source: "spbench -json", Records: []BenchRecord{{Suite: "a", Name: "x", P: 1}}}
 	b := BenchFile{Source: "sweepbench -json", Records: []BenchRecord{{Suite: "b", Name: "y", P: 2}}}

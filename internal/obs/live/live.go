@@ -1,0 +1,74 @@
+// Package live is the opt-in telemetry wiring shared by the benchmark
+// commands (the -metrics-addr, -flightrec and -pprof-labels flags): one
+// process-wide metrics registry pointed at by every runtime's package
+// default, optionally served over HTTP next to net/http/pprof. With a zero
+// Config, Start does nothing at all, so default runs stay byte-identical.
+package live
+
+import (
+	"genmp/internal/obs/metrics"
+	"genmp/internal/partition"
+	"genmp/internal/plan"
+	"genmp/internal/sim"
+)
+
+// Config selects which telemetry a command turns on.
+type Config struct {
+	// Addr serves /metrics (Prometheus text), /metrics.json and the
+	// /debug/pprof endpoints on this listen address ("" = no server, but a
+	// registry is still installed when any other field is set... see Start).
+	Addr string
+	// FlightDepth attaches a per-rank flight recorder of this ring depth to
+	// every machine, turning deadlock aborts into post-mortem reports
+	// (0 = off).
+	FlightDepth int
+	// PProfLabels tags rank goroutines with pprof labels so CPU profiles
+	// split by rank and sweep phase.
+	PProfLabels bool
+}
+
+// State is the running telemetry of one command.
+type State struct {
+	// Registry is the process-wide registry, nil when metrics are off.
+	Registry *metrics.Registry
+	// Server is the bound HTTP endpoint, nil unless Config.Addr was set.
+	// Server.Addr has the resolved address (useful with ":0").
+	Server *metrics.Server
+}
+
+// Start applies cfg: it installs a fresh registry as the sim, partition and
+// plan package default (when Addr is set), flips the sim observability
+// defaults, and starts the HTTP endpoint. A zero cfg returns a zero State
+// and changes nothing.
+func Start(cfg Config) (State, error) {
+	var st State
+	if cfg.Addr != "" {
+		st.Registry = metrics.New()
+		sim.SetDefaultMetrics(st.Registry)
+		partition.EnableMetrics(st.Registry)
+		plan.EnableMetrics(st.Registry)
+		srv, err := metrics.Serve(cfg.Addr, st.Registry)
+		if err != nil {
+			return State{}, err
+		}
+		st.Server = srv
+	}
+	if cfg.FlightDepth > 0 {
+		sim.SetDefaultFlightDepth(cfg.FlightDepth)
+	}
+	sim.SetDefaultPProfLabels(cfg.PProfLabels)
+	return st, nil
+}
+
+// Stop detaches the package defaults and closes the HTTP endpoint; tests
+// use it so one command run cannot leak telemetry into the next.
+func (st State) Stop() {
+	sim.SetDefaultMetrics(nil)
+	partition.EnableMetrics(nil)
+	plan.EnableMetrics(nil)
+	sim.SetDefaultFlightDepth(0)
+	sim.SetDefaultPProfLabels(false)
+	if st.Server != nil {
+		_ = st.Server.Close()
+	}
+}

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ExpoSchema versions the JSON exposition envelope.
+const ExpoSchema = 1
+
+// expoFile is the JSON exposition envelope: a schema version over a
+// Snapshot, mirroring the BENCH_*/profile_*.json discipline so tooling can
+// reject files it does not understand.
+type expoFile struct {
+	Schema int     `json:"schema"`
+	Points []Point `json:"metrics"`
+}
+
+// MarshalJSON renders Le in its Prometheus spelling ("64", "+Inf"):
+// encoding/json rejects non-finite float64, and the last cumulative bucket
+// always has le = +Inf.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf(`{"le":%q,"count":%d}`, formatValue(b.Le), b.Count)), nil
+}
+
+// WriteJSON writes the snapshot as indented, deterministic JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(expoFile{Schema: ExpoSchema, Points: s.Points}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("metrics: marshal snapshot: %w", err)
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// formatValue renders a sample value the way Prometheus text format spells
+// it: shortest round-trip float, with +Inf/-Inf/NaN named.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// escapeHelp escapes a HELP line.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// labelString renders {k="v",...}, with extra appended last (used for the
+// histogram "le" label). Empty label sets render as the bare name.
+func labelString(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = fmt.Sprintf("%s=%q", l.Key, escapeLabel(l.Value))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): one HELP/TYPE header per family, one sample line
+// per point, histogram buckets cumulative with the +Inf bucket last.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	lastFamily := ""
+	for _, p := range s.Points {
+		if p.Name != lastFamily {
+			if p.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", p.Name, escapeHelp(p.Help)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", p.Name, p.Kind); err != nil {
+				return err
+			}
+			lastFamily = p.Name
+		}
+		if p.Kind == KindHistogram {
+			for _, b := range p.Buckets {
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+					p.Name, labelString(p.Labels, L("le", formatValue(b.Le))), b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", p.Name, labelString(p.Labels), formatValue(p.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", p.Name, labelString(p.Labels), p.Count); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", p.Name, labelString(p.Labels), formatValue(p.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

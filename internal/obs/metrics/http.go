@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns an http.Handler exposing the registry and the Go runtime
+// profiles:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  the same snapshot as schema-versioned JSON
+//	/debug/pprof/  net/http/pprof index (profile, heap, goroutine, trace, ...)
+//
+// It builds a private mux rather than touching http.DefaultServeMux, so
+// embedding it cannot leak pprof onto an unrelated server.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = reg.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a started metrics endpoint.
+type Server struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr string
+	srv  *http.Server
+}
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve binds addr (e.g. "localhost:9090" or ":0") and serves Handler(reg)
+// in a background goroutine. The caller owns the returned Server; a
+// long-running command typically lets it live until exit.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{Addr: ln.Addr().String(), srv: srv}, nil
+}

@@ -1,0 +1,421 @@
+// Package metrics is a live, in-process metrics registry: typed counters,
+// gauges and fixed-bucket histograms, named and labeled, with atomic
+// updates so instrument writes are safe from any goroutine and allocate
+// nothing on the hot path. It is the online counterpart of the post-hoc
+// observability stack in internal/obs — profiles and BENCH files are
+// written after a run ends, while a Registry can be scraped (Prometheus
+// text or JSON, see expo.go and http.go) while a long run or server is
+// still in flight.
+//
+// The split between registration and update matters for performance:
+// Registry.Counter/Gauge/Histogram resolve (name, labels) to an instrument
+// handle under a lock, once, at wiring time; the returned handle's
+// Inc/Add/Set/Observe methods are single atomic operations with no map
+// lookups, no locks and no allocations, cheap enough for the simulator's
+// per-message paths. Snapshot captures a consistent point-in-time view
+// sorted deterministically by (name, labels), and Snapshot.Sub supports
+// windowed deltas (scrape-to-scrape rates).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind classifies an instrument family.
+type Kind uint8
+
+const (
+	// KindCounter is a monotonically increasing count.
+	KindCounter Kind = iota
+	// KindGauge is a value that can go up and down.
+	KindGauge
+	// KindHistogram is a fixed-bucket distribution.
+	KindHistogram
+)
+
+// String names the kind as Prometheus TYPE lines spell it.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Label is one key=value dimension of an instrument.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing integer count. The zero value is
+// usable but unregistered; obtain registered counters from a Registry.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n, which must be ≥ 0 (counters are monotonic); negative deltas
+// are ignored rather than corrupting the series.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// FloatCounter is a monotonically increasing float64 total (e.g. stall
+// seconds). Add uses a compare-and-swap loop over the bit pattern.
+type FloatCounter struct{ bits atomic.Uint64 }
+
+// Add adds v (negative deltas are ignored).
+func (c *FloatCounter) Add(v float64) {
+	if !(v > 0) {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current total.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a float64 value that can move in both directions.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds v (may be negative) with a compare-and-swap loop.
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution: observation i lands in the
+// first bucket whose upper bound is ≥ v, or the implicit +Inf bucket.
+// Bounds are fixed at registration so Observe performs no allocation.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last is the +Inf overflow
+	count   atomic.Int64
+	sum     FloatCounter
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Branchless-enough linear scan: bucket lists are short (≤ ~20) and the
+	// common case hits an early bound; a binary search wins only for large
+	// bound counts.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// DefaultBytesBuckets is a power-of-4 byte-size ladder suitable for
+// message sizes.
+var DefaultBytesBuckets = []float64{64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+
+// family is one named instrument family: a fixed kind, help text, bucket
+// bounds (histograms) and one instrument per distinct label set.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	bounds []float64
+	insts  map[string]*instrument
+}
+
+// instrument pairs a label set with its typed value holder.
+type instrument struct {
+	labels []Label
+	c      *Counter
+	fc     *FloatCounter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds instrument families. The zero value is not usable; call
+// New. All methods are safe for concurrent use.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// New returns an empty registry.
+func New() *Registry { return &Registry{fams: make(map[string]*family)} }
+
+// std is the process-wide default registry the long-running commands serve.
+var std = New()
+
+// Default returns the process-wide default registry.
+func Default() *Registry { return std }
+
+// validName reports whether name is a legal Prometheus metric/label name.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// labelKey serializes a sorted label set into the family's instrument map
+// key. Registration-time only; hot-path updates never re-serialize.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// instrumentFor resolves (name, labels) to the family's instrument,
+// creating both on first use. It panics on programmer errors: invalid
+// names, or re-registering a name with a different kind — silent
+// divergence there would corrupt every downstream scrape.
+func (r *Registry) instrumentFor(name, help string, kind Kind, bounds []float64, labels []Label) *instrument {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(a, b int) bool { return ls[a].Key < ls[b].Key })
+	for _, l := range ls {
+		if !validName(l.Key) {
+			panic(fmt.Sprintf("metrics: %s: invalid label key %q", name, l.Key))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.fams[name]
+	if fam == nil {
+		var bb []float64
+		if kind == KindHistogram {
+			if len(bounds) == 0 {
+				panic(fmt.Sprintf("metrics: histogram %s needs at least one bucket bound", name))
+			}
+			bb = append([]float64(nil), bounds...)
+			if !sort.Float64sAreSorted(bb) {
+				panic(fmt.Sprintf("metrics: histogram %s bounds %v are not sorted", name, bounds))
+			}
+		}
+		fam = &family{name: name, help: help, kind: kind, bounds: bb, insts: make(map[string]*instrument)}
+		r.fams[name] = fam
+	}
+	if fam.kind != kind {
+		panic(fmt.Sprintf("metrics: %s already registered as a %s, requested as a %s", name, fam.kind, kind))
+	}
+	if fam.help == "" {
+		fam.help = help
+	}
+	key := labelKey(ls)
+	inst := fam.insts[key]
+	if inst == nil {
+		inst = &instrument{labels: ls}
+		switch kind {
+		case KindCounter:
+			inst.c = new(Counter)
+			inst.fc = new(FloatCounter)
+		case KindGauge:
+			inst.g = new(Gauge)
+		case KindHistogram:
+			h := &Histogram{bounds: fam.bounds}
+			h.buckets = make([]atomic.Int64, len(fam.bounds)+1)
+			inst.h = h
+		}
+		fam.insts[key] = inst
+	}
+	return inst
+}
+
+// Counter returns the registered counter for (name, labels), creating it on
+// first use. Help is recorded on first registration of the family.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.instrumentFor(name, help, KindCounter, nil, labels).c
+}
+
+// FloatCounter returns the float-valued counter for (name, labels). A
+// float counter shares the counter kind (monotonic totals) but accumulates
+// fractional quantities such as seconds. A family must be all-int or
+// all-float: the exposed value is the sum of both parts, so mixing within
+// one instrument would still read correctly but is not intended.
+func (r *Registry) FloatCounter(name, help string, labels ...Label) *FloatCounter {
+	return r.instrumentFor(name, help, KindCounter, nil, labels).fc
+}
+
+// Gauge returns the registered gauge for (name, labels).
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.instrumentFor(name, help, KindGauge, nil, labels).g
+}
+
+// Histogram returns the registered fixed-bucket histogram for
+// (name, labels). Bounds are fixed by the family's first registration;
+// later calls may pass nil bounds to mean "the family's".
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	return r.instrumentFor(name, help, KindHistogram, bounds, labels).h
+}
+
+// Bucket is one cumulative histogram bucket: the count of observations ≤ Le.
+type Bucket struct {
+	Le    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// Point is one instrument's state in a Snapshot.
+type Point struct {
+	Name    string   `json:"name"`
+	Kind    Kind     `json:"-"`
+	KindS   string   `json:"kind"`
+	Help    string   `json:"help,omitempty"`
+	Labels  []Label  `json:"labels,omitempty"`
+	Value   float64  `json:"value"`
+	Count   int64    `json:"count,omitempty"`   // histogram only
+	Sum     float64  `json:"sum,omitempty"`     // histogram only
+	Buckets []Bucket `json:"buckets,omitempty"` // histogram only, cumulative
+}
+
+// key identifies a point inside a snapshot.
+func (p Point) key() string { return p.Name + "\x00" + labelKey(p.Labels) }
+
+// Snapshot is a consistent point-in-time view of a registry, sorted by
+// (name, labels) so repeated scrapes of identical state render identically.
+type Snapshot struct {
+	Points []Point `json:"metrics"`
+}
+
+// Snapshot captures every instrument's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	for _, fam := range r.fams {
+		for _, inst := range fam.insts {
+			pt := Point{Name: fam.name, Kind: fam.kind, KindS: fam.kind.String(), Help: fam.help, Labels: inst.labels}
+			switch fam.kind {
+			case KindCounter:
+				pt.Value = float64(inst.c.Value()) + inst.fc.Value()
+			case KindGauge:
+				pt.Value = inst.g.Value()
+			case KindHistogram:
+				h := inst.h
+				pt.Count = h.Count()
+				pt.Sum = h.Sum()
+				pt.Value = float64(pt.Count)
+				cum := int64(0)
+				for i := range h.buckets {
+					cum += h.buckets[i].Load()
+					le := math.Inf(1)
+					if i < len(h.bounds) {
+						le = h.bounds[i]
+					}
+					pt.Buckets = append(pt.Buckets, Bucket{Le: le, Count: cum})
+				}
+			}
+			s.Points = append(s.Points, pt)
+		}
+	}
+	sort.Slice(s.Points, func(a, b int) bool { return s.Points[a].key() < s.Points[b].key() })
+	return s
+}
+
+// Point returns the snapshot entry for (name, labels).
+func (s Snapshot) Point(name string, labels ...Label) (Point, bool) {
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(a, b int) bool { return ls[a].Key < ls[b].Key })
+	want := Point{Name: name, Labels: ls}.key()
+	for _, p := range s.Points {
+		if p.key() == want {
+			return p, true
+		}
+	}
+	return Point{}, false
+}
+
+// Value returns the scalar value for (name, labels): the running total for
+// counters, the current level for gauges, the observation count for
+// histograms. The second result is false when the point does not exist.
+func (s Snapshot) Value(name string, labels ...Label) (float64, bool) {
+	p, ok := s.Point(name, labels...)
+	return p.Value, ok
+}
+
+// Sub returns the window s − prev: counters and histogram counts subtract
+// the previous snapshot's values (points absent from prev pass through
+// unchanged), gauges keep their current level. Use it to turn two scrapes
+// of cumulative totals into a per-window rate view.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	old := make(map[string]Point, len(prev.Points))
+	for _, p := range prev.Points {
+		old[p.key()] = p
+	}
+	out := Snapshot{Points: make([]Point, len(s.Points))}
+	for i, p := range s.Points {
+		q, ok := old[p.key()]
+		if ok && p.Kind != KindGauge {
+			p.Value -= q.Value
+			p.Count -= q.Count
+			p.Sum -= q.Sum
+			if len(p.Buckets) == len(q.Buckets) {
+				bs := make([]Bucket, len(p.Buckets))
+				copy(bs, p.Buckets)
+				for j := range bs {
+					bs[j].Count -= q.Buckets[j].Count
+				}
+				p.Buckets = bs
+			}
+		}
+		out.Points[i] = p
+	}
+	return out
+}

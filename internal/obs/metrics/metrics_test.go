@@ -1,0 +1,307 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("test_ops_total", "ops", L("kind", "a"))
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	fc := r.FloatCounter("test_seconds_total", "time")
+	fc.Add(0.25)
+	fc.Add(0.5)
+	fc.Add(-1) // ignored
+	if got := fc.Value(); got != 0.75 {
+		t.Errorf("float counter = %g, want 0.75", got)
+	}
+	g := r.Gauge("test_level", "level")
+	g.Set(3)
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %g, want 1.5", got)
+	}
+	h := r.Histogram("test_bytes", "sizes", []float64{10, 100})
+	for _, v := range []float64{1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 556 {
+		t.Errorf("histogram count %d sum %g, want 4 / 556", h.Count(), h.Sum())
+	}
+}
+
+func TestRegistryReusesInstruments(t *testing.T) {
+	r := New()
+	a := r.Counter("x_total", "", L("k", "v"))
+	b := r.Counter("x_total", "", L("k", "v"))
+	if a != b {
+		t.Error("same (name, labels) resolved to distinct counters")
+	}
+	other := r.Counter("x_total", "", L("k", "w"))
+	if a == other {
+		t.Error("distinct labels resolved to the same counter")
+	}
+	// Label order must not matter.
+	p := r.Gauge("y", "", L("a", "1"), L("b", "2"))
+	q := r.Gauge("y", "", L("b", "2"), L("a", "1"))
+	if p != q {
+		t.Error("label order changed instrument identity")
+	}
+}
+
+func TestRegistryPanicsOnMisuse(t *testing.T) {
+	r := New()
+	r.Counter("z_total", "")
+	for name, f := range map[string]func(){
+		"kind clash":     func() { r.Gauge("z_total", "") },
+		"invalid name":   func() { r.Counter("bad name", "") },
+		"invalid label":  func() { r.Counter("ok_total", "", L("bad key", "v")) },
+		"no hist bounds": func() { r.Histogram("h", "", nil) },
+		"unsorted":       func() { r.Histogram("h2", "", []float64{5, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSnapshotSortedAndValue(t *testing.T) {
+	r := New()
+	r.Counter("b_total", "").Add(2)
+	r.Counter("a_total", "", L("x", "2")).Add(3)
+	r.Counter("a_total", "", L("x", "1")).Add(1)
+	s := r.Snapshot()
+	var names []string
+	for _, p := range s.Points {
+		names = append(names, p.Name+labelKey(p.Labels))
+	}
+	want := []string{"a_totalx=1", "a_totalx=2", "b_total"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("snapshot order %v, want %v", names, want)
+		}
+	}
+	if v, ok := s.Value("a_total", L("x", "2")); !ok || v != 3 {
+		t.Errorf("Value(a_total,x=2) = %g,%v", v, ok)
+	}
+	if _, ok := s.Value("missing"); ok {
+		t.Error("missing metric reported present")
+	}
+}
+
+func TestSnapshotSubWindows(t *testing.T) {
+	r := New()
+	c := r.Counter("w_total", "")
+	g := r.Gauge("w_level", "")
+	h := r.Histogram("w_bytes", "", []float64{10})
+	c.Add(5)
+	g.Set(2)
+	h.Observe(3)
+	before := r.Snapshot()
+	c.Add(7)
+	g.Set(9)
+	h.Observe(30)
+	delta := r.Snapshot().Sub(before)
+	if v, _ := delta.Value("w_total"); v != 7 {
+		t.Errorf("counter delta %g, want 7", v)
+	}
+	if v, _ := delta.Value("w_level"); v != 9 {
+		t.Errorf("gauge in delta %g, want current level 9", v)
+	}
+	p, _ := delta.Point("w_bytes")
+	if p.Count != 1 || p.Sum != 30 {
+		t.Errorf("histogram delta count %d sum %g, want 1 / 30", p.Count, p.Sum)
+	}
+	if p.Buckets[0].Count != 0 || p.Buckets[1].Count != 1 {
+		t.Errorf("bucket deltas %+v", p.Buckets)
+	}
+}
+
+// Hot-path updates must not allocate: the simulator calls these per
+// message. The test is exact, not differential — zero is the contract.
+func TestHotPathUpdatesDoNotAllocate(t *testing.T) {
+	r := New()
+	c := r.Counter("alloc_total", "", L("k", "v"))
+	fc := r.FloatCounter("alloc_seconds_total", "")
+	g := r.Gauge("alloc_level", "")
+	h := r.Histogram("alloc_bytes", "", DefaultBytesBuckets)
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		fc.Add(0.5)
+		g.Set(1)
+		g.Add(2)
+		h.Observe(300)
+	}); n != 0 {
+		t.Errorf("hot-path updates allocate %v per op, want 0", n)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := New()
+	c := r.Counter("race_total", "")
+	h := r.Histogram("race_bytes", "", []float64{8})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j % 16))
+				r.Counter("race_total", "") // concurrent resolve
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Errorf("counter %d histogram %d, want 8000 each", c.Value(), h.Count())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Counter("p_msgs_total", "messages sent", L("link", `0->1`)).Add(4)
+	r.Gauge("p_temp", "").Set(1.5)
+	h := r.Histogram("p_bytes", "message sizes", []float64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP p_msgs_total messages sent",
+		"# TYPE p_msgs_total counter",
+		`p_msgs_total{link="0->1"} 4`,
+		"# TYPE p_temp gauge",
+		"p_temp 1.5",
+		"# TYPE p_bytes histogram",
+		`p_bytes_bucket{le="10"} 1`,
+		`p_bytes_bucket{le="100"} 2`,
+		`p_bytes_bucket{le="+Inf"} 2`,
+		"p_bytes_sum 55",
+		"p_bytes_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSONSchema(t *testing.T) {
+	r := New()
+	r.Counter("j_total", "help text").Add(2)
+	// A histogram's final cumulative bucket has le = +Inf, which plain
+	// encoding/json rejects; the exposition must spell it "+Inf" instead of
+	// failing (which would surface as an empty /metrics.json body).
+	r.Histogram("j_bytes", "h", []float64{64}).Observe(100)
+	var b strings.Builder
+	if err := r.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Schema  int `json:"schema"`
+		Metrics []struct {
+			Name    string  `json:"name"`
+			Kind    string  `json:"kind"`
+			Value   float64 `json:"value"`
+			Buckets []struct {
+				Le    string `json:"le"`
+				Count int64  `json:"count"`
+			} `json:"buckets"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != ExpoSchema || len(got.Metrics) != 2 ||
+		got.Metrics[1].Name != "j_total" || got.Metrics[1].Kind != "counter" || got.Metrics[1].Value != 2 {
+		t.Errorf("json exposition: %+v", got)
+	}
+	h := got.Metrics[0]
+	if h.Name != "j_bytes" || len(h.Buckets) != 2 ||
+		h.Buckets[0].Le != "64" || h.Buckets[0].Count != 0 ||
+		h.Buckets[1].Le != "+Inf" || h.Buckets[1].Count != 1 {
+		t.Errorf("histogram buckets: %+v", h)
+	}
+}
+
+func TestFormatValueSpecials(t *testing.T) {
+	for v, want := range map[float64]string{
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		0.25:         "0.25",
+	} {
+		if got := formatValue(v); got != want {
+			t.Errorf("formatValue(%g) = %q, want %q", v, got, want)
+		}
+	}
+	if got := formatValue(math.NaN()); got != "NaN" {
+		t.Errorf("formatValue(NaN) = %q", got)
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := New()
+	r.Counter("srv_total", "").Add(3)
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+	if out := get("/metrics"); !strings.Contains(out, "srv_total 3") {
+		t.Errorf("/metrics: %q", out)
+	}
+	if out := get("/metrics.json"); !strings.Contains(out, `"srv_total"`) {
+		t.Errorf("/metrics.json: %q", out)
+	}
+	if out := get("/debug/pprof/"); !strings.Contains(out, "goroutine") {
+		t.Errorf("/debug/pprof/: missing profile index")
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := New().Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := New().Histogram("bench_bytes", "", DefaultBytesBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i & 0xffff))
+	}
+}

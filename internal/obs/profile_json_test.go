@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"os"
 	"reflect"
 	"strings"
 	"testing"
@@ -40,5 +41,50 @@ func TestReadProfileJSONValidation(t *testing.T) {
 	}
 	if err := WriteProfileJSON(dir+"/nil.json", "t", nil); err == nil {
 		t.Fatal("nil profile accepted")
+	}
+}
+
+// Every failure mode of the strict reader must surface as an error, never a
+// zero-valued ProfileFile: a missing file, a file cut off mid-write, a
+// future schema version, and an envelope with no body.
+func TestReadProfileJSONErrorPaths(t *testing.T) {
+	dir := t.TempDir()
+
+	if _, err := ReadProfileJSON(dir + "/absent.json"); err == nil || !strings.Contains(err.Error(), "read profile file") {
+		t.Errorf("missing file: want read error, got %v", err)
+	}
+
+	// Truncate a valid file mid-body, as a crashed writer would leave it.
+	res, tr := runPingPong(t)
+	valid := dir + "/profile.json"
+	if err := WriteProfileJSON(valid, "t", NewProfile(res, tr)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := dir + "/truncated.json"
+	if err := os.WriteFile(trunc, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadProfileJSON(trunc); err == nil || !strings.Contains(err.Error(), "parse") {
+		t.Errorf("truncated file: want parse error, got %v", err)
+	}
+
+	future := dir + "/future.json"
+	if err := os.WriteFile(future, []byte(`{"schema": 99, "kind": "profile", "profile": {}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadProfileJSON(future); err == nil || !strings.Contains(err.Error(), "schema 99") {
+		t.Errorf("future schema: want unsupported-schema error, got %v", err)
+	}
+
+	headless := dir + "/headless.json"
+	if err := os.WriteFile(headless, []byte(`{"schema": 1, "kind": "profile"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadProfileJSON(headless); err == nil || !strings.Contains(err.Error(), "missing profile body") {
+		t.Errorf("nil body: want missing-body error, got %v", err)
 	}
 }

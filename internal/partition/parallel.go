@@ -85,6 +85,13 @@ func runChunks(nChunks int, walk func(i0 int, out *chunkOut)) []chunkOut {
 					return
 				}
 				walk(i0, &outs[i0])
+				// Stream this chunk's counts immediately so a live scrape
+				// sees search progress instead of one lump at the end; the
+				// serial aggregation into the caller's SearchStats happens
+				// later and is not re-published.
+				if pm := partMetricsPtr.Load(); pm != nil {
+					pm.add(outs[i0].stats)
+				}
 			}
 		}()
 	}

@@ -264,6 +264,10 @@ func EachElementaryStats(p, d int, stats *SearchStats, f func(gamma []int) bool)
 	if stats == nil {
 		stats = &SearchStats{} // discard counts without nil checks below
 	}
+	if pm := partMetricsPtr.Load(); pm != nil {
+		pre := *stats
+		defer func() { pm.add(stats.minus(pre)) }()
+	}
 	stats.BruteForceLeaves = CountElementary(p, d)
 	gamma := make([]int, d)
 	for i := range gamma {
@@ -412,6 +416,13 @@ func OptimalStats(p, d int, obj Objective, stats *SearchStats) (Result, error) {
 	if stats == nil {
 		stats = &SearchStats{} // discard counts without nil checks below
 	}
+	pm := partMetricsPtr.Load()
+	if pm != nil {
+		pm.searchesOptimal.Inc()
+		pm.inflight.Add(1)
+		defer pm.inflight.Add(-1)
+	}
+	pre := *stats
 	stats.BruteForceLeaves = CountElementary(p, d)
 	if p == 1 {
 		gamma := make([]int, d)
@@ -420,6 +431,9 @@ func OptimalStats(p, d int, obj Objective, stats *SearchStats) (Result, error) {
 		}
 		stats.NodesVisited++
 		stats.LeavesEvaluated++
+		if pm != nil {
+			pm.add(stats.minus(pre))
+		}
 		return Result{Gamma: gamma, Cost: obj.Cost(gamma)}, nil
 	}
 	if d == 1 {
@@ -444,10 +458,19 @@ func OptimalStats(p, d int, obj Objective, stats *SearchStats) (Result, error) {
 		gamma[i] = 1
 	}
 	if useParallelSearch(stats.BruteForceLeaves, len(dists[0])) {
-		return parallelOptimal(factors, dists, d, obj, stats), nil
+		res := parallelOptimal(factors, dists, d, obj, stats)
+		// The chunks streamed their own counts from runChunks; only the
+		// shared root node and the distribution generation remain.
+		if pm != nil {
+			pm.add(SearchStats{NodesVisited: 1, Distributions: stats.Distributions - pre.Distributions})
+		}
+		return res, nil
 	}
 	best := Result{Cost: math.Inf(1)}
 	optimalRec(factors, dists, obj, 0, obj.Cost(gamma), gamma, &best, stats)
+	if pm != nil {
+		pm.add(stats.minus(pre))
+	}
 	return best, nil
 }
 
@@ -515,7 +538,19 @@ func OptimalCappedStats(p, d int, obj Objective, caps []int, stats *SearchStats)
 	if stats == nil {
 		stats = &SearchStats{}
 	}
+	pm := partMetricsPtr.Load()
+	if pm != nil {
+		pm.searchesCapped.Inc()
+		pm.inflight.Add(1)
+		defer pm.inflight.Add(-1)
+	}
+	preDist := stats.Distributions
 	if res, ok := parallelOptimalCapped(p, d, obj, caps, stats); ok {
+		// Chunk counts streamed from runChunks; publish the remainder. The
+		// serial fallback below is accounted by EachElementaryStats itself.
+		if pm != nil {
+			pm.add(SearchStats{NodesVisited: 1, Distributions: stats.Distributions - preDist})
+		}
 		if res.Gamma == nil {
 			return Result{}, fmt.Errorf("partition: no elementary partitioning of p = %d fits within caps %v", p, caps)
 		}

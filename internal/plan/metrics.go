@@ -1,0 +1,60 @@
+// Live metrics bridge for the plan compiler. EnableMetrics mirrors
+// compilation, validation and fingerprint-cache activity into an
+// obs/metrics.Registry; disabled (the default) the compiler pays one
+// atomic load per entry point and nothing else.
+package plan
+
+import (
+	"sync/atomic"
+
+	"genmp/internal/obs/metrics"
+)
+
+type planMetrics struct {
+	reg            *metrics.Registry
+	compilesMulti  *metrics.Counter
+	compilesWave   *metrics.Counter
+	compileErrors  *metrics.Counter
+	validations    *metrics.Counter
+	validationFail *metrics.Counter
+	fpComputed     *metrics.Counter
+	fpCached       *metrics.Counter
+}
+
+var planMetricsPtr atomic.Pointer[planMetrics]
+
+// EnableMetrics mirrors plan-compiler activity into reg (nil disables).
+func EnableMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		planMetricsPtr.Store(nil)
+		return
+	}
+	pm := &planMetrics{
+		reg:            reg,
+		compilesMulti:  reg.Counter("plan_compiles_total", "successful plan compilations, by schedule kind", metrics.L("kind", "multipartition")),
+		compilesWave:   reg.Counter("plan_compiles_total", "successful plan compilations, by schedule kind", metrics.L("kind", "wavefront")),
+		compileErrors:  reg.Counter("plan_compile_errors_total", "plan compilations rejected with an error"),
+		validations:    reg.Counter("plan_validations_total", "SweepPlan.Validate calls"),
+		validationFail: reg.Counter("plan_validation_failures_total", "SweepPlan.Validate calls that found a violation"),
+		fpComputed:     reg.Counter("plan_fingerprints_total", "Fingerprint calls, by how the result was produced", metrics.L("source", "computed")),
+		fpCached:       reg.Counter("plan_fingerprints_total", "Fingerprint calls, by how the result was produced", metrics.L("source", "cached")),
+	}
+	planMetricsPtr.Store(pm)
+}
+
+// countCompile records one Compile/CompileWavefront outcome.
+func countCompile(kind Kind, err error) {
+	pm := planMetricsPtr.Load()
+	if pm == nil {
+		return
+	}
+	if err != nil {
+		pm.compileErrors.Inc()
+		return
+	}
+	if kind == KindWavefront {
+		pm.compilesWave.Inc()
+	} else {
+		pm.compilesMulti.Inc()
+	}
+}

@@ -1,0 +1,70 @@
+package plan_test
+
+import (
+	"testing"
+
+	"genmp/internal/obs/metrics"
+	"genmp/internal/plan"
+	"genmp/internal/sweep"
+)
+
+func metricValue(t *testing.T, reg *metrics.Registry, name string, labels ...metrics.Label) float64 {
+	t.Helper()
+	v, _ := reg.Snapshot().Value(name, labels...)
+	return v
+}
+
+func TestPlanMetrics(t *testing.T) {
+	reg := metrics.New()
+	plan.EnableMetrics(reg)
+	defer plan.EnableMetrics(nil)
+
+	pl := compile(t)
+	if got := metricValue(t, reg, "plan_compiles_total", metrics.L("kind", "multipartition")); got != 1 {
+		t.Errorf("compiles{multipartition} = %g, want 1", got)
+	}
+
+	if _, err := plan.CompileWavefront(plan.WavefrontSpec{
+		P: 4, Eta: []int{16, 8, 8}, Dim: 0, Grain: 4, Solver: sweep.NewPenta(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := metricValue(t, reg, "plan_compiles_total", metrics.L("kind", "wavefront")); got != 1 {
+		t.Errorf("compiles{wavefront} = %g, want 1", got)
+	}
+
+	// A rejected spec counts as an error, not a compile.
+	if _, err := plan.Compile(plan.Spec{}); err == nil {
+		t.Fatal("empty spec compiled")
+	}
+	if got := metricValue(t, reg, "plan_compile_errors_total"); got != 1 {
+		t.Errorf("compile errors = %g, want 1", got)
+	}
+
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	broken := compile(t)
+	broken.Passes[0][0].CarryLen++
+	if err := broken.Validate(); err == nil {
+		t.Fatal("corrupted plan validated")
+	}
+	if got := metricValue(t, reg, "plan_validations_total"); got != 2 {
+		t.Errorf("validations = %g, want 2", got)
+	}
+	if got := metricValue(t, reg, "plan_validation_failures_total"); got != 1 {
+		t.Errorf("validation failures = %g, want 1", got)
+	}
+
+	// Fingerprint memoizes: first call computed, repeats served from cache.
+	fp := pl.Fingerprint()
+	if pl.Fingerprint() != fp || pl.Fingerprint() != fp {
+		t.Error("memoized fingerprint changed across calls")
+	}
+	if got := metricValue(t, reg, "plan_fingerprints_total", metrics.L("source", "computed")); got != 1 {
+		t.Errorf("fingerprints{computed} = %g, want 1", got)
+	}
+	if got := metricValue(t, reg, "plan_fingerprints_total", metrics.L("source", "cached")); got != 2 {
+		t.Errorf("fingerprints{cached} = %g, want 2", got)
+	}
+}

@@ -19,6 +19,7 @@ package plan
 
 import (
 	"fmt"
+	"sync"
 
 	"genmp/internal/core"
 	"genmp/internal/grid"
@@ -165,6 +166,12 @@ type SweepPlan struct {
 	Tags sim.TagSpace
 	// Passes is indexed [rank][dim*2 + direction] (direction 1 = backward).
 	Passes [][]Pass
+	// fpOnce/fp memoize Fingerprint. A plan is immutable once compiled, and
+	// its consumers fingerprint repeatedly (equivalence checks, dump keys);
+	// callers who hand-build and then mutate a SweepPlan must not
+	// fingerprint it before the mutation.
+	fpOnce sync.Once
+	fp     string
 }
 
 // Pass returns rank q's schedule for a sweep along dim in the given
@@ -200,7 +207,8 @@ func carryLens(s sweep.Solver) (fwd, bwd int) {
 // core.Multipartitioning.SweepSchedule and TileBounds exactly as the
 // executors historically did, so a rewired executor replays byte-identical
 // Compute/Send/Recv sequences.
-func Compile(spec Spec) (*SweepPlan, error) {
+func Compile(spec Spec) (pl *SweepPlan, err error) {
+	defer func() { countCompile(KindMultipartition, err) }()
 	if spec.M == nil {
 		return nil, fmt.Errorf("plan: Compile: Spec.M is nil")
 	}
@@ -223,7 +231,7 @@ func Compile(spec Spec) (*SweepPlan, error) {
 	}
 	fwd, bwd := carryLens(spec.Solver)
 	p := spec.M.P()
-	pl := &SweepPlan{
+	pl = &SweepPlan{
 		Kind:          KindMultipartition,
 		P:             p,
 		Eta:           numutil.CopyInts(spec.Eta),
@@ -312,7 +320,8 @@ func compileMultiPass(spec Spec, tags sim.TagSpace, q, dim int, backward bool, c
 // cut dimension. Unlike multipartitioned phases, a wavefront block's send
 // and recv share one tag (block index); the chain pairs sender phase m with
 // receiver phase m.
-func CompileWavefront(spec WavefrontSpec) (*SweepPlan, error) {
+func CompileWavefront(spec WavefrontSpec) (pl *SweepPlan, err error) {
+	defer func() { countCompile(KindWavefront, err) }()
 	if spec.P < 1 {
 		return nil, fmt.Errorf("plan: CompileWavefront: p = %d must be ≥ 1", spec.P)
 	}
@@ -334,7 +343,7 @@ func CompileWavefront(spec WavefrontSpec) (*SweepPlan, error) {
 		tags = SweepTags
 	}
 	fwd, bwd := carryLens(spec.Solver)
-	pl := &SweepPlan{
+	pl = &SweepPlan{
 		Kind:          KindWavefront,
 		P:             spec.P,
 		Eta:           numutil.CopyInts(spec.Eta),

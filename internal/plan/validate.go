@@ -23,7 +23,15 @@ import (
 //     the destination rank (the next phase index for multipartitioned
 //     plans, the same block index for wavefronts) agreeing on source, tag,
 //     byte count, and per-tile line counts.
-func (pl *SweepPlan) Validate() error {
+func (pl *SweepPlan) Validate() (err error) {
+	if pm := planMetricsPtr.Load(); pm != nil {
+		pm.validations.Inc()
+		defer func() {
+			if err != nil {
+				pm.validationFail.Inc()
+			}
+		}()
+	}
 	if err := pl.validateShape(); err != nil {
 		return err
 	}
@@ -261,7 +269,28 @@ func (pl *SweepPlan) validateSymmetry() error {
 // byte-identical schedules. Compile-input metadata that does not affect the
 // wire schedule (Halos, Batch) is deliberately excluded, so the dist and
 // dmem runtimes compile byte-identical fingerprints for one configuration.
+//
+// The rendering is memoized: the first call materializes the string, later
+// calls return it — a compiled plan is immutable, so repeated equivalence
+// checks and dump keys pay the walk once.
 func (pl *SweepPlan) Fingerprint() string {
+	computed := false
+	pl.fpOnce.Do(func() {
+		computed = true
+		pl.fp = pl.fingerprint()
+	})
+	if pm := planMetricsPtr.Load(); pm != nil {
+		if computed {
+			pm.fpComputed.Inc()
+		} else {
+			pm.fpCached.Inc()
+		}
+	}
+	return pl.fp
+}
+
+// fingerprint renders the schedule (see Fingerprint).
+func (pl *SweepPlan) fingerprint() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "kind=%s p=%d eta=%v gamma=%v dim=%d grain=%d solver=%s carry=%d/%d tags=%s[%d,+%d)\n",
 		pl.Kind, pl.P, pl.Eta, pl.Gamma, pl.Dim, pl.Grain, pl.Solver,

@@ -89,18 +89,27 @@ func (r *Rank) resolveAlg(o CollOpts) Alg {
 // send/recv/compute events are suppressed (stats still accrue) and the
 // emitted event carries the accumulated wait and bytes sent inside.
 func (r *Rank) collective(label string, body func()) {
+	if mm := r.machine.mm; mm != nil && r.quiet == 0 {
+		mm.collective(label).Inc()
+	}
 	start := r.clock
 	waitBefore := r.stats.WaitTime
 	sentBefore := r.stats.BytesSent
 	r.quiet++
 	body()
 	r.quiet--
-	if tr := r.machine.Trace; tr != nil && r.quiet == 0 {
-		tr.add(Event{
+	if r.quiet == 0 && r.observing() {
+		e := Event{
 			Rank: r.ID, Kind: EvCollective, Start: start, End: r.clock, Peer: -1,
 			Label: label, Bytes: r.stats.BytesSent - sentBefore,
 			Wait: r.stats.WaitTime - waitBefore, Phase: r.phase,
-		})
+		}
+		if fr := r.machine.Flight; fr != nil {
+			fr.record(r.ID, e)
+		}
+		if tr := r.machine.Trace; tr != nil {
+			tr.add(e)
+		}
 	}
 }
 

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math/bits"
 	"strings"
+
+	"genmp/internal/obs/metrics"
 )
 
 // Fabric models the interconnect. A message from src to dst is charged
@@ -152,6 +154,10 @@ func (f *hypercubeFabric) Inject(src, dst int, t float64, bytes int) float64 { r
 type ContentionFabric struct {
 	base   Fabric
 	egress []float64
+	// stalls, when set by Machine.Run, accumulates the virtual seconds
+	// departures were delayed by a busy egress link. Purely observational:
+	// timing is identical with or without it.
+	stalls *metrics.FloatCounter
 }
 
 // WithContention wraps base with the per-egress-link serialization model.
@@ -178,6 +184,9 @@ func (c *ContentionFabric) Inject(src, dst int, t float64, bytes int) float64 {
 	depart := t
 	if busy := c.egress[src]; busy > depart {
 		depart = busy
+	}
+	if c.stalls != nil && depart > t {
+		c.stalls.Add(depart - t)
 	}
 	c.egress[src] = depart + c.base.BodyTime(src, dst, bytes)
 	return depart

@@ -1,6 +1,9 @@
 package sim
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // payloadPool recycles message payload buffers machine-wide. Ranks hand
 // buffers to each other through messages (a Send transfers ownership to
@@ -12,13 +15,18 @@ import "sync"
 type payloadPool struct {
 	mu   sync.Mutex
 	bufs [][]float64
+	// Traffic counters are atomics (not guarded fields) so PoolStats can be
+	// read while a run is in flight.
+	gets, hits, puts, drops atomic.Int64
 }
 
 // poolMaxBufs bounds the free list; beyond it buffers are dropped to the
 // garbage collector (a machine at steady state holds far fewer).
 const poolMaxBufs = 256
 
-func (p *payloadPool) get(n int) []float64 {
+// get returns a length-n buffer and whether it was recycled from the pool.
+func (p *payloadPool) get(n int) (buf []float64, hit bool) {
+	p.gets.Add(1)
 	p.mu.Lock()
 	for i := len(p.bufs) - 1; i >= 0; i-- {
 		if cap(p.bufs[i]) >= n {
@@ -28,32 +36,89 @@ func (p *payloadPool) get(n int) []float64 {
 			p.bufs[last] = nil
 			p.bufs = p.bufs[:last]
 			p.mu.Unlock()
-			return buf[:n]
+			p.hits.Add(1)
+			return buf[:n], true
 		}
 	}
 	p.mu.Unlock()
-	return make([]float64, n)
+	return make([]float64, n), false
 }
 
-func (p *payloadPool) put(buf []float64) {
+// put returns buf to the pool, reporting whether it was dropped instead
+// because the pool was full.
+func (p *payloadPool) put(buf []float64) (dropped bool) {
 	if cap(buf) == 0 {
-		return
+		return false
 	}
+	p.puts.Add(1)
 	p.mu.Lock()
 	if len(p.bufs) < poolMaxBufs {
 		p.bufs = append(p.bufs, buf)
+		p.mu.Unlock()
+		return false
 	}
 	p.mu.Unlock()
+	p.drops.Add(1)
+	return true
+}
+
+// PoolStats is the cumulative traffic of a recycling pool. A healthy
+// steady state allocates during warm-up only, after which HitRate
+// approaches 1.
+type PoolStats struct {
+	Gets  int64 // buffers requested
+	Hits  int64 // requests served by recycling
+	Puts  int64 // buffers returned
+	Drops int64 // returns discarded because the pool was full
+}
+
+// HitRate returns Hits/Gets, or 0 when nothing was requested.
+func (s PoolStats) HitRate() float64 {
+	if s.Gets == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Gets)
+}
+
+// PayloadPoolStats returns the machine's payload-pool traffic, cumulative
+// across runs. Safe to call concurrently with a run.
+func (m *Machine) PayloadPoolStats() PoolStats {
+	return PoolStats{
+		Gets:  m.pool.gets.Load(),
+		Hits:  m.pool.hits.Load(),
+		Puts:  m.pool.puts.Load(),
+		Drops: m.pool.drops.Load(),
+	}
 }
 
 // GetPayload returns a length-n buffer for use as a message payload,
 // recycled from the machine-wide pool when one of sufficient capacity is
 // free (contents unspecified — overwrite fully).
-func (r *Rank) GetPayload(n int) []float64 { return r.machine.pool.get(n) }
+func (r *Rank) GetPayload(n int) []float64 {
+	buf, hit := r.machine.pool.get(n)
+	if mm := r.machine.mm; mm != nil {
+		mm.poolGets.Inc()
+		if hit {
+			mm.poolHits.Inc()
+		}
+	}
+	return buf
+}
 
 // PutPayload returns a payload buffer to the machine-wide pool. Ownership
 // follows the message: Send transfers the payload to the receiver, so only
 // the receiver of a message may recycle it (after fully consuming it), and
 // a sender must not touch a payload after Send. Callers who allocated a
 // buffer themselves may of course recycle it too.
-func (r *Rank) PutPayload(buf []float64) { r.machine.pool.put(buf) }
+func (r *Rank) PutPayload(buf []float64) {
+	if cap(buf) == 0 {
+		return
+	}
+	dropped := r.machine.pool.put(buf)
+	if mm := r.machine.mm; mm != nil {
+		mm.poolPuts.Inc()
+		if dropped {
+			mm.poolDrops.Inc()
+		}
+	}
+}

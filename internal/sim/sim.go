@@ -12,11 +12,16 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
+
+	"genmp/internal/obs/metrics"
 )
 
 // Network models the communication fabric. Transit time of an n-byte
@@ -108,6 +113,25 @@ type Machine struct {
 	// AlgAuto; zero (AlgAuto) keeps each primitive's legacy algorithm.
 	Coll  Alg
 	Trace *Trace
+	// Metrics mirrors run activity (messages, bytes, per-link traffic,
+	// collectives, pool and mailbox recycling, contention stalls) into a
+	// live registry scrapeable mid-run. Nil falls back to the package
+	// default installed by SetDefaultMetrics; with both nil the hot paths
+	// pay one nil check and nothing else. Metrics never touch virtual
+	// clocks, so results are bit-identical either way.
+	Metrics *metrics.Registry
+	// Flight, when non-nil, keeps a bounded ring of recent events per rank
+	// (recorded even inside collectives) and turns a failed run's one-line
+	// error into a post-mortem: Run appends FlightReport to the error.
+	Flight *FlightRecorder
+	// PProfLabels tags every rank goroutine with runtime/pprof labels
+	// ("rank", and "phase" updated by BeginPhase), so CPU/heap profiles
+	// collected from the -metrics-addr endpoint attribute samples to sweep
+	// phases. Off by default: label swaps allocate, and the differential
+	// alloc tests pin the unlabeled path.
+	PProfLabels bool
+	// mm holds the resolved metric handles of the effective registry.
+	mm *machMetrics
 	// pool recycles message payload buffers across ranks (Rank.GetPayload/
 	// PutPayload); zero value ready to use.
 	pool payloadPool
@@ -254,6 +278,10 @@ type mailbox struct {
 	alive    int
 	blocked  int
 	deadlock bool
+	// envNew/envReused count envelope provenance (always on, read via
+	// Machine.MailboxStats); mm mirrors them into the live registry.
+	envNew, envReused int64
+	mm                *machMetrics
 }
 
 // mailboxMaxFree bounds the envelope free list; in-flight envelopes live in
@@ -294,6 +322,20 @@ func (mb *mailbox) reset(p int) {
 	mb.mu.Unlock()
 }
 
+// setMetrics installs the registry handles the mailbox mirrors its envelope
+// counters into (nil detaches); called by Run before ranks start.
+func (mb *mailbox) setMetrics(mm *machMetrics) {
+	mb.mu.Lock()
+	mb.mm = mm
+	mb.mu.Unlock()
+}
+
+func (mb *mailbox) isDeadlocked() bool {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.deadlock
+}
+
 func (mb *mailbox) put(k msgKey, m Msg) {
 	mb.mu.Lock()
 	var env *Msg
@@ -301,8 +343,16 @@ func (mb *mailbox) put(k msgKey, m Msg) {
 		env = mb.free[n-1]
 		mb.free[n-1] = nil
 		mb.free = mb.free[:n-1]
+		mb.envReused++
+		if mb.mm != nil {
+			mb.mm.envReused.Inc()
+		}
 	} else {
 		env = new(Msg)
+		mb.envNew++
+		if mb.mm != nil {
+			mb.mm.envNew.Inc()
+		}
 	}
 	*env = m
 	mb.queues[k] = append(mb.queues[k], env)
@@ -340,6 +390,10 @@ func (mb *mailbox) get(k msgKey) (Msg, error) {
 			return m, nil
 		}
 		if mb.deadlock {
+			// Keep (or restore) the waiting entry: once the run is doomed it
+			// no longer drives progress detection, but the post-mortem
+			// (mailboxState) reads it to name what each rank was blocked on.
+			mb.waiting[k.dst] = k
 			return Msg{}, fmt.Errorf("sim: deadlock: rank %d waiting for message from %d tag %d", k.dst, k.src, k.tag)
 		}
 		mb.waiting[k.dst] = k
@@ -347,13 +401,14 @@ func (mb *mailbox) get(k msgKey) (Msg, error) {
 		if mb.blocked == mb.alive && !mb.anyDeliverable() {
 			mb.deadlock = true
 			mb.blocked--
-			delete(mb.waiting, k.dst)
 			mb.cond.Broadcast()
 			return Msg{}, fmt.Errorf("sim: deadlock: all ranks blocked with nothing deliverable (rank %d waits on src %d tag %d)", k.dst, k.src, k.tag)
 		}
 		mb.cond.Wait()
 		mb.blocked--
-		delete(mb.waiting, k.dst)
+		if !mb.deadlock {
+			delete(mb.waiting, k.dst)
+		}
 	}
 }
 
@@ -439,6 +494,25 @@ func (b *barrier) sync(t float64, vals []float64, combine func(a, b float64) flo
 	return b.outT, out
 }
 
+// MailboxStats reports the machine's cumulative envelope recycling
+// counters: a healthy steady state allocates a bounded set of new
+// envelopes and then reuses them for the rest of the machine's life.
+type MailboxStats struct {
+	EnvelopesNew    int64
+	EnvelopesReused int64
+}
+
+// MailboxStats returns the machine's envelope recycling counters
+// (cumulative across runs; zero before the first Run).
+func (m *Machine) MailboxStats() MailboxStats {
+	if m.mbox == nil {
+		return MailboxStats{}
+	}
+	m.mbox.mu.Lock()
+	defer m.mbox.mu.Unlock()
+	return MailboxStats{EnvelopesNew: m.mbox.envNew, EnvelopesReused: m.mbox.envReused}
+}
+
 // Rank is one simulated processor, usable only inside Machine.Run's body.
 type Rank struct {
 	ID      int
@@ -448,6 +522,7 @@ type Rank struct {
 	clock   float64
 	stats   Stats
 	phase   string
+	idStr   string // preformatted rank label for pprof (set when PProfLabels)
 	// quiet suppresses per-event tracing while > 0 (stats still accrue):
 	// collectives bracket their constituent messages with it so the
 	// timeline carries one labeled interval instead of the pieces.
@@ -470,7 +545,28 @@ func (r *Rank) Stats() Stats { return r.stats }
 func (r *Rank) BeginPhase(label string) (prev string) {
 	prev = r.phase
 	r.phase = label
+	if r.machine.PProfLabels {
+		pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+			pprof.Labels("rank", r.idStr, "phase", label)))
+	}
 	return prev
+}
+
+// observing reports whether event structs need to be built at all.
+func (r *Rank) observing() bool {
+	return r.machine.Trace != nil || r.machine.Flight != nil
+}
+
+// emit routes one event to the flight recorder (always, so post-mortems see
+// inside collectives) and to the timeline trace (only outside a collective
+// bracket, preserving the one-labeled-interval invariant).
+func (r *Rank) emit(e Event) {
+	if fr := r.machine.Flight; fr != nil {
+		fr.record(r.ID, e)
+	}
+	if tr := r.machine.Trace; tr != nil && r.quiet == 0 {
+		tr.add(e)
+	}
 }
 
 // Phase returns the rank's current phase label.
@@ -549,8 +645,8 @@ func (r *Rank) Compute(seconds float64) {
 	start := r.clock
 	r.clock += seconds
 	r.addCompute(seconds)
-	if tr := r.machine.Trace; tr != nil && seconds > 0 && r.quiet == 0 {
-		tr.add(Event{Rank: r.ID, Kind: EvCompute, Start: start, End: r.clock, Peer: -1, Phase: r.phase})
+	if seconds > 0 && r.observing() {
+		r.emit(Event{Rank: r.ID, Kind: EvCompute, Start: start, End: r.clock, Peer: -1, Phase: r.phase})
 	}
 }
 
@@ -577,8 +673,11 @@ func (r *Rank) Send(dst, tag int, m Msg) {
 	// stall — injection is eager.
 	m.sent = r.machine.Fabric.Inject(r.ID, dst, r.clock, m.Bytes)
 	r.addSent(dst, m.Bytes)
-	if tr := r.machine.Trace; tr != nil && r.quiet == 0 {
-		tr.add(Event{Rank: r.ID, Kind: EvSend, Start: r.clock - r.machine.Net.SendOverhead, End: r.clock, Peer: dst, Bytes: m.Bytes, Tag: tag, Phase: r.phase})
+	if mm := r.machine.mm; mm != nil {
+		mm.sent(r.ID, dst, m.Bytes)
+	}
+	if r.observing() {
+		r.emit(Event{Rank: r.ID, Kind: EvSend, Start: r.clock - r.machine.Net.SendOverhead, End: r.clock, Peer: dst, Bytes: m.Bytes, Tag: tag, Phase: r.phase})
 	}
 	r.mb.put(msgKey{src: r.ID, dst: dst, tag: tag}, m)
 }
@@ -590,6 +689,13 @@ func (r *Rank) Recv(src, tag int) Msg {
 		panic(fmt.Sprintf("sim: Recv from rank %d of %d", src, r.machine.P))
 	}
 	recvStart := r.clock
+	// Mark the receive as in-flight in the flight ring before blocking: if
+	// it never completes, the post-mortem shows exactly what this rank was
+	// waiting on as its final event. The completed EvRecv below supersedes
+	// it in healthy runs.
+	if fr := r.machine.Flight; fr != nil {
+		fr.record(r.ID, Event{Rank: r.ID, Kind: EvBlocked, Start: recvStart, End: recvStart, Peer: src, Tag: tag, Phase: r.phase})
+	}
 	m, err := r.mb.get(msgKey{src: src, dst: r.ID, tag: tag})
 	if err != nil {
 		panic(err)
@@ -610,8 +716,8 @@ func (r *Rank) Recv(src, tag int) Msg {
 	r.clock += body + r.machine.Net.RecvOverhead
 	r.addComm(body + r.machine.Net.RecvOverhead)
 	r.addRecvd(src, m.Bytes)
-	if tr := r.machine.Trace; tr != nil && r.quiet == 0 {
-		tr.add(Event{Rank: r.ID, Kind: EvRecv, Start: recvStart, End: r.clock, Peer: src, Bytes: m.Bytes, Tag: tag, Wait: wait, Phase: r.phase})
+	if r.observing() {
+		r.emit(Event{Rank: r.ID, Kind: EvRecv, Start: recvStart, End: r.clock, Peer: src, Bytes: m.Bytes, Tag: tag, Wait: wait, Phase: r.phase})
 	}
 	return m
 }
@@ -636,6 +742,12 @@ func (r *Rank) Barrier() {
 	}
 	r.clock = t + cost
 	r.addComm(cost)
+	if mm := r.machine.mm; mm != nil {
+		mm.collective("barrier").Inc()
+	}
+	if fr := r.machine.Flight; fr != nil {
+		fr.record(r.ID, Event{Rank: r.ID, Kind: EvCollective, Start: start, End: r.clock, Peer: -1, Label: "barrier", Wait: wait, Phase: r.phase})
+	}
 	if tr := r.machine.Trace; tr != nil {
 		tr.add(Event{Rank: r.ID, Kind: EvCollective, Start: start, End: r.clock, Peer: -1, Label: "barrier", Wait: wait, Phase: r.phase})
 	}
@@ -655,6 +767,12 @@ func (r *Rank) AllReduce(vals []float64, combine func(a, b float64) float64) []f
 	}
 	r.clock = t + cost
 	r.addComm(cost)
+	if mm := r.machine.mm; mm != nil {
+		mm.collective("allreduce").Inc()
+	}
+	if fr := r.machine.Flight; fr != nil {
+		fr.record(r.ID, Event{Rank: r.ID, Kind: EvCollective, Start: start, End: r.clock, Peer: -1, Label: "allreduce", Wait: wait, Phase: r.phase})
+	}
 	if tr := r.machine.Trace; tr != nil {
 		tr.add(Event{Rank: r.ID, Kind: EvCollective, Start: start, End: r.clock, Peer: -1, Label: "allreduce", Wait: wait, Phase: r.phase})
 	}
@@ -704,11 +822,31 @@ func (m *Machine) Run(body func(r *Rank)) (Result, error) {
 	if rf, ok := m.Fabric.(interface{ reset() }); ok {
 		rf.reset()
 	}
+	m.attachMetrics()
+	if m.Flight == nil {
+		if d := int(defaultFlightDepth.Load()); d > 0 {
+			m.Flight = NewFlightRecorder(d)
+		}
+	}
+	if !m.PProfLabels && defaultPProfLabels.Load() {
+		m.PProfLabels = true
+	}
+	if cf, ok := m.Fabric.(*ContentionFabric); ok {
+		if m.mm != nil {
+			cf.stalls = m.mm.stalls
+		} else {
+			cf.stalls = nil
+		}
+	}
+	if m.Flight != nil {
+		m.Flight.attach(m.P)
+	}
 	if m.mbox == nil {
 		m.mbox = newMailbox(m.P)
 	} else {
 		m.mbox.reset(m.P)
 	}
+	m.mbox.setMetrics(m.mm)
 	mb := m.mbox
 	bar := newBarrier(m.P)
 	ranks := make([]*Rank, m.P)
@@ -716,6 +854,9 @@ func (m *Machine) Run(body func(r *Rank)) (Result, error) {
 	var wg sync.WaitGroup
 	for id := 0; id < m.P; id++ {
 		ranks[id] = &Rank{ID: id, machine: m, mb: mb, bar: bar}
+		if m.PProfLabels {
+			ranks[id].idStr = strconv.Itoa(id)
+		}
 		wg.Add(1)
 		go func(r *Rank) {
 			defer wg.Done()
@@ -726,11 +867,26 @@ func (m *Machine) Run(body func(r *Rank)) (Result, error) {
 					errs[r.ID] = fmt.Errorf("sim: rank %d: %v", r.ID, rec)
 				}
 			}()
-			body(r)
+			if m.PProfLabels {
+				pprof.Do(context.Background(), pprof.Labels("rank", r.idStr), func(context.Context) {
+					body(r)
+				})
+			} else {
+				body(r)
+			}
 		}(ranks[id])
 	}
 	wg.Wait()
+	if m.mm != nil {
+		m.mm.runs.Inc()
+		if mb.isDeadlocked() {
+			m.mm.deadlocks.Inc()
+		}
+	}
 	if err := errors.Join(errs...); err != nil {
+		if m.Flight != nil {
+			err = fmt.Errorf("%w\n\n%s", err, m.FlightReport())
+		}
 		return Result{}, err
 	}
 	res := Result{Ranks: make([]Stats, m.P)}
@@ -743,6 +899,9 @@ func (m *Machine) Run(body func(r *Rank)) (Result, error) {
 		r.stats.FinalClock = r.clock
 		r.stats.IdleTime = res.Makespan - r.clock
 		res.Ranks[id] = r.stats
+	}
+	if m.mm != nil {
+		m.mm.makespan.Set(res.Makespan)
 	}
 	return res, nil
 }

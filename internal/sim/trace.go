@@ -23,6 +23,11 @@ const (
 	EvCollective
 	// EvMark is an application-defined annotation.
 	EvMark
+	// EvBlocked is a receive posted but (so far) not completed. Only the
+	// flight recorder sees these: Recv records one before blocking so a
+	// deadlock post-mortem shows what each rank's final, never-completed
+	// receive was waiting on. Healthy receives follow up with an EvRecv.
+	EvBlocked
 )
 
 // String names the kind.
@@ -36,6 +41,8 @@ func (k EventKind) String() string {
 		return "recv"
 	case EvCollective:
 		return "collective"
+	case EvBlocked:
+		return "blocked"
 	default:
 		return "mark"
 	}
@@ -127,7 +134,7 @@ func (t *Trace) RenderTimeline(w io.Writer, p int, makespan float64, width int) 
 		}
 		return c
 	}
-	glyph := map[EventKind]byte{EvCompute: '#', EvSend: '>', EvRecv: '<', EvCollective: '|', EvMark: '*'}
+	glyph := map[EventKind]byte{EvCompute: '#', EvSend: '>', EvRecv: '<', EvCollective: '|', EvMark: '*', EvBlocked: '?'}
 	for _, e := range t.Events() {
 		if e.Rank < 0 || e.Rank >= p {
 			continue

@@ -1,0 +1,90 @@
+package sweep
+
+import (
+	"testing"
+
+	"genmp/internal/obs/metrics"
+)
+
+// Cold acquisitions miss, repeat acquisitions at the same (or smaller)
+// sizes hit, and growth misses again — the invariant the executor hit-rate
+// assertions build on.
+func TestWorkspaceStatsHitMiss(t *testing.T) {
+	var w Workspace
+	w.Panels(2, 16) // cold: header + panels allocate
+	w.Views(3)
+	w.CarryPair(4)
+	w.Bounds([]int{8}, 16)
+	st := w.Stats()
+	if st.Gets != 4 || st.Hits != 0 {
+		t.Fatalf("cold stats = %+v, want 4 gets, 0 hits", st)
+	}
+
+	w.Panels(2, 16) // warm: same shapes, all served from capacity
+	w.Panels(1, 8)  // smaller is a hit too
+	w.Views(3)
+	w.CarryPair(4)
+	w.Bounds([]int{4}, 12)
+	st = w.Stats()
+	if st.Gets != 9 || st.Hits != 5 {
+		t.Fatalf("warm stats = %+v, want 9 gets, 5 hits", st)
+	}
+	if got := st.HitRate(); got != 5.0/9.0 {
+		t.Errorf("HitRate = %v, want 5/9", got)
+	}
+
+	w.Panels(2, 32) // growth: a miss again
+	if st = w.Stats(); st.Hits != 5 {
+		t.Errorf("growth counted as hit: %+v", st)
+	}
+
+	w.ResetStats()
+	if st = w.Stats(); st != (WorkspaceStats{}) {
+		t.Errorf("stats after reset = %+v, want zero", st)
+	}
+	w.Panels(2, 32) // buffers survive a reset
+	if st = w.Stats(); st.Gets != 1 || st.Hits != 1 {
+		t.Errorf("post-reset warm get = %+v, want 1 get, 1 hit", st)
+	}
+
+	if (WorkspaceStats{}).HitRate() != 0 {
+		t.Error("unused workspace HitRate should be 0, not NaN")
+	}
+}
+
+// The publisher streams deltas: repeated calls never double-count, and a
+// registry attached late receives the full history.
+func TestWorkspacePublisherDeltas(t *testing.T) {
+	var w Workspace
+	var p WorkspacePublisher
+
+	w.Panels(2, 16)
+	p.Publish(nil, &w) // metrics off: remembered, not lost
+
+	reg := metrics.New()
+	w.Panels(2, 16)
+	p.Publish(reg, &w)
+	p.Publish(reg, &w) // no new traffic: counters must not move
+
+	read := func(r *metrics.Registry, name string) float64 {
+		v, ok := r.Snapshot().Value(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		return v
+	}
+	if got := read(reg, "sweep_workspace_gets_total"); got != 2 {
+		t.Errorf("gets = %g, want 2", got)
+	}
+	if got := read(reg, "sweep_workspace_hits_total"); got != 1 {
+		t.Errorf("hits = %g, want 1", got)
+	}
+
+	// A registry swapped in later sees cumulative executor totals.
+	reg2 := metrics.New()
+	w.Panels(2, 16)
+	p.Publish(reg2, &w)
+	if got := read(reg2, "sweep_workspace_gets_total"); got != 3 {
+		t.Errorf("late registry gets = %g, want full history 3", got)
+	}
+}

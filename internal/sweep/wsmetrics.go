@@ -1,0 +1,42 @@
+package sweep
+
+import "genmp/internal/obs/metrics"
+
+// WorkspacePublisher mirrors one or more workspace arenas' acquisition
+// counters into a live metrics registry as monotonic deltas, so repeated
+// Publish calls never double-count. Like the arenas it covers, it is NOT
+// safe for concurrent use; executors keep one per rank.
+type WorkspacePublisher struct {
+	reg  *metrics.Registry
+	gets *metrics.Counter
+	hits *metrics.Counter
+	last WorkspaceStats
+}
+
+// Publish adds the arenas' acquisition counts accumulated since the
+// previous call to reg's sweep_workspace_{gets,hits}_total counters. A nil
+// reg is a no-op (and forgets nothing: the next non-nil call publishes the
+// backlog). When reg changes, the full cumulative history is re-published
+// into the new registry, so one attached mid-run still sees executor
+// totals. Instrument resolution happens once per registry; steady-state
+// calls are two counter adds.
+func (p *WorkspacePublisher) Publish(reg *metrics.Registry, arenas ...*Workspace) {
+	if reg == nil {
+		return
+	}
+	if p.reg != reg {
+		p.reg = reg
+		p.gets = reg.Counter("sweep_workspace_gets_total", "sweep workspace buffer acquisitions")
+		p.hits = reg.Counter("sweep_workspace_hits_total", "sweep workspace acquisitions served from existing capacity (no allocation)")
+		p.last = WorkspaceStats{}
+	}
+	var cur WorkspaceStats
+	for _, w := range arenas {
+		s := w.Stats()
+		cur.Gets += s.Gets
+		cur.Hits += s.Hits
+	}
+	p.gets.Add(cur.Gets - p.last.Gets)
+	p.hits.Add(cur.Hits - p.last.Hits)
+	p.last = cur
+}
