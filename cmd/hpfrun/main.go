@@ -23,6 +23,7 @@ import (
 	"genmp/internal/hpf"
 	"genmp/internal/nas"
 	"genmp/internal/obs"
+	"genmp/internal/obs/causal"
 	"genmp/internal/obs/live"
 	"genmp/internal/partition"
 	"genmp/internal/sim"
@@ -47,7 +48,9 @@ func main() {
 	steps := flag.Int("steps", 2, "ADI timesteps to execute")
 	timeline := flag.Bool("timeline", false, "render the ASCII rank timeline")
 	tracePath := flag.String("trace", "", "write a Perfetto/Chrome trace-event JSON file")
+	traceJSON := flag.String("tracejson", "", "write the round-trippable trace artifact (critpath input)")
 	metrics := flag.Bool("metrics", false, "print the per-rank/per-phase profile")
+	blame := flag.Bool("blame", false, "print makespan blame attribution from the causal engine")
 	jsonPath := flag.String("json", "", "write machine-readable results (BENCH_*.json schema)")
 	profilePath := flag.String("profile", "", "write the serialized per-phase profile (benchdiff input)")
 	topology := flag.String("topology", "", "interconnect topology: crossbar, bus, hypercube, hypercube+contention (default: the network's scaling regime)")
@@ -56,7 +59,7 @@ func main() {
 	flightDepth := flag.Int("flightrec", 0, "per-rank flight-recorder ring depth: a deadlock dumps each rank's last N events (0 = off)")
 	pprofLabels := flag.Bool("pprof-labels", false, "tag rank goroutines with rank/phase pprof labels (costs allocations; pair with /debug/pprof/profile)")
 	flag.Parse()
-	wantTrace := *timeline || *tracePath != "" || *metrics || *profilePath != ""
+	wantTrace := *timeline || *tracePath != "" || *traceJSON != "" || *metrics || *blame || *profilePath != ""
 
 	tel, err := live.Start(live.Config{Addr: *metricsAddr, FlightDepth: *flightDepth, PProfLabels: *pprofLabels})
 	if err != nil {
@@ -181,6 +184,14 @@ func main() {
 		fmt.Println()
 		fmt.Print(obs.NewProfile(res, mach.Trace).Format())
 	}
+	if *blame {
+		rep, err := causal.Report(mach.Trace, plan.P, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(rep)
+	}
 	if *tracePath != "" {
 		if err := obs.WriteTraceFile(*tracePath, mach.Trace, plan.P); err != nil {
 			log.Fatal(err)
@@ -196,6 +207,12 @@ func main() {
 	}
 	srcLine := fmt.Sprintf("hpfrun -f %s -steps %d%s (template %s, eta %s)",
 		fileID, *steps, fabricFlags(*topology, *collName), name, partition.Describe(eta))
+	if *traceJSON != "" {
+		if err := obs.WriteTraceJSON(*traceJSON, srcLine+" -tracejson", mach.Trace, plan.P, res.Makespan); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace artifact written to %s (analyze with critpath)\n", *traceJSON)
+	}
 	suiteSuffix := ""
 	if *topology != "" && *topology != "default" {
 		suiteSuffix = "@" + *topology

@@ -26,6 +26,7 @@ import (
 	"genmp/internal/grid"
 	"genmp/internal/nas"
 	"genmp/internal/obs"
+	"genmp/internal/obs/causal"
 	"genmp/internal/obs/live"
 	"genmp/internal/partition"
 	"genmp/internal/sim"
@@ -40,7 +41,9 @@ func main() {
 	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of the formatted table")
 	pFlag := flag.Int("p", 0, "run one instrumented SP configuration on this many processors instead of the table")
 	tracePath := flag.String("trace", "", "with -p: write a Perfetto/Chrome trace-event JSON file")
+	traceJSON := flag.String("tracejson", "", "with -p: write the round-trippable trace artifact (critpath input)")
 	metrics := flag.Bool("metrics", false, "with -p: print the per-rank/per-phase profile")
+	blame := flag.Bool("blame", false, "with -p: print makespan blame attribution from the causal engine")
 	calibrate := flag.Bool("calibrate", false, "audit the analytic cost model against the simulator, phase by phase")
 	jsonPath := flag.String("json", "", "write machine-readable results (BENCH_*.json schema)")
 	profilePath := flag.String("profile", "", "with -p: write the serialized per-phase profile (benchdiff input)")
@@ -95,7 +98,13 @@ func main() {
 
 	if *pFlag > 0 {
 		src := sourceLine(class, *steps, *procs, fabricFlags(*topology, *collName)+fmt.Sprintf(" -p %d", *pFlag))
-		if err := runSingle(class, *steps, *pFlag, *topology, coll, suiteSuffix, *tracePath, *metrics, *dataMode, *jsonPath, *profilePath, *planPath, src); err != nil {
+		opts := singleOpts{
+			class: class, steps: *steps, p: *pFlag, topology: *topology, coll: coll,
+			suiteSuffix: suiteSuffix, tracePath: *tracePath, traceJSONPath: *traceJSON,
+			metrics: *metrics, blame: *blame, dataMode: *dataMode,
+			jsonPath: *jsonPath, profilePath: *profilePath, planPath: *planPath, src: src,
+		}
+		if err := runSingle(opts); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -182,10 +191,35 @@ func fabricFlags(topology, coll string) string {
 	return s
 }
 
+// singleOpts configures one instrumented SP run (the -p path).
+type singleOpts struct {
+	class         nas.Class
+	steps, p      int
+	topology      string
+	coll          sim.Alg
+	suiteSuffix   string
+	tracePath     string // Perfetto/Chrome trace-event file
+	traceJSONPath string // round-trippable trace artifact (critpath input)
+	metrics       bool
+	blame         bool
+	dataMode      bool
+	jsonPath      string
+	profilePath   string
+	planPath      string
+	src           string
+}
+
+// wantTrace reports whether any requested output needs event collection.
+func (o singleOpts) wantTrace() bool {
+	return o.metrics || o.blame || o.tracePath != "" || o.traceJSONPath != "" || o.profilePath != ""
+}
+
 // runSingle executes one SP configuration with full observability: search
 // counters from the partitioning search, the per-phase profile (printable
-// and serializable), and a Perfetto-loadable trace.
-func runSingle(class nas.Class, steps, p int, topology string, coll sim.Alg, suiteSuffix, tracePath string, metrics, dataMode bool, jsonPath, profilePath, planPath, src string) error {
+// and serializable), a Perfetto-loadable trace, and the causal engine's
+// blame attribution.
+func runSingle(o singleOpts) error {
+	class, steps, p := o.class, o.steps, o.p
 	eta := class.Eta
 	obj := partition.MachineObjective(eta, 20e-6, 80e-9/float64(p))
 	var st partition.SearchStats
@@ -205,13 +239,13 @@ func runSingle(class nas.Class, steps, p int, topology string, coll sim.Alg, sui
 	cpu := base.CPU
 	cpu.WorkingSetBytes = nas.WorkingSetBytes(eta, p)
 	mach := sim.NewMachine(p, base.Net, cpu)
-	fab, err := sim.NewFabric(topology, mach.Net, p)
+	fab, err := sim.NewFabric(o.topology, mach.Net, p)
 	if err != nil {
 		return err
 	}
 	mach.Fabric = fab
-	mach.Coll = coll
-	if metrics || tracePath != "" || profilePath != "" {
+	mach.Coll = o.coll
+	if o.wantTrace() {
 		mach.Trace = &sim.Trace{}
 	}
 	// One compiled plan drives the run and the dump/audit: what the dump
@@ -225,7 +259,7 @@ func runSingle(class nas.Class, steps, p int, topology string, coll sim.Alg, sui
 	// and workspace hit-rate metrics measure. Virtual time is identical to
 	// model-only.
 	var u *grid.Grid
-	if dataMode {
+	if o.dataMode {
 		u = nas.InitialState(eta)
 	}
 	simRes, err := nas.RunPlanned(env, mach, steps, u, pl)
@@ -237,49 +271,63 @@ func runSingle(class nas.Class, steps, p int, topology string, coll sim.Alg, sui
 	fmt.Println(st.String())
 	fmt.Printf("makespan %.3f ms, %d messages, %d bytes\n",
 		simRes.Makespan*1e3, simRes.TotalMessages(), simRes.TotalBytes())
-	if metrics {
+	if o.metrics {
 		fmt.Println()
 		fmt.Print(obs.NewProfile(simRes, mach.Trace).Format())
 	}
-	if tracePath != "" {
-		if err := obs.WriteTraceFile(tracePath, mach.Trace, p); err != nil {
+	if o.blame {
+		rep, err := causal.Report(mach.Trace, p, 8)
+		if err != nil {
 			return err
 		}
-		fmt.Printf("trace written to %s (load in ui.perfetto.dev)\n", tracePath)
+		fmt.Println()
+		fmt.Print(rep)
 	}
-	if profilePath != "" {
-		if err := obs.WriteProfileJSON(profilePath, src+" -profile", obs.NewProfile(simRes, mach.Trace)); err != nil {
+	if o.tracePath != "" {
+		if err := obs.WriteTraceFile(o.tracePath, mach.Trace, p); err != nil {
 			return err
 		}
-		fmt.Printf("profile written to %s (compare with benchdiff)\n", profilePath)
+		fmt.Printf("trace written to %s (load in ui.perfetto.dev)\n", o.tracePath)
 	}
-	if planPath != "" {
+	if o.traceJSONPath != "" {
+		if err := obs.WriteTraceJSON(o.traceJSONPath, o.src+" -tracejson", mach.Trace, p, simRes.Makespan); err != nil {
+			return err
+		}
+		fmt.Printf("trace artifact written to %s (analyze with critpath)\n", o.traceJSONPath)
+	}
+	if o.profilePath != "" {
+		if err := obs.WriteProfileJSON(o.profilePath, o.src+" -profile", obs.NewProfile(simRes, mach.Trace)); err != nil {
+			return err
+		}
+		fmt.Printf("profile written to %s (compare with benchdiff)\n", o.profilePath)
+	}
+	if o.planPath != "" {
 		if err := pl.Validate(); err != nil {
 			return err
 		}
-		if err := obs.WritePlanJSON(planPath, src+" -plan", pl); err != nil {
+		if err := obs.WritePlanJSON(o.planPath, o.src+" -plan", pl); err != nil {
 			return err
 		}
-		fmt.Printf("plan written to %s\n", planPath)
+		fmt.Printf("plan written to %s\n", o.planPath)
 		rows := obs.AuditPlanBytes(pl, obs.NewProfile(simRes, mach.Trace), steps, nas.PhaseSolve)
 		fmt.Println()
 		fmt.Print(obs.FormatPlanAudit(rows))
 	}
-	if jsonPath != "" {
+	if o.jsonPath != "" {
 		bf := obs.BenchFile{
-			Source: src + " -json",
+			Source: o.src + " -json",
 			Records: []obs.BenchRecord{{
-				Suite: "sp-run" + suiteSuffix, Name: fmt.Sprintf("class%s-p%02d", class.Name, p),
+				Suite: "sp-run" + o.suiteSuffix, Name: fmt.Sprintf("class%s-p%02d", class.Name, p),
 				P: p, Eta: eta, Steps: steps, Gamma: partition.Describe(res.Gamma),
 				Makespan: simRes.Makespan,
 				Messages: simRes.TotalMessages(), Bytes: simRes.TotalBytes(),
 				Extra: searchExtra(st),
 			}},
 		}
-		if err := obs.WriteBenchJSON(jsonPath, bf); err != nil {
+		if err := obs.WriteBenchJSON(o.jsonPath, bf); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", jsonPath)
+		fmt.Printf("wrote %s\n", o.jsonPath)
 	}
 	return nil
 }

@@ -27,6 +27,7 @@ import (
 	"genmp/internal/exp"
 	"genmp/internal/nas"
 	"genmp/internal/obs"
+	"genmp/internal/obs/causal"
 	"genmp/internal/obs/live"
 	"genmp/internal/partition"
 	"genmp/internal/sim"
@@ -43,7 +44,9 @@ func main() {
 	grainSweep := flag.Bool("grainsweep", false, "sweep wavefront granularities instead")
 	timeline := flag.Bool("timeline", false, "render an ASCII timeline of one multipartitioned sweep")
 	tracePath := flag.String("trace", "", "write a Perfetto/Chrome trace of one multipartitioned sweep to this file")
+	traceJSON := flag.String("tracejson", "", "write the round-trippable trace artifact of one multipartitioned sweep (critpath input)")
 	metrics := flag.Bool("metrics", false, "print the per-phase profile of one multipartitioned sweep")
+	blame := flag.Bool("blame", false, "print makespan blame attribution of one multipartitioned sweep")
 	jsonPath := flag.String("json", "", "write the strategy comparison as machine-readable results (BENCH_*.json schema)")
 	profilePath := flag.String("profile", "", "write the serialized profile of one multipartitioned sweep (benchdiff input)")
 	planPath := flag.String("plan", "", "write the compiled SweepPlan of one multipartitioned sweep and print the plan-vs-observed traffic audit")
@@ -105,9 +108,9 @@ func main() {
 		return
 	}
 
-	if *timeline || *tracePath != "" || *metrics || *profilePath != "" || *planPath != "" {
+	if *timeline || *tracePath != "" || *traceJSON != "" || *metrics || *blame || *profilePath != "" || *planPath != "" {
 		src := fmt.Sprintf("sweepbench -p %d -eta %s%s -profile (eta %s)", *p, *etaStr, fabricFlags(*topology, *collName), partition.Describe(eta))
-		if err := instrumentedSweep(*p, eta, *topology, coll, *timeline, *tracePath, *metrics, *profilePath, *planPath, src); err != nil {
+		if err := instrumentedSweep(*p, eta, *topology, coll, *timeline, *tracePath, *traceJSON, *metrics, *blame, *profilePath, *planPath, src); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -186,7 +189,7 @@ func fabricFlags(topology, coll string) string {
 // timeline (the balance property appears as compute bars of equal length in
 // every phase on every rank), the per-phase profile (printed and/or
 // serialized for benchdiff), and a Perfetto trace.
-func instrumentedSweep(p int, eta []int, topology string, coll sim.Alg, timeline bool, tracePath string, metrics bool, profilePath, planPath, src string) error {
+func instrumentedSweep(p int, eta []int, topology string, coll sim.Alg, timeline bool, tracePath, traceJSONPath string, metrics, blame bool, profilePath, planPath, src string) error {
 	obj := partition.MachineObjective(eta, 20e-6, 80e-9/float64(p))
 	m, err := core.NewOptimal(p, len(eta), obj)
 	if err != nil {
@@ -225,11 +228,25 @@ func instrumentedSweep(p int, eta []int, topology string, coll sim.Alg, timeline
 		fmt.Println()
 		fmt.Print(obs.NewProfile(res, mach.Trace).Format())
 	}
+	if blame {
+		rep, err := causal.Report(mach.Trace, p, 8)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(rep)
+	}
 	if tracePath != "" {
 		if err := obs.WriteTraceFile(tracePath, mach.Trace, p); err != nil {
 			return err
 		}
 		fmt.Printf("trace written to %s (load in ui.perfetto.dev)\n", tracePath)
+	}
+	if traceJSONPath != "" {
+		if err := obs.WriteTraceJSON(traceJSONPath, src+" -tracejson", mach.Trace, p, res.Makespan); err != nil {
+			return err
+		}
+		fmt.Printf("trace artifact written to %s (analyze with critpath)\n", traceJSONPath)
 	}
 	if profilePath != "" {
 		if err := obs.WriteProfileJSON(profilePath, src, obs.NewProfile(res, mach.Trace)); err != nil {

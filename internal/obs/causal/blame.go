@@ -1,0 +1,220 @@
+package causal
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"genmp/internal/sim"
+)
+
+// BlameRow is one bucket of critical-chain time.
+type BlameRow struct {
+	// Key is the bucket: a phase label, a "src→dst" link, or an event
+	// kind.
+	Key string `json:"key"`
+	// Busy is on-chain time the bucket's events spent working; Wait is
+	// exposed transit or synchronization delay charged to the bucket.
+	Busy  float64 `json:"busy_sec"`
+	Wait  float64 `json:"wait_sec"`
+	Count int     `json:"events"`
+}
+
+// Total returns the bucket's full share of the makespan.
+func (r BlameRow) Total() float64 { return r.Busy + r.Wait }
+
+// Blame decomposes a schedule's makespan over its critical chain: every
+// step's contribution (busy work plus exposed wait) lands in exactly one
+// bucket per view, so each view's rows sum to the makespan (up to
+// floating-point summation of the telescoping differences).
+type Blame struct {
+	Makespan float64 `json:"makespan_sec"`
+	// ChainLen is the number of events on the critical chain; BusyOnPath
+	// and WaitOnPath split the makespan into work and exposure.
+	ChainLen   int     `json:"chain_len"`
+	BusyOnPath float64 `json:"busy_on_path_sec"`
+	WaitOnPath float64 `json:"wait_on_path_sec"`
+	// ByPhase, ByKind and ByLink are the three views, sorted by total
+	// descending (ties by key). ByLink only covers point-to-point receive
+	// steps, so it sums to the chain's message share, not the makespan.
+	ByPhase []BlameRow `json:"by_phase"`
+	ByKind  []BlameRow `json:"by_kind"`
+	ByLink  []BlameRow `json:"by_link,omitempty"`
+}
+
+// Blame aggregates the schedule's critical chain.
+func (s *Schedule) Blame() *Blame {
+	chain := s.Chain()
+	b := &Blame{Makespan: s.Makespan, ChainLen: len(chain)}
+	phase := map[string]*BlameRow{}
+	kind := map[string]*BlameRow{}
+	link := map[string]*BlameRow{}
+	bucket := func(m map[string]*BlameRow, key string) *BlameRow {
+		r := m[key]
+		if r == nil {
+			r = &BlameRow{Key: key}
+			m[key] = r
+		}
+		return r
+	}
+	for _, st := range chain {
+		b.BusyOnPath += st.Busy
+		b.WaitOnPath += st.Wait
+		label := st.Ev.Phase
+		if label == "" {
+			label = "(unlabeled)"
+		}
+		pr := bucket(phase, label)
+		pr.Busy += st.Busy
+		pr.Wait += st.Wait
+		pr.Count++
+		kr := bucket(kind, st.Ev.Kind.String())
+		kr.Busy += st.Busy
+		kr.Wait += st.Wait
+		kr.Count++
+		if st.Ev.Kind == sim.EvRecv {
+			lr := bucket(link, fmt.Sprintf("%d→%d", st.Ev.Peer, st.Ev.Rank))
+			lr.Busy += st.Busy
+			lr.Wait += st.Wait
+			lr.Count++
+		}
+	}
+	b.ByPhase = sortRows(phase)
+	b.ByKind = sortRows(kind)
+	b.ByLink = sortRows(link)
+	return b
+}
+
+func sortRows(m map[string]*BlameRow) []BlameRow {
+	out := make([]BlameRow, 0, len(m))
+	for _, r := range m {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Total() != out[b].Total() {
+			return out[a].Total() > out[b].Total()
+		}
+		return out[a].Key < out[b].Key
+	})
+	return out
+}
+
+// Format renders the blame report as aligned text. top bounds the rows per
+// view (0 = all).
+func (b *Blame) Format(top int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "makespan %s over a critical chain of %d events (busy %s, wait %s)\n",
+		fmtSec(b.Makespan), b.ChainLen, fmtSec(b.BusyOnPath), fmtSec(b.WaitOnPath))
+	writeView := func(name string, rows []BlameRow) {
+		if len(rows) == 0 {
+			return
+		}
+		fmt.Fprintf(&sb, "\nblame by %s:\n", name)
+		fmt.Fprintf(&sb, "  %-14s  %10s  %6s  %10s  %10s  %7s\n", name, "total", "pct", "busy", "wait", "events")
+		for i, r := range rows {
+			if top > 0 && i >= top {
+				fmt.Fprintf(&sb, "  … %d more\n", len(rows)-top)
+				break
+			}
+			fmt.Fprintf(&sb, "  %-14s  %10s  %5.1f%%  %10s  %10s  %7d\n",
+				r.Key, fmtSec(r.Total()), 100*r.Total()/b.Makespan, fmtSec(r.Busy), fmtSec(r.Wait), r.Count)
+		}
+	}
+	writeView("phase", b.ByPhase)
+	writeView("kind", b.ByKind)
+	writeView("link", b.ByLink)
+	return sb.String()
+}
+
+// Markdown renders the blame report as GitHub-flavored markdown tables.
+func (b *Blame) Markdown(top int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "**Makespan %s** over a critical chain of %d events (busy %s, wait %s).\n",
+		fmtSec(b.Makespan), b.ChainLen, fmtSec(b.BusyOnPath), fmtSec(b.WaitOnPath))
+	writeView := func(name string, rows []BlameRow) {
+		if len(rows) == 0 {
+			return
+		}
+		fmt.Fprintf(&sb, "\n| %s | total | pct | busy | wait | events |\n|---|---:|---:|---:|---:|---:|\n", name)
+		for i, r := range rows {
+			if top > 0 && i >= top {
+				fmt.Fprintf(&sb, "| … %d more | | | | | |\n", len(rows)-top)
+				break
+			}
+			fmt.Fprintf(&sb, "| %s | %s | %.1f%% | %s | %s | %d |\n",
+				r.Key, fmtSec(r.Total()), 100*r.Total()/b.Makespan, fmtSec(r.Busy), fmtSec(r.Wait), r.Count)
+		}
+	}
+	writeView("phase", b.ByPhase)
+	writeView("kind", b.ByKind)
+	writeView("link", b.ByLink)
+	return sb.String()
+}
+
+// FormatChain renders up to head leading and tail trailing steps of the
+// critical chain (0 keeps each end unbounded).
+func FormatChain(chain []ChainStep, head, tail int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "critical chain, %d steps:\n", len(chain))
+	fmt.Fprintf(&sb, "  %4s  %-10s  %4s  %-12s  %-10s  %10s  %10s\n",
+		"#", "kind", "rank", "phase", "via", "busy", "wait")
+	writeStep := func(i int) {
+		st := chain[i]
+		label := st.Ev.Phase
+		if label == "" {
+			label = "(unlabeled)"
+		}
+		extra := ""
+		if st.Ev.Kind == sim.EvRecv || st.Ev.Kind == sim.EvSend {
+			extra = fmt.Sprintf("  peer %d tag %d bytes %d", st.Ev.Peer, st.Ev.Tag, st.Ev.Bytes)
+		} else if st.Ev.Label != "" {
+			extra = "  " + st.Ev.Label
+		}
+		fmt.Fprintf(&sb, "  %4d  %-10s  %4d  %-12s  %-10s  %10s  %10s%s\n",
+			i, st.Ev.Kind.String(), st.Ev.Rank, label, st.Via.String(), fmtSec(st.Busy), fmtSec(st.Wait), extra)
+	}
+	n := len(chain)
+	if head <= 0 && tail <= 0 || head+tail >= n {
+		for i := range chain {
+			writeStep(i)
+		}
+		return sb.String()
+	}
+	for i := 0; i < head; i++ {
+		writeStep(i)
+	}
+	fmt.Fprintf(&sb, "  … %d steps elided …\n", n-head-tail)
+	for i := n - tail; i < n; i++ {
+		writeStep(i)
+	}
+	return sb.String()
+}
+
+// Report builds the happens-before DAG from a trace, replays the identity
+// schedule and renders the blame report — the one-call convenience behind
+// the benchmark CLIs' -blame flag. top bounds the rows per view.
+func Report(tr *sim.Trace, p, top int) (string, error) {
+	d, err := Build(tr, p)
+	if err != nil {
+		return "", err
+	}
+	s, err := d.Replay()
+	if err != nil {
+		return "", err
+	}
+	return s.Blame().Format(top), nil
+}
+
+// fmtSec renders a duration in engineering units.
+func fmtSec(s float64) string {
+	switch {
+	case s == 0:
+		return "0"
+	case s < 1e-3 && s > -1e-3:
+		return fmt.Sprintf("%.2fµs", s*1e6)
+	case s < 1 && s > -1:
+		return fmt.Sprintf("%.3fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", s)
+	}
+}

@@ -1,0 +1,230 @@
+package causal_test
+
+import (
+	"math"
+	"testing"
+
+	"genmp/internal/obs/causal"
+	"genmp/internal/sim"
+)
+
+// TestIdentityReplayBitExact is the engine's core contract: replaying the
+// DAG with no perturbation lands every event — and therefore the makespan —
+// on exactly the float the simulator recorded, at p=4 and p=16.
+func TestIdentityReplayBitExact(t *testing.T) {
+	for _, p := range []int{4, 16} {
+		tr, res := runSP(t, p, 2)
+		d, err := causal.Build(tr, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := d.Replay()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Makespan != res.Makespan {
+			t.Errorf("p=%d: replayed makespan %.17g != simulated %.17g (diff %g)",
+				p, s.Makespan, res.Makespan, s.Makespan-res.Makespan)
+		}
+		for i := range d.Nodes {
+			if s.End[i] != d.Nodes[i].Ev.End {
+				t.Fatalf("p=%d: node %d (%s rank %d) replayed end %.17g != observed %.17g",
+					p, i, d.Nodes[i].Ev.Kind, d.Nodes[i].Ev.Rank, s.End[i], d.Nodes[i].Ev.End)
+			}
+		}
+	}
+}
+
+// TestSlackAndChainInvariants checks the backward pass: slack is
+// non-negative everywhere, zero on the critical node, and the chain's
+// contributions telescope to the makespan.
+func TestSlackAndChainInvariants(t *testing.T) {
+	tr, res := runSP(t, 4, 2)
+	d, err := causal.Build(tr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := d.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sl := range s.Slack {
+		if sl < -1e-12 {
+			t.Errorf("node %d has negative slack %g", i, sl)
+		}
+	}
+	if s.Slack[s.Critical] != 0 {
+		t.Errorf("critical node slack = %g, want 0", s.Slack[s.Critical])
+	}
+	chain := s.Chain()
+	if len(chain) == 0 {
+		t.Fatal("empty critical chain")
+	}
+	if last := chain[len(chain)-1]; last.Node != s.Critical {
+		t.Errorf("chain ends at node %d, want the critical node %d", last.Node, s.Critical)
+	}
+	sum := 0.0
+	for _, st := range chain {
+		if st.Contribution < -1e-12 {
+			t.Errorf("chain step at node %d has negative contribution %g", st.Node, st.Contribution)
+		}
+		sum += st.Contribution
+	}
+	if rel := math.Abs(sum-res.Makespan) / res.Makespan; rel > 1e-9 {
+		t.Errorf("chain contributions sum to %.17g, makespan is %.17g (rel err %g)", sum, res.Makespan, rel)
+	}
+	b := s.Blame()
+	if rel := math.Abs(b.BusyOnPath+b.WaitOnPath-res.Makespan) / res.Makespan; rel > 1e-9 {
+		t.Errorf("blame busy %g + wait %g does not telescope to makespan %g", b.BusyOnPath, b.WaitOnPath, res.Makespan)
+	}
+	for _, view := range [][]causal.BlameRow{b.ByPhase, b.ByKind} {
+		vsum := 0.0
+		for _, r := range view {
+			vsum += r.Total()
+		}
+		if rel := math.Abs(vsum-res.Makespan) / res.Makespan; rel > 1e-9 {
+			t.Errorf("blame view sums to %g, makespan is %g", vsum, res.Makespan)
+		}
+	}
+}
+
+// TestOverlapPredictsSmallerMakespan is the documented what-if: posting
+// solve-phase carry messages once a quarter of the preceding compute has
+// run (boundary-lines-first, ROADMAP item 2) must strictly shrink the
+// predicted makespan, with the recovered time visible in the blame report.
+func TestOverlapPredictsSmallerMakespan(t *testing.T) {
+	tr, res := runSP(t, 4, 2)
+	d, err := causal.Build(tr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := d.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perts, err := causal.ParsePerturbations("overlap:phase=solve0,frac=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	what, err := d.Replay(perts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(what.Makespan < base.Makespan) {
+		t.Fatalf("overlap what-if predicted %.17g, not smaller than %.17g", what.Makespan, base.Makespan)
+	}
+	// The delta shows up as shrunken solve0 wait in the blame report.
+	waitOf := func(b *causal.Blame, phase string) float64 {
+		for _, r := range b.ByPhase {
+			if r.Key == phase {
+				return r.Wait
+			}
+		}
+		return 0
+	}
+	if bw, ww := waitOf(base.Blame(), "solve0"), waitOf(what.Blame(), "solve0"); !(ww < bw) {
+		t.Errorf("solve0 wait did not shrink: baseline %g, what-if %g", bw, ww)
+	}
+	if res.Makespan != base.Makespan {
+		t.Errorf("baseline drifted from the simulated makespan")
+	}
+}
+
+// TestScaleLinkMonotone: slowing every link can only delay the run; a large
+// factor must strictly delay a run that has any exposed transit.
+func TestScaleLinkMonotone(t *testing.T) {
+	tr, _ := runSP(t, 4, 2)
+	d, err := causal.Build(tr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := d.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := d.Replay(causal.Perturbation{Kind: causal.ScaleLink, Src: -1, Dst: -1, Tag: -1, Factor: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Makespan <= base.Makespan {
+		t.Errorf("10× slower links predicted %.17g, want > %.17g", slow.Makespan, base.Makespan)
+	}
+	fast, err := d.Replay(causal.Perturbation{Kind: causal.ScaleLink, Src: -1, Dst: -1, Tag: -1, Factor: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Makespan > base.Makespan {
+		t.Errorf("free links predicted %.17g, want ≤ %.17g", fast.Makespan, base.Makespan)
+	}
+}
+
+// TestZeroWaitRemovesExposure: erasing halo-phase message dependencies must
+// not lengthen the run, and must shrink it when halo waits sit on the path.
+func TestZeroWaitRemovesExposure(t *testing.T) {
+	tr, _ := runSP(t, 4, 2)
+	d, err := causal.Build(tr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := d.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasHaloWait := false
+	for _, st := range base.Chain() {
+		if st.Ev.Phase == "halo" && st.Wait > 0 {
+			hasHaloWait = true
+		}
+	}
+	perts, err := causal.ParsePerturbations("zero-wait:phase=halo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	what, err := d.Replay(perts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if what.Makespan > base.Makespan {
+		t.Errorf("zero-wait predicted %.17g, want ≤ %.17g", what.Makespan, base.Makespan)
+	}
+	if hasHaloWait && !(what.Makespan < base.Makespan) {
+		t.Errorf("halo waits sit on the path but zero-wait recovered nothing")
+	}
+}
+
+// TestReplaySyntheticPerturbation pins the replay arithmetic on a trace
+// small enough to verify by hand: rank 0 computes 1s and sends; rank 1's
+// recv waits for the message and computes 1s more.
+func TestReplaySyntheticPerturbation(t *testing.T) {
+	tr := &sim.Trace{}
+	tr.Append(
+		sim.Event{Rank: 0, Kind: sim.EvCompute, Start: 0, End: 1, Peer: -1, Phase: "a"},
+		sim.Event{Rank: 0, Kind: sim.EvSend, Start: 1, End: 1.25, Peer: 1, Tag: 0, Phase: "a"},
+		sim.Event{Rank: 1, Kind: sim.EvRecv, Start: 0, End: 1.5, Peer: 0, Tag: 0, Wait: 1.25, Phase: "a"},
+		sim.Event{Rank: 1, Kind: sim.EvCompute, Start: 1.5, End: 2.5, Peer: -1, Phase: "a"},
+	)
+	d, err := causal.Build(tr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := d.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 2.5 {
+		t.Fatalf("identity makespan = %g, want 2.5", s.Makespan)
+	}
+	// Zeroing the recv's wait lets rank 1 finish after just its own busy
+	// time: 0.25s of recv processing + 1s compute.
+	perts, err := causal.ParsePerturbations("zero-wait:phase=a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	what, err := d.Replay(perts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(what.Makespan-1.25) > 1e-12 {
+		t.Errorf("zero-wait makespan = %g, want 1.25", what.Makespan)
+	}
+}

@@ -1,0 +1,373 @@
+package causal
+
+import (
+	"fmt"
+	"math"
+
+	"genmp/internal/sim"
+)
+
+// Via classifies the binding dependency of a scheduled node — which edge
+// family determined its start.
+type Via int
+
+const (
+	// ViaNone marks a chain root (the node started at virtual time 0 or at
+	// its own recorded start, with no gating dependency).
+	ViaNone Via = iota
+	// ViaRank means the node started when its rank finished the previous
+	// event (program order was binding).
+	ViaRank
+	// ViaMessage means a receive was gated by its message's availability.
+	ViaMessage
+	// ViaCollective means the node left a rendezvous gated by the latest
+	// entrant.
+	ViaCollective
+)
+
+// String names the edge family.
+func (v Via) String() string {
+	switch v {
+	case ViaRank:
+		return "rank"
+	case ViaMessage:
+		return "message"
+	case ViaCollective:
+		return "collective"
+	default:
+		return "start"
+	}
+}
+
+// Schedule is one replay of the DAG under a set of perturbations: per-node
+// start/end times, the binding dependency of every node, per-node slack,
+// and the resulting makespan. The identity replay (no perturbations)
+// reproduces every observed event end — and therefore the makespan —
+// bit-exactly: all arithmetic is carried as shifts against observed values,
+// and an unperturbed node's shift is exactly +0.
+type Schedule struct {
+	D     *DAG
+	Perts []Perturbation
+	// End is the replayed completion time of each node.
+	End []float64
+	// BodyStart is the instant each node's dependencies resolved: a recv's
+	// body start, a collective's synchronization point, otherwise the
+	// rank's readiness. End − BodyStart is the node's busy contribution.
+	BodyStart []float64
+	// Binding is the node whose completion gated this node (−1 for roots);
+	// Via says through which edge family. Walking Binding from the
+	// makespan node yields the critical chain.
+	Binding []int
+	Via     []Via
+	// Slack is how much later each node could finish without growing the
+	// makespan (0 on the critical path).
+	Slack []float64
+	// Makespan is the slowest rank's replayed finish; Critical is the node
+	// that achieves it.
+	Makespan float64
+	Critical int
+
+	avail []float64 // replayed message availability per recv (NaN: no message term)
+	order []int     // forward processing order (reversed for the slack pass)
+}
+
+// Replay schedules the DAG under the given perturbations. With none (or
+// only Identity) the result reproduces the recorded timeline exactly.
+func (d *DAG) Replay(perts ...Perturbation) (*Schedule, error) {
+	n := len(d.Nodes)
+	s := &Schedule{
+		D: d, Perts: perts,
+		End: make([]float64, n), BodyStart: make([]float64, n),
+		Binding: make([]int, n), Via: make([]Via, n),
+		Slack: make([]float64, n), avail: make([]float64, n),
+		order: make([]int, 0, n), Critical: -1,
+	}
+	dBusy, edgeDelta, zeroWait, advance := d.applyPerturbations(perts)
+
+	processed := make([]bool, n)
+	ptr := make([]int, d.P)
+	arrived := make([]bool, n)
+	readyVal := make([]float64, n)    // replayed rank readiness at a collective entry
+	readyObsVal := make([]float64, n) // observed counterpart (identity baseline)
+	groupSeen := make([]int, len(d.Groups))
+
+	remaining := n
+	for remaining > 0 {
+		progress := false
+		for r := 0; r < d.P; r++ {
+			for ptr[r] < len(d.ByRank[r]) {
+				i := d.ByRank[r][ptr[r]]
+				nd := &d.Nodes[i]
+				ready, readyObs := nd.Ev.Start, nd.Ev.Start
+				if nd.Prev >= 0 {
+					ready = s.End[nd.Prev]
+					readyObs = d.Nodes[nd.Prev].Ev.End
+				}
+				blocked := false
+				switch nd.Ev.Kind {
+				case sim.EvCollective:
+					if !arrived[i] {
+						arrived[i] = true
+						readyVal[i], readyObsVal[i] = ready, readyObs
+						g := nd.Group
+						groupSeen[g]++
+						if groupSeen[g] == len(d.Groups[g]) {
+							s.resolveGroup(d.Groups[g], readyVal, readyObsVal, dBusy)
+							remaining -= len(d.Groups[g])
+							for _, m := range d.Groups[g] {
+								processed[m] = true
+							}
+						}
+					}
+					blocked = !processed[i] // wait for the other members
+				case sim.EvRecv:
+					if nd.Match >= 0 && !zeroWait[i] && !processed[nd.Match] {
+						blocked = true // message's send not scheduled yet
+					} else {
+						s.scheduleRecv(i, ready, readyObs, dBusy[i], edgeDelta[i], zeroWait[i], advance)
+						processed[i] = true
+						remaining--
+					}
+				default: // compute, send, mark
+					shift := (ready - readyObs) + dBusy[i]
+					s.End[i] = nd.Ev.End + shift
+					s.BodyStart[i] = ready
+					s.Binding[i], s.Via[i] = nd.Prev, ViaRank
+					if nd.Prev < 0 {
+						s.Via[i] = ViaNone
+					}
+					processed[i] = true
+					remaining--
+				}
+				if blocked {
+					break
+				}
+				s.order = append(s.order, i)
+				ptr[r]++
+				progress = true
+			}
+		}
+		if !progress {
+			return nil, fmt.Errorf("causal: replay stalled with %d events unscheduled (truncated or inconsistent trace)", remaining)
+		}
+	}
+
+	for i := range d.Nodes {
+		if s.Critical < 0 || s.End[i] > s.Makespan {
+			s.Makespan, s.Critical = s.End[i], i
+		}
+	}
+	s.computeSlack()
+	return s, nil
+}
+
+// resolveGroup schedules every member of a collective rendezvous: the
+// synchronization point is the latest entrant's readiness, and each member
+// leaves at its observed end shifted by how much the synchronization moved.
+func (s *Schedule) resolveGroup(members []int, readyVal, readyObsVal, dBusy []float64) {
+	newSync, obsSync := math.Inf(-1), math.Inf(-1)
+	gate := members[0]
+	for _, m := range members {
+		if readyVal[m] > newSync {
+			newSync, gate = readyVal[m], m
+		}
+		if readyObsVal[m] > obsSync {
+			obsSync = readyObsVal[m]
+		}
+	}
+	binding := s.D.Nodes[gate].Prev
+	for _, m := range members {
+		shift := (newSync - obsSync) + dBusy[m]
+		s.End[m] = s.D.Nodes[m].Ev.End + shift
+		s.BodyStart[m] = newSync
+		s.Binding[m], s.Via[m] = binding, ViaCollective
+		if binding < 0 {
+			s.Via[m] = ViaNone
+		}
+	}
+}
+
+// scheduleRecv schedules one receive: its body starts at
+// max(rank readiness, message availability), and its end is the observed
+// end shifted by how much that instant moved plus any busy delta.
+//
+// Availability is observational: the trace records when the message became
+// consumable (start + wait), and replay shifts that instant by however much
+// the matched send moved. When the receiver never waited, the unobservable
+// headroom between the true arrival and the receiver's readiness is treated
+// as zero, so predicted makespans under upstream slowdowns are conservative
+// (upper bounds).
+func (s *Schedule) scheduleRecv(i int, ready, readyObs, dBusy, edgeDelta float64, zeroWait bool, advance []float64) {
+	nd := &s.D.Nodes[i]
+	availObs := nd.Ev.Start + nd.Ev.Wait
+	bodyObs := math.Max(readyObs, availObs)
+	var body float64
+	hasMsg := false
+	switch {
+	case zeroWait:
+		body = ready
+		s.avail[i] = math.NaN()
+	case nd.Match >= 0:
+		send := &s.D.Nodes[nd.Match]
+		sendShift := (s.End[nd.Match] - send.Ev.End) - advance[nd.Match]
+		s.avail[i] = availObs + sendShift + edgeDelta
+		body = math.Max(ready, s.avail[i])
+		hasMsg = true
+	default: // send not in the trace: availability pinned at the observed instant
+		s.avail[i] = availObs
+		body = math.Max(ready, s.avail[i])
+	}
+	shift := (body - bodyObs) + dBusy
+	s.End[i] = nd.Ev.End + shift
+	s.BodyStart[i] = body
+	if hasMsg && s.avail[i] > ready {
+		s.Binding[i], s.Via[i] = nd.Match, ViaMessage
+	} else {
+		s.Binding[i], s.Via[i] = nd.Prev, ViaRank
+		if nd.Prev < 0 {
+			s.Via[i] = ViaNone
+		}
+	}
+}
+
+// applyPerturbations resolves the perturbation set into per-node deltas:
+// busy-time deltas, message-edge transit deltas, severed message edges
+// (zero-wait), and early-departure advances on sends (overlap).
+func (d *DAG) applyPerturbations(perts []Perturbation) (dBusy, edgeDelta []float64, zeroWait []bool, advance []float64) {
+	n := len(d.Nodes)
+	dBusy = make([]float64, n)
+	edgeDelta = make([]float64, n)
+	zeroWait = make([]bool, n)
+	advance = make([]float64, n)
+	for _, p := range perts {
+		switch p.Kind {
+		case ScaleLink:
+			for i := range d.Nodes {
+				nd := &d.Nodes[i]
+				if nd.Ev.Kind != sim.EvRecv || (p.Src >= 0 && nd.Ev.Peer != p.Src) || (p.Dst >= 0 && nd.Ev.Rank != p.Dst) {
+					continue
+				}
+				dBusy[i] += (p.Factor - 1) * nd.Ev.Busy()
+				if nd.Match >= 0 {
+					delay := (nd.Ev.Start + nd.Ev.Wait) - d.Nodes[nd.Match].Ev.End
+					if delay > 0 {
+						edgeDelta[i] += (p.Factor - 1) * delay
+					}
+				}
+			}
+		case ZeroWait:
+			for i := range d.Nodes {
+				nd := &d.Nodes[i]
+				if nd.Ev.Kind == sim.EvRecv && p.matchesRecv(nd.Ev.Peer, nd.Ev.Rank, nd.Ev.Phase, nd.Ev.Tag) {
+					zeroWait[i] = true
+				}
+			}
+		case Overlap:
+			for i := range d.Nodes {
+				nd := &d.Nodes[i]
+				if nd.Ev.Kind != sim.EvSend || nd.Ev.Phase != p.Phase || (p.Tag >= 0 && nd.Ev.Tag != p.Tag) {
+					continue
+				}
+				if nd.Prev >= 0 && d.Nodes[nd.Prev].Ev.Kind == sim.EvCompute {
+					advance[i] += (1 - p.Frac) * d.Nodes[nd.Prev].Ev.Busy()
+				}
+			}
+		}
+	}
+	return dBusy, edgeDelta, zeroWait, advance
+}
+
+// computeSlack runs the backward (latest-times) pass: how much later each
+// node could finish without growing the makespan. Constraints propagate in
+// reverse topological order — program order to the predecessor, message
+// edges to the send, rendezvous groups to every member's predecessor with
+// the group's tightest member slack.
+func (s *Schedule) computeSlack() {
+	d := s.D
+	lateEnd := make([]float64, len(d.Nodes))
+	for i := range lateEnd {
+		lateEnd[i] = s.Makespan
+	}
+	relax := func(j int, v float64) {
+		if v < lateEnd[j] {
+			lateEnd[j] = v
+		}
+	}
+	groupMinSlack := make([]float64, len(d.Groups))
+	groupLeft := make([]int, len(d.Groups))
+	for g := range d.Groups {
+		groupMinSlack[g] = math.Inf(1)
+		groupLeft[g] = len(d.Groups[g])
+	}
+	for k := len(s.order) - 1; k >= 0; k-- {
+		i := s.order[k]
+		nd := &d.Nodes[i]
+		s.Slack[i] = lateEnd[i] - s.End[i]
+		if nd.Ev.Kind == sim.EvCollective {
+			g := nd.Group
+			if s.Slack[i] < groupMinSlack[g] {
+				groupMinSlack[g] = s.Slack[i]
+			}
+			groupLeft[g]--
+			if groupLeft[g] == 0 {
+				// All member slacks known: the sync point may slip by the
+				// tightest one, bounding every entrant.
+				for _, m := range d.Groups[g] {
+					if prev := d.Nodes[m].Prev; prev >= 0 {
+						relax(prev, s.BodyStart[m]+groupMinSlack[g])
+					}
+				}
+			}
+			continue
+		}
+		if nd.Prev >= 0 {
+			relax(nd.Prev, s.BodyStart[i]+s.Slack[i])
+		}
+		if nd.Ev.Kind == sim.EvRecv && nd.Match >= 0 && !math.IsNaN(s.avail[i]) {
+			relax(nd.Match, s.End[nd.Match]+(s.BodyStart[i]-s.avail[i])+s.Slack[i])
+		}
+	}
+}
+
+// ChainStep is one link of the critical chain.
+type ChainStep struct {
+	Node int
+	Ev   sim.Event
+	// Via says which edge family bound this step to the previous one.
+	Via Via
+	// Contribution is this step's share of the makespan: its end minus the
+	// binding dependency's end. Busy is the step's own work inside that,
+	// Wait the exposed transit or synchronization delay. Contributions
+	// telescope: they sum to the makespan.
+	Contribution float64
+	Busy         float64
+	Wait         float64
+}
+
+// Chain extracts the critical chain — the binding-dependency walk from the
+// makespan-defining node back to a root — in chronological order.
+func (s *Schedule) Chain() []ChainStep {
+	var rev []ChainStep
+	for cur := s.Critical; cur >= 0 && len(rev) <= len(s.D.Nodes); cur = s.Binding[cur] {
+		bindEnd := 0.0
+		if b := s.Binding[cur]; b >= 0 {
+			bindEnd = s.End[b]
+		}
+		contrib := s.End[cur] - bindEnd
+		busy := s.End[cur] - s.BodyStart[cur]
+		if busy > contrib {
+			busy = contrib
+		}
+		if busy < 0 {
+			busy = 0
+		}
+		rev = append(rev, ChainStep{
+			Node: cur, Ev: s.D.Nodes[cur].Ev, Via: s.Via[cur],
+			Contribution: contrib, Busy: busy, Wait: contrib - busy,
+		})
+	}
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	return rev
+}

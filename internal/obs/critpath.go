@@ -1,13 +1,10 @@
 package obs
 
 import (
-	"sort"
-
 	"genmp/internal/sim"
-)
 
-// msgChannel identifies one FIFO point-to-point channel.
-type msgChannel struct{ src, dst, tag int }
+	"genmp/internal/obs/causal"
+)
 
 // CriticalPath estimates the longest dependency chain of busy time (compute
 // plus communication overhead, excluding blocked waits) through a traced
@@ -19,94 +16,13 @@ type msgChannel struct{ src, dst, tag int }
 // bound on the makespan of any schedule that preserves the dependence
 // structure and per-event work; makespan − CriticalPath is slack no
 // reordering could recover.
+//
+// The computation is shared with the causal analysis engine — this is the
+// same scalar as causal.(*DAG).BusyCriticalPath, and the full navigable
+// path behind it lives in internal/obs/causal.
 func CriticalPath(tr *sim.Trace, p int) float64 {
 	if tr == nil {
 		return 0
 	}
-	events := tr.Events()
-	// Process in completion order: every dependency edge u→v satisfies
-	// u.End ≤ v.End (same-rank events are sequential; a message's send
-	// completes before its recv; collective members share one End).
-	sort.SliceStable(events, func(a, b int) bool {
-		if events[a].End != events[b].End {
-			return events[a].End < events[b].End
-		}
-		return events[a].Rank < events[b].Rank
-	})
-
-	rankCP := make([]float64, p)
-	sends := map[msgChannel][]float64{} // chain length just after each unmatched send
-	type collGroup struct {
-		seen  int
-		maxIn float64
-		cost  float64
-		ranks []int
-	}
-	collCount := make([]int, p) // collectives completed per rank → group index
-	groups := map[int]*collGroup{}
-
-	for _, e := range events {
-		if e.Rank < 0 || e.Rank >= p {
-			continue
-		}
-		switch e.Kind {
-		case sim.EvSend:
-			cp := rankCP[e.Rank] + e.Busy()
-			rankCP[e.Rank] = cp
-			ch := msgChannel{src: e.Rank, dst: e.Peer, tag: e.Tag}
-			sends[ch] = append(sends[ch], cp)
-		case sim.EvRecv:
-			in := rankCP[e.Rank]
-			ch := msgChannel{src: e.Peer, dst: e.Rank, tag: e.Tag}
-			if q := sends[ch]; len(q) > 0 {
-				if q[0] > in {
-					in = q[0]
-				}
-				sends[ch] = q[1:]
-			}
-			rankCP[e.Rank] = in + e.Busy()
-		case sim.EvCollective:
-			g := collCount[e.Rank]
-			collCount[e.Rank]++
-			grp := groups[g]
-			if grp == nil {
-				grp = &collGroup{}
-				groups[g] = grp
-			}
-			if in := rankCP[e.Rank]; in > grp.maxIn {
-				grp.maxIn = in
-			}
-			if b := e.Busy(); b > grp.cost {
-				grp.cost = b
-			}
-			grp.ranks = append(grp.ranks, e.Rank)
-			grp.seen++
-			if grp.seen == p {
-				out := grp.maxIn + grp.cost
-				for _, r := range grp.ranks {
-					rankCP[r] = out
-				}
-				delete(groups, g)
-			}
-		default: // compute, mark
-			rankCP[e.Rank] += e.Busy()
-		}
-	}
-	// Unfinished collective groups (a rank exited early): settle with what
-	// was seen.
-	for _, grp := range groups {
-		out := grp.maxIn + grp.cost
-		for _, r := range grp.ranks {
-			if out > rankCP[r] {
-				rankCP[r] = out
-			}
-		}
-	}
-	cp := 0.0
-	for _, v := range rankCP {
-		if v > cp {
-			cp = v
-		}
-	}
-	return cp
+	return causal.BusyCriticalPath(tr.Events(), p)
 }

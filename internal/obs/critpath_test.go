@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"testing"
+
+	"genmp/internal/sim"
+)
+
+// TestCriticalPathSkipsBlockedEvents is the regression test for the latent
+// default-branch bug: EvBlocked markers (flight-recorder breadcrumbs for a
+// receive that never completed) carry End > Start but represent pure
+// waiting, and must contribute nothing to the busy-chain estimate.
+func TestCriticalPathSkipsBlockedEvents(t *testing.T) {
+	base := &sim.Trace{}
+	base.Append(
+		sim.Event{Rank: 0, Kind: sim.EvCompute, Start: 0, End: 1, Peer: -1},
+		sim.Event{Rank: 1, Kind: sim.EvCompute, Start: 0, End: 0.5, Peer: -1},
+	)
+	want := CriticalPath(base, 2)
+	if want != 1 {
+		t.Fatalf("baseline critical path = %g, want 1", want)
+	}
+
+	// The same trace with a blocked marker spanning far past everything:
+	// the scalar must not move.
+	withBlocked := &sim.Trace{}
+	withBlocked.Append(
+		sim.Event{Rank: 0, Kind: sim.EvCompute, Start: 0, End: 1, Peer: -1},
+		sim.Event{Rank: 1, Kind: sim.EvCompute, Start: 0, End: 0.5, Peer: -1},
+		sim.Event{Rank: 1, Kind: sim.EvBlocked, Start: 0.5, End: 10, Peer: 0},
+	)
+	if got := CriticalPath(withBlocked, 2); got != want {
+		t.Errorf("critical path with EvBlocked = %g, want %g (blocked time counted as busy)", got, want)
+	}
+}

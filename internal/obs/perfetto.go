@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
+	"genmp/internal/obs/causal"
 	"genmp/internal/sim"
 )
 
@@ -64,35 +66,28 @@ func WriteTrace(w io.Writer, tr *sim.Trace, p int) error {
 		})
 	}
 
-	// Pair sends and recvs: the machine delivers per-(src,dst,tag) channels
-	// in FIFO order, and each side of a channel lives on one rank whose
-	// events are time-ordered, so the k-th send on a channel matches the
-	// k-th recv. A waiting recv can START before its send, so matching
-	// needs the full per-channel lists, not a single time-ordered pass.
-	// Flow ids are assigned in recv order — deterministic because Events()
-	// is sorted.
-	sendIdx := map[msgChannel][]int{}
+	// Pair sends and recvs with the shared FIFO matcher (k-th send on a
+	// (src,dst,tag) channel matches the k-th recv — the machine's delivery
+	// order). A waiting recv can START before its send, so matching needs
+	// the full per-channel lists, not a single time-ordered pass. Flow ids
+	// are assigned in recv order — deterministic because Events() is sorted.
+	matcher := causal.NewMatcher()
 	for i, e := range events {
-		if e.Kind == sim.EvSend {
-			ch := msgChannel{src: e.Rank, dst: e.Peer, tag: e.Tag}
-			sendIdx[ch] = append(sendIdx[ch], i)
+		switch e.Kind {
+		case sim.EvSend:
+			matcher.AddSend(causal.Channel{Src: e.Rank, Dst: e.Peer, Tag: e.Tag}, i)
+		case sim.EvRecv:
+			matcher.AddRecv(causal.Channel{Src: e.Peer, Dst: e.Rank, Tag: e.Tag}, i)
 		}
 	}
-	flowOf := make(map[int]int, len(events)) // event index → ±flow id (send +, recv −)
-	recvSeen := map[msgChannel]int{}
-	nextFlow := 1
-	for i, e := range events {
-		if e.Kind != sim.EvRecv {
-			continue
-		}
-		ch := msgChannel{src: e.Peer, dst: e.Rank, tag: e.Tag}
-		k := recvSeen[ch]
-		recvSeen[ch] = k + 1
-		if q := sendIdx[ch]; k < len(q) {
-			flowOf[q[k]] = nextFlow
-			flowOf[i] = -nextFlow
-			nextFlow++
-		}
+	type msgPair struct{ send, recv int }
+	var pairs []msgPair
+	matcher.Pairs(func(send, recv int) { pairs = append(pairs, msgPair{send, recv}) })
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].recv < pairs[b].recv })
+	flowOf := make(map[int]int, 2*len(pairs)) // event index → ±flow id (send +, recv −)
+	for k, pr := range pairs {
+		flowOf[pr.send] = k + 1
+		flowOf[pr.recv] = -(k + 1)
 	}
 
 	for i, e := range events {

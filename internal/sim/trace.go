@@ -48,6 +48,27 @@ func (k EventKind) String() string {
 	}
 }
 
+// ParseEventKind inverts EventKind.String. Unknown names are an error so
+// trace deserialization fails loudly on schema drift.
+func ParseEventKind(s string) (EventKind, error) {
+	switch s {
+	case "compute":
+		return EvCompute, nil
+	case "send":
+		return EvSend, nil
+	case "recv":
+		return EvRecv, nil
+	case "collective":
+		return EvCollective, nil
+	case "mark":
+		return EvMark, nil
+	case "blocked":
+		return EvBlocked, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown event kind %q", s)
+	}
+}
+
 // Event is one traced interval on a rank's timeline.
 type Event struct {
 	Rank  int
@@ -99,6 +120,15 @@ func (t *Trace) Events() []Event {
 		return out[a].Rank < out[b].Rank
 	})
 	return out
+}
+
+// Append adds events to the trace directly, without a running machine.
+// Deserializers and tests use it to reconstitute a recorded trace; Events()
+// re-establishes the (start, rank) order regardless of insertion order.
+func (t *Trace) Append(events ...Event) {
+	t.mu.Lock()
+	t.events = append(t.events, events...)
+	t.mu.Unlock()
 }
 
 // Len returns the number of collected events.

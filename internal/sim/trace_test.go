@@ -193,3 +193,91 @@ func TestEventPhaseAndWait(t *testing.T) {
 		t.Error("recv event did not record its wait portion")
 	}
 }
+
+// TestTraceEventsOrdering pins the Events() contract consumers rely on
+// (the causal DAG builder, the Perfetto exporter, the profile): sorted by
+// start time with rank breaking ties, stable for identical keys, and
+// independent of insertion order.
+func TestTraceEventsOrdering(t *testing.T) {
+	tr := &Trace{}
+	tr.Append(
+		Event{Rank: 1, Kind: EvCompute, Start: 2, End: 3, Peer: -1},
+		Event{Rank: 0, Kind: EvCompute, Start: 2, End: 2.5, Peer: -1},
+		Event{Rank: 0, Kind: EvSend, Start: 0, End: 0.1, Peer: 1, Label: "first"},
+		Event{Rank: 0, Kind: EvMark, Start: 0, End: 0, Peer: -1, Label: "second"},
+	)
+	ev := tr.Events()
+	if len(ev) != 4 {
+		t.Fatalf("got %d events, want 4", len(ev))
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Start < ev[i-1].Start {
+			t.Fatalf("events not sorted by start: %g after %g", ev[i].Start, ev[i-1].Start)
+		}
+		if ev[i].Start == ev[i-1].Start && ev[i].Rank < ev[i-1].Rank {
+			t.Fatalf("rank tie-break broken at %d", i)
+		}
+	}
+	// Stability: the two rank-0 events at Start 0 keep insertion order.
+	if ev[0].Label != "first" || ev[1].Label != "second" {
+		t.Errorf("equal-key events reordered: %q before %q", ev[0].Label, ev[1].Label)
+	}
+	// Events returns a copy: mutating it must not corrupt the trace.
+	ev[0].Rank = 99
+	if tr.Events()[0].Rank == 99 {
+		t.Error("Events() exposed internal storage")
+	}
+}
+
+// TestEventBusyWithWait pins Busy() = End − Start − Wait for a synthetic
+// event and for every traced event of a run with real blocking.
+func TestEventBusyWithWait(t *testing.T) {
+	e := Event{Start: 1, End: 4, Wait: 2.5}
+	if got := e.Busy(); got != 0.5 {
+		t.Errorf("Busy() = %g, want 0.5", got)
+	}
+	m := testMachine(2)
+	m.Trace = &Trace{}
+	if _, err := m.Run(func(r *Rank) {
+		if r.ID == 0 {
+			r.Compute(3e-3)
+			r.Send(1, 0, Msg{Bytes: 64})
+		} else {
+			r.Recv(0, 0)
+		}
+		r.Barrier()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sawWait := false
+	for _, e := range m.Trace.Events() {
+		if e.Wait < 0 {
+			t.Errorf("event %+v has negative wait", e)
+		}
+		if e.Wait > 0 {
+			sawWait = true
+		}
+		if b := e.Busy(); b < 0 || b > e.End-e.Start {
+			t.Errorf("event %+v busy %g outside [0, duration]", e, b)
+		}
+	}
+	if !sawWait {
+		t.Error("run recorded no waiting event (rank 1 should block on the recv)")
+	}
+}
+
+func TestParseEventKindRoundTrip(t *testing.T) {
+	for _, k := range []EventKind{EvCompute, EvSend, EvRecv, EvCollective, EvMark, EvBlocked} {
+		got, err := ParseEventKind(k.String())
+		if err != nil {
+			t.Errorf("%v: %v", k, err)
+			continue
+		}
+		if got != k {
+			t.Errorf("ParseEventKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseEventKind("warp"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
