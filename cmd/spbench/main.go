@@ -28,7 +28,9 @@ import (
 	"genmp/internal/obs"
 	"genmp/internal/obs/causal"
 	"genmp/internal/obs/live"
+	"genmp/internal/obs/metrics"
 	"genmp/internal/partition"
+	"genmp/internal/redist"
 	"genmp/internal/sim"
 )
 
@@ -48,6 +50,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write machine-readable results (BENCH_*.json schema)")
 	profilePath := flag.String("profile", "", "with -p: write the serialized per-phase profile (benchdiff input)")
 	planPath := flag.String("plan", "", "with -p: write the compiled SweepPlan dump and print the plan-vs-observed traffic audit")
+	redistPlanPath := flag.String("redistplan", "", "with -p: write the compiled BLOCK↔MULTI redistribution plan dump (REDIST_*.json) and print the plan-vs-counters byte audit")
 	topology := flag.String("topology", "", "interconnect topology: crossbar, bus, hypercube, hypercube+contention (default: the network's scaling regime)")
 	collName := flag.String("coll", "", "collective algorithm: auto, pairwise, ring, doubling, bruck (applies to the -p instrumented run)")
 	dataMode := flag.Bool("data", false, "with -p: run in data mode (real arrays advanced in place) instead of model-only, exercising the payload pool and sweep arenas")
@@ -102,7 +105,8 @@ func main() {
 			class: class, steps: *steps, p: *pFlag, topology: *topology, coll: coll,
 			suiteSuffix: suiteSuffix, tracePath: *tracePath, traceJSONPath: *traceJSON,
 			metrics: *metrics, blame: *blame, dataMode: *dataMode,
-			jsonPath: *jsonPath, profilePath: *profilePath, planPath: *planPath, src: src,
+			jsonPath: *jsonPath, profilePath: *profilePath, planPath: *planPath,
+			redistPlanPath: *redistPlanPath, src: src,
 		}
 		if err := runSingle(opts); err != nil {
 			log.Fatal(err)
@@ -193,20 +197,21 @@ func fabricFlags(topology, coll string) string {
 
 // singleOpts configures one instrumented SP run (the -p path).
 type singleOpts struct {
-	class         nas.Class
-	steps, p      int
-	topology      string
-	coll          sim.Alg
-	suiteSuffix   string
-	tracePath     string // Perfetto/Chrome trace-event file
-	traceJSONPath string // round-trippable trace artifact (critpath input)
-	metrics       bool
-	blame         bool
-	dataMode      bool
-	jsonPath      string
-	profilePath   string
-	planPath      string
-	src           string
+	class          nas.Class
+	steps, p       int
+	topology       string
+	coll           sim.Alg
+	suiteSuffix    string
+	tracePath      string // Perfetto/Chrome trace-event file
+	traceJSONPath  string // round-trippable trace artifact (critpath input)
+	metrics        bool
+	blame          bool
+	dataMode       bool
+	jsonPath       string
+	profilePath    string
+	planPath       string
+	redistPlanPath string
+	src            string
 }
 
 // wantTrace reports whether any requested output needs event collection.
@@ -313,6 +318,11 @@ func runSingle(o singleOpts) error {
 		fmt.Println()
 		fmt.Print(obs.FormatPlanAudit(rows))
 	}
+	if o.redistPlanPath != "" {
+		if err := dumpRedistPlan(o, eta, m); err != nil {
+			return err
+		}
+	}
 	if o.jsonPath != "" {
 		bf := obs.BenchFile{
 			Source: o.src + " -json",
@@ -329,6 +339,48 @@ func runSingle(o singleOpts) error {
 		}
 		fmt.Printf("wrote %s\n", o.jsonPath)
 	}
+	return nil
+}
+
+// dumpRedistPlan compiles the BLOCK(dim 0)→MULTI redistribution for the
+// run's configuration — the move a solver alternating between a
+// spectral-friendly block layout and the sweep-friendly multipartitioning
+// performs every timestep — validates it, writes the dump, executes it
+// model-only against a fresh metrics registry, and prints the
+// plan-vs-counters byte audit (every delta must be zero).
+func dumpRedistPlan(o singleOpts, eta []int, m *core.Multipartitioning) error {
+	from, err := redist.NewBlockLayout(o.p, eta, 0)
+	if err != nil {
+		return err
+	}
+	to, err := redist.NewMultiLayout(m, eta)
+	if err != nil {
+		return err
+	}
+	rpl, err := redist.Compile(redist.Spec{From: from, To: to})
+	if err != nil {
+		return err
+	}
+	if err := rpl.Validate(); err != nil {
+		return err
+	}
+	if err := obs.WriteRedistJSON(o.redistPlanPath, o.src+" -redistplan", rpl); err != nil {
+		return err
+	}
+	fmt.Printf("redistribution plan written to %s\n", o.redistPlanPath)
+	fmt.Print(rpl.Summary())
+	reg := metrics.New()
+	redist.EnableMetrics(reg)
+	defer redist.EnableMetrics(nil)
+	base := nas.Origin2000Machine(o.p)
+	audMach := sim.NewMachine(o.p, base.Net, base.CPU)
+	if _, err := audMach.Run(func(r *sim.Rank) {
+		redist.Execute(r, rpl, redist.ExecOpts{Coll: o.coll})
+	}); err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(obs.FormatRedistAudit(obs.AuditRedistBytes(rpl, reg.Snapshot(), 1)))
 	return nil
 }
 

@@ -12,6 +12,7 @@
 //	sweepbench -p 16 -eta 64,64,64 -grainsweep
 //	sweepbench -p 16 -timeline -metrics -trace sweep.json
 //	sweepbench -p 16 -profile sweep-profile.json             # benchdiff input
+//	sweepbench -redist -p 4 -eta 32,32,32 -json BENCH_redist.json
 package main
 
 import (
@@ -52,6 +53,8 @@ func main() {
 	planPath := flag.String("plan", "", "write the compiled SweepPlan of one multipartitioned sweep and print the plan-vs-observed traffic audit")
 	topology := flag.String("topology", "", "interconnect topology: crossbar, bus, hypercube, hypercube+contention (default: the network's scaling regime); comma-separated list compares them")
 	collName := flag.String("coll", "", "collective algorithm for transposes: auto, pairwise, ring, bruck")
+	redistCmp := flag.Bool("redist", false, "run the redistribution-policy comparison (BLOCK↔MULTI switch each timestep vs dynamic-block transposes vs staying put)")
+	redistBudget := flag.Int("redistbudget", 0, "per-rank staging budget in bytes for the -redist switch plans (0 = unbounded)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics (/metrics Prometheus text, /metrics.json) and net/http/pprof on this address, e.g. localhost:9090")
 	flightDepth := flag.Int("flightrec", 0, "per-rank flight-recorder ring depth: a deadlock dumps each rank's last N events (0 = off)")
 	pprofLabels := flag.Bool("pprof-labels", false, "tag rank goroutines with rank/phase pprof labels (costs allocations; pair with /debug/pprof/profile)")
@@ -76,6 +79,28 @@ func main() {
 			log.Fatalf("bad extent %q", tok)
 		}
 		eta = append(eta, v)
+	}
+
+	if *redistCmp {
+		fmt.Printf("redistribution policy comparison: p=%d, η=%v, %d step(s)\n\n", *p, eta, *steps)
+		rows, err := exp.RedistComparisonOn(*topology, coll, *p, eta, *steps, *redistBudget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(exp.FormatRedistComparison(rows))
+		if *jsonPath != "" {
+			recs, err := exp.RedistBenchRecordsOn(*topology, coll, *p, eta, *steps, *redistBudget)
+			if err != nil {
+				log.Fatal(err)
+			}
+			src := fmt.Sprintf("sweepbench -redist -p %d -eta %s -steps %d -redistbudget %d%s -json (eta %s)",
+				*p, *etaStr, *steps, *redistBudget, fabricFlags(*topology, *collName), partition.Describe(eta))
+			if err := obs.WriteBenchJSON(*jsonPath, obs.BenchFile{Source: src, Records: recs}); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\nwrote %s\n", *jsonPath)
+		}
+		return
 	}
 
 	if strings.Contains(*topology, ",") {

@@ -1,0 +1,52 @@
+package cost
+
+import "genmp/internal/redist"
+
+// PlanRedistTime folds the Section 3.1 communication terms over a compiled
+// redistribution plan — the same schedule redist.Execute runs. A
+// redistribution phase computes nothing, so the K₁ volume term is absent;
+// what remains is, per synchronized step, one K₂ start-up for the busiest
+// rank's message count and K₃(p) per element of the largest per-rank
+// receive volume (the surface the critical-path rank must wait for):
+//
+//	T = Σ_steps  K₂·max_q msgs_q + K₃(p)·max_q recvElems_q
+//
+// msgs_q is the number of aggregated payloads rank q sends in the step
+// (distinct peers of an AllToAll round, one for an Exchange leg with
+// traffic); recvElems_q its incoming element count. Steps advance the whole
+// machine together — an AllToAll round or a halo direction is a barrier in
+// the paper's bulk-synchronous sense — so each step costs its slowest rank.
+func (m Model) PlanRedistTime(pl *redist.Plan) float64 {
+	p := pl.P
+	t := 0.0
+	for si := range pl.Steps {
+		st := &pl.Steps[si]
+		maxMsgs, maxRecv := 0, 0
+		for q := 0; q < p; q++ {
+			msgs := 0
+			if st.Op == redist.OpExchange {
+				if st.Exch[q].SendBytes > 0 {
+					msgs = 1
+				}
+			} else {
+				peers := map[int]bool{}
+				for _, mv := range st.Sends[q] {
+					peers[mv.To] = true
+				}
+				msgs = len(peers)
+			}
+			recv := 0
+			for _, mv := range st.Recvs[q] {
+				recv += mv.Bytes
+			}
+			if msgs > maxMsgs {
+				maxMsgs = msgs
+			}
+			if recv > maxRecv {
+				maxRecv = recv
+			}
+		}
+		t += m.K2*float64(maxMsgs) + m.K3(p)*float64(maxRecv/8)
+	}
+	return t
+}

@@ -1,0 +1,83 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"genmp/internal/core"
+	"genmp/internal/redist"
+)
+
+func compileBlockMove(t *testing.T, p int, eta []int, maxBytes int) *redist.Plan {
+	t.Helper()
+	from, err := redist.NewBlockLayout(p, eta, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	to, err := redist.NewBlockLayout(p, eta, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := redist.Compile(redist.Spec{From: from, To: to, MaxBytes: maxBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+// TestPlanRedistTimeClosedForm: for the 2-rank BLOCK(0)→BLOCK(1) transpose
+// of a 4×4 array the fold has a hand-computable value — one AllToAll step in
+// which each rank ships its off-diagonal 2×2 quadrant (4 elements) to the
+// single other rank.
+func TestPlanRedistTimeClosedForm(t *testing.T) {
+	m := Origin2000()
+	pl := compileBlockMove(t, 2, []int{4, 4}, 0)
+	want := m.K2*1 + m.K3(2)*4
+	got := m.PlanRedistTime(pl)
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("PlanRedistTime = %g, want %g", got, want)
+	}
+}
+
+// TestPlanRedistTimeChunkingCost: halving the staging budget doubles the
+// round count, and each extra round pays its own K₂ start-ups — the fold
+// must price the accountant's chunking, not just total volume.
+func TestPlanRedistTimeChunkingCost(t *testing.T) {
+	m := Origin2000()
+	whole := compileBlockMove(t, 4, []int{16, 16}, 0)
+	// Budget small enough to force several rounds but large enough to hold
+	// the biggest single wire move after splitting.
+	chunked := compileBlockMove(t, 4, []int{16, 16}, 512)
+	if len(chunked.Steps) <= len(whole.Steps) {
+		t.Fatalf("budget produced %d step(s), want more than %d", len(chunked.Steps), len(whole.Steps))
+	}
+	tw, tc := m.PlanRedistTime(whole), m.PlanRedistTime(chunked)
+	if tc <= tw {
+		t.Fatalf("chunked plan modeled at %g, not above whole-move %g", tc, tw)
+	}
+	// Same wire volume either way: the gap is pure start-up, bounded by one
+	// maximal K₂ charge per extra step.
+	maxExtra := float64(len(chunked.Steps)-len(whole.Steps)) * m.K2 * float64(chunked.P-1)
+	if tc-tw > maxExtra+1e-12 {
+		t.Fatalf("chunking overhead %g exceeds start-up bound %g", tc-tw, maxExtra)
+	}
+}
+
+// TestPlanRedistTimeHalo: a halo plan is priced per direction step with a
+// single aggregated message per rank.
+func TestPlanRedistTimeHalo(t *testing.T) {
+	m := Origin2000()
+	mp, err := core.NewGeneralized(4, []int{4, 4, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := redist.CompileHalo(redist.HaloSpec{M: mp, Eta: []int{8, 8, 8}, Depth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.PlanRedistTime(pl)
+	// Every step moves traffic, so the fold charges at least one K₂ each.
+	if min := float64(len(pl.Steps)) * m.K2; got < min {
+		t.Fatalf("PlanRedistTime = %g, below the %d-step start-up floor %g", got, len(pl.Steps), min)
+	}
+}

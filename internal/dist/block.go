@@ -8,6 +8,7 @@ import (
 	"genmp/internal/grid"
 	"genmp/internal/numutil"
 	"genmp/internal/plan"
+	"genmp/internal/redist"
 	"genmp/internal/sim"
 	"genmp/internal/sweep"
 )
@@ -39,6 +40,16 @@ type Block struct {
 	// repeated sweeps share one plan across ranks and steps.
 	wfMu    sync.Mutex
 	wfPlans map[wfKey]*plan.SweepPlan
+	// tpPlans caches compiled transpose redistributions per (tDim, nGrids):
+	// index 0 holds the forward move (Dim-slabs → tDim-slabs), index 1 the
+	// reverse. Shared across concurrently running ranks, hence the mutex.
+	tpMu    sync.Mutex
+	tpPlans map[tpKey][2]*redist.Plan
+}
+
+// tpKey identifies one compiled transpose pair.
+type tpKey struct {
+	tDim, nGrids int
 }
 
 // wfKey identifies one compiled wavefront schedule: the carry lengths come
@@ -411,42 +422,54 @@ func (b *Block) TransposeSweep(r *sim.Rank, solver sweep.Solver, vecs []*grid.Gr
 	b.allToAll(r, tDim, nGrids, 1)
 }
 
-// transposeSizes returns the exact modeled bytes rank q must ship to each
-// peer for one transpose phase: the intersection of q's current slab with
-// the peer's post-transpose slab — q's span along the outgoing distributed
+// transposePlans returns the compiled transpose redistributions for
+// (tDim, nGrids) — [0] forward (Dim-slabs → tDim-slabs), [1] reverse —
+// compiling them on first use. Each phase is a BLOCK→BLOCK special case of
+// redist.Compile: every peer receives the intersection of q's outgoing slab
+// with the peer's incoming slab — q's span along the outgoing distributed
 // dimension times the peer's span along the incoming one times the full
-// orthogonal extents. (The historical `own/p` shortcut truncated whenever
-// an extent was not divisible by p, undercounting the traffic.)
-func (b *Block) transposeSizes(q, tDim, nGrids, phase int) []int {
-	ortho := 1
-	for j := range b.Eta {
-		if j != b.Dim && j != tDim {
-			ortho *= b.Eta[j]
+// orthogonal extents, exactly the bytes the historical hand-built
+// transposeSizes loop computed. (The even older `own/p` shortcut truncated
+// whenever an extent was not divisible by p, undercounting the traffic.)
+func (b *Block) transposePlans(tDim, nGrids int) [2]*redist.Plan {
+	key := tpKey{tDim: tDim, nGrids: nGrids}
+	b.tpMu.Lock()
+	defer b.tpMu.Unlock()
+	if pls, ok := b.tpPlans[key]; ok {
+		return pls
+	}
+	home, err := redist.NewBlockLayout(b.P, b.Eta, b.Dim)
+	if err == nil {
+		var away *redist.BlockLayout
+		if away, err = redist.NewBlockLayout(b.P, b.Eta, tDim); err == nil {
+			var pls [2]*redist.Plan
+			if pls[0], err = redist.Compile(redist.Spec{From: home, To: away, NGrids: nGrids}); err == nil {
+				if pls[1], err = redist.Compile(redist.Spec{From: away, To: home, NGrids: nGrids}); err == nil {
+					if b.tpPlans == nil {
+						b.tpPlans = map[tpKey][2]*redist.Plan{}
+					}
+					b.tpPlans[key] = pls
+					return pls
+				}
+			}
 		}
 	}
-	outDim, inDim := b.Dim, tDim // phase 0: Dim-slabs become tDim-slabs
-	if phase == 1 {
-		outDim, inDim = tDim, b.Dim
-	}
-	qlo, qhi := core.BlockRange(b.Eta[outDim], b.P, q)
-	sizes := make([]int, b.P)
-	for d := 0; d < b.P; d++ {
-		if d == q {
-			continue
-		}
-		dlo, dhi := core.BlockRange(b.Eta[inDim], b.P, d)
-		sizes[d] = (qhi - qlo) * (dhi - dlo) * ortho * 8 * nGrids
-	}
-	return sizes
+	panic("dist: " + err.Error())
 }
 
-// allToAll models the transpose communication as a sim collective: every
-// rank sends every other rank the exact slab intersection, per grid moved,
-// under the algorithm selected by Block.Coll.
+// transposeSizes returns the modeled bytes rank q ships to each peer for
+// one transpose phase, read off the compiled redistribution plan.
+func (b *Block) transposeSizes(q, tDim, nGrids, phase int) []int {
+	return b.transposePlans(tDim, nGrids)[phase].SendSizes(q, 0, b.P)
+}
+
+// allToAll runs one transpose phase by executing its compiled plan: a
+// single OpAllToAll step under the algorithm selected by Block.Coll,
+// bit-identical to the historical hand-rolled collective call.
 func (b *Block) allToAll(r *sim.Rank, tDim, nGrids, phase int) {
 	if b.P == 1 {
 		return
 	}
-	r.AllToAll(b.transposeSizes(r.ID, tDim, nGrids, phase), nil,
-		sim.CollOpts{Alg: b.Coll, PerMessage: b.Overhead.PerMessage})
+	redist.Execute(r, b.transposePlans(tDim, nGrids)[phase],
+		redist.ExecOpts{Coll: b.Coll, PerMessage: b.Overhead.PerMessage})
 }

@@ -24,10 +24,12 @@ package dist
 
 import (
 	"fmt"
+	"sync"
 
 	"genmp/internal/core"
 	"genmp/internal/grid"
 	"genmp/internal/numutil"
+	"genmp/internal/redist"
 	"genmp/internal/sim"
 )
 
@@ -95,6 +97,17 @@ type Env struct {
 	M        *core.Multipartitioning
 	Eta      []int
 	Overhead OverheadModel
+
+	// haloPlans caches compiled halo redistributions per (depth, nGrids) so
+	// repeated exchanges share one schedule across ranks and timesteps. Env
+	// is shared by concurrently running rank goroutines, hence the mutex.
+	haloMu    sync.Mutex
+	haloPlans map[haloKey]*redist.Plan
+}
+
+// haloKey identifies one compiled halo schedule.
+type haloKey struct {
+	depth, nGrids int
 }
 
 // NewEnv validates extents against the multipartitioning.
@@ -200,38 +213,36 @@ func (e *Env) HaloBytes(q, depth, nGrids int) int {
 // payload — they establish ordering and cost. Ranks whose tiles touch the
 // domain boundary in a direction still exchange with their tile-neighbors
 // for the interior faces.
+// The schedule itself is compiled once per (depth, nGrids) by
+// redist.CompileHalo — this wrapper is the thin special case of the
+// generalized redistribution engine, replaying the historical hand-built
+// loop bit for bit (same step order, byte counts, tags, and per-message
+// bracketing).
 func (e *Env) ExchangeHalos(r *sim.Rank, depth, nGrids int) {
 	if e.M.P() == 1 || depth == 0 {
 		return
 	}
-	q := r.ID
-	gamma := e.M.Gamma()
-	for dim := range e.Eta {
-		if gamma[dim] == 1 {
-			continue // no cuts: nothing to exchange along this dimension
-		}
-		for s, step := range []int{1, -1} {
-			// Bytes this rank sends in direction step along dim: faces of
-			// its tiles that have an in-grid neighbor that way.
-			bytes := 0
-			for _, tile := range e.M.TilesOf(q) {
-				n := tile[dim] + step
-				if n < 0 || n >= gamma[dim] {
-					continue
-				}
-				lo, hi := e.M.TileBounds(e.Eta, tile)
-				cross := 1
-				for j := range e.Eta {
-					if j != dim {
-						cross *= hi[j] - lo[j]
-					}
-				}
-				bytes += depth * cross
-			}
-			bytes *= 8 * nGrids
-			dst := e.M.NeighborProc(q, dim, step)
-			src := e.M.NeighborProc(q, dim, -step)
-			r.Exchange(dst, src, haloTags.Tag(dim*2+s), sim.Msg{Bytes: bytes}, e.Overhead.PerMessage)
-		}
+	redist.Execute(r, e.haloPlan(depth, nGrids), redist.ExecOpts{PerMessage: e.Overhead.PerMessage})
+}
+
+// haloPlan returns the compiled halo schedule for (depth, nGrids),
+// compiling it on first use. All ranks execute the one shared instance.
+func (e *Env) haloPlan(depth, nGrids int) *redist.Plan {
+	key := haloKey{depth: depth, nGrids: nGrids}
+	e.haloMu.Lock()
+	defer e.haloMu.Unlock()
+	if pl, ok := e.haloPlans[key]; ok {
+		return pl
 	}
+	pl, err := redist.CompileHalo(redist.HaloSpec{
+		M: e.M, Eta: e.Eta, Depth: depth, NGrids: nGrids, Tags: haloTags,
+	})
+	if err != nil {
+		panic("dist: " + err.Error())
+	}
+	if e.haloPlans == nil {
+		e.haloPlans = map[haloKey]*redist.Plan{}
+	}
+	e.haloPlans[key] = pl
+	return pl
 }

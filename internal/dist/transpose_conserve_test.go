@@ -1,0 +1,96 @@
+package dist
+
+import (
+	"testing"
+
+	"genmp/internal/core"
+)
+
+// TestTransposeSizesConservation is the byte-conservation property of the
+// compiled transpose: for every (p, η, tDim, nGrids) — divisible or not —
+// and both phases, the per-peer size matrix must (a) ship every byte that
+// leaves q's slab somewhere (row sums equal the slab minus its self
+// overlap), (b) deliver exactly what each receiver's new slab is owed
+// (column sums, so total sent == total received), and (c) be the transpose
+// of the reverse phase's matrix — phase 1 returns precisely the bytes phase
+// 0 scattered, rank pair by rank pair.
+func TestTransposeSizesConservation(t *testing.T) {
+	cases := []struct {
+		p      int
+		eta    []int
+		tDim   int
+		nGrids int
+	}{
+		{2, []int{8, 8}, 1, 1},
+		{4, []int{10, 7, 5}, 1, 3},
+		{4, []int{10, 7, 5}, 2, 2},
+		{3, []int{7, 11, 13}, 2, 1},
+		{5, []int{9, 6, 14}, 1, 4},
+		{8, []int{16, 9, 10}, 2, 5},
+	}
+	for _, tc := range cases {
+		b, err := NewBlock(tc.p, tc.eta, 0, HandCoded())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// sizes[phase][q][d]: bytes q ships to d in that phase.
+		var sizes [2][][]int
+		for phase := 0; phase < 2; phase++ {
+			sizes[phase] = make([][]int, tc.p)
+			for q := 0; q < tc.p; q++ {
+				sizes[phase][q] = b.transposeSizes(q, tc.tDim, tc.nGrids, phase)
+			}
+		}
+		ortho := 8 * tc.nGrids
+		for i, e := range tc.eta {
+			if i != 0 && i != tc.tDim {
+				ortho *= e
+			}
+		}
+		for phase := 0; phase < 2; phase++ {
+			outDim, inDim := 0, tc.tDim
+			if phase == 1 {
+				outDim, inDim = tc.tDim, 0
+			}
+			sent, recvd := 0, 0
+			for q := 0; q < tc.p; q++ {
+				qOutLo, qOutHi := core.BlockRange(tc.eta[outDim], tc.p, q)
+				qInLo, qInHi := core.BlockRange(tc.eta[inDim], tc.p, q)
+				rowSum, colSum := 0, 0
+				for d := 0; d < tc.p; d++ {
+					rowSum += sizes[phase][q][d]
+					colSum += sizes[phase][d][q]
+				}
+				// (a) q ships its whole outgoing slab except the slice that
+				// stays with q under the incoming distribution.
+				wantRow := (qOutHi - qOutLo) * (tc.eta[inDim] - (qInHi - qInLo)) * ortho
+				if rowSum != wantRow {
+					t.Errorf("p=%d η=%v tDim=%d phase %d rank %d: sends %d bytes, slab owes %d",
+						tc.p, tc.eta, tc.tDim, phase, q, rowSum, wantRow)
+				}
+				// (b) q receives its whole incoming slab except what it
+				// already held.
+				wantCol := (qInHi - qInLo) * (tc.eta[outDim] - (qOutHi - qOutLo)) * ortho
+				if colSum != wantCol {
+					t.Errorf("p=%d η=%v tDim=%d phase %d rank %d: receives %d bytes, new slab owed %d",
+						tc.p, tc.eta, tc.tDim, phase, q, colSum, wantCol)
+				}
+				sent += rowSum
+				recvd += colSum
+			}
+			if sent != recvd {
+				t.Errorf("p=%d η=%v tDim=%d phase %d: %d bytes sent vs %d received",
+					tc.p, tc.eta, tc.tDim, phase, sent, recvd)
+			}
+		}
+		// (c) the reverse phase is the exact mirror.
+		for q := 0; q < tc.p; q++ {
+			for d := 0; d < tc.p; d++ {
+				if sizes[0][q][d] != sizes[1][d][q] {
+					t.Errorf("p=%d η=%v tDim=%d: phase0[%d→%d]=%d but phase1[%d→%d]=%d",
+						tc.p, tc.eta, tc.tDim, q, d, sizes[0][q][d], d, q, sizes[1][d][q])
+				}
+			}
+		}
+	}
+}

@@ -12,11 +12,10 @@
 package dmem
 
 import (
-	"fmt"
-
 	"genmp/internal/dist"
 	"genmp/internal/grid"
 	"genmp/internal/numutil"
+	"genmp/internal/redist"
 	"genmp/internal/sim"
 )
 
@@ -40,26 +39,13 @@ type Field struct {
 	// index maps a tile's row-major rank in the tile grid to its position
 	// in tiles (or −1 when not owned by this rank).
 	index map[int]int
-	// halo caches the exchange plan per (dim, direction); built lazily on
-	// the first ExchangeHalos call and keyed dim*2+s.
-	halo map[int]*haloDirPlan
-}
-
-// haloFace is one tile's face in a halo exchange: the region within the
-// padded local grid and its flat size.
-type haloFace struct {
-	tile int
-	rect grid.Rect
-	size int
-}
-
-// haloDirPlan caches one (dim, step) exchange: the peer ranks, the faces
-// to pack, and the halo shells to fill.
-type haloDirPlan struct {
-	dst, src  int
-	send      []haloFace
-	recv      []haloFace
-	sendTotal int
+	// haloPlan is the compiled halo schedule (redist.CompileHalo), built
+	// lazily on the first ExchangeHalos call. A Field belongs to one rank,
+	// so no lock is needed.
+	haloPlan *redist.Plan
+	// lrLo/lrHi are the scratch coordinates of localRect, reused so
+	// steady-state exchanges stay allocation-light.
+	lrLo, lrHi []int
 }
 
 // NewField allocates the rank's tile storage for one array.
@@ -164,32 +150,6 @@ func (f *Field) SumSquares() float64 {
 	return s
 }
 
-// haloFaceRect returns, within local tile i's padded grid, either the
-// interior face of width w on the given side of dim (src = true: the data
-// to send) or the halo shell of width w beyond that side (src = false: the
-// cells to fill on receive).
-func (f *Field) haloFaceRect(i, dim, side, w int, src bool) grid.Rect {
-	interior := f.InteriorRect(i)
-	lo := numutil.CopyInts(interior.Lo)
-	hi := numutil.CopyInts(interior.Hi)
-	if side > 0 {
-		if src {
-			lo[dim] = hi[dim] - w
-		} else {
-			lo[dim] = hi[dim]
-			hi[dim] = lo[dim] + w
-		}
-	} else {
-		if src {
-			hi[dim] = lo[dim] + w
-		} else {
-			hi[dim] = lo[dim]
-			lo[dim] = hi[dim] - w
-		}
-	}
-	return grid.RectOf(lo, hi)
-}
-
 // Reserved message-tag space of the strict halo exchange (see
 // sim.ReserveTags). Sweep carries are tagged by the compiled schedule
 // itself, from the shared plan.SweepTags reservation — both runtimes now
@@ -197,81 +157,62 @@ func (f *Field) haloFaceRect(i, dim, side, w int, src bool) grid.Rect {
 // never mixes dist and dmem sweeps.
 var strictHaloTags = sim.ReserveTags("dmem/halo", 1<<25, 64)
 
-// haloDir returns the cached plan for the exchange along dim in direction
-// step (s is the tag index of the direction), building it on first use.
-func (f *Field) haloDir(dim, s, step int) *haloDirPlan {
-	key := dim*2 + s
-	if f.halo == nil {
-		f.halo = map[int]*haloDirPlan{}
+// localRect converts a move's global region into local tile i's padded
+// coordinates (interior starts at Depth). Scratch-backed: the returned Rect
+// is valid until the next call.
+func (f *Field) localRect(i int, g grid.Rect) grid.Rect {
+	d := len(g.Lo)
+	if cap(f.lrLo) < d {
+		f.lrLo, f.lrHi = make([]int, d), make([]int, d)
 	}
-	if p, ok := f.halo[key]; ok {
-		return p
+	lo, hi := f.lrLo[:d], f.lrHi[:d]
+	b := f.bounds[i]
+	for k := 0; k < d; k++ {
+		lo[k] = g.Lo[k] - b.Lo[k] + f.Depth
+		hi[k] = g.Hi[k] - b.Lo[k] + f.Depth
 	}
-	env := f.Env
-	gamma := env.M.Gamma()
-	p := &haloDirPlan{
-		dst: env.M.NeighborProc(f.Rank, dim, step),
-		src: env.M.NeighborProc(f.Rank, dim, -step),
-	}
-	// Faces of every owned tile with an in-grid neighbor in direction
-	// step, in canonical tile order; halo shells on the −step side of the
-	// tiles with a neighbor that way (the shifted bijection preserves
-	// canonical order and cross-sections).
-	for i := range f.tiles {
-		tile := env.M.TilesOf(f.Rank)[i]
-		if n := tile[dim] + step; n >= 0 && n < gamma[dim] {
-			rect := f.haloFaceRect(i, dim, step, f.Depth, true)
-			p.send = append(p.send, haloFace{tile: i, rect: rect, size: rect.Size()})
-			p.sendTotal += rect.Size()
-		}
-		if n := tile[dim] - step; n >= 0 && n < gamma[dim] {
-			rect := f.haloFaceRect(i, dim, -step, f.Depth, false)
-			p.recv = append(p.recv, haloFace{tile: i, rect: rect, size: rect.Size()})
-		}
-	}
-	f.halo[key] = p
-	return p
+	return grid.RectOf(lo, hi)
+}
+
+// Extract packs the move's region (an interior face of the sending tile)
+// into dst — the redist.Binding hook of the strict storage model.
+func (f *Field) Extract(m redist.Move, dst []float64) {
+	i := f.LocalTileOf(m.FromCoord)
+	f.tiles[i].ExtractInto(f.localRect(i, m.Rect), dst)
+}
+
+// Inject unpacks src into the move's region (a halo shell of the receiving
+// tile, which the padded local grid covers).
+func (f *Field) Inject(m redist.Move, src []float64) {
+	i := f.LocalTileOf(m.ToCoord)
+	f.tiles[i].InjectFrom(f.localRect(i, m.Rect), src)
 }
 
 // ExchangeHalos fills the field's halo shells with real face data from the
 // neighboring processors: one aggregated payload message per direction per
 // dimension (the neighbor property gives a single peer each way), via the
-// sim.Exchange neighbor primitive under the dmem/halo tag space. The face
-// geometry comes from a lazily built per-field plan, and payloads cycle
-// through the machine's buffer pool, so steady-state exchanges allocate
-// nothing.
+// sim.Exchange neighbor primitive under the dmem/halo tag space. The
+// schedule is compiled once per field by redist.CompileHalo and executed
+// with the Field itself as the storage binding — the historical hand-built
+// pack/exchange/unpack loop, replayed bit for bit as a special case of the
+// generalized redistribution engine. Payloads cycle through the machine's
+// buffer pool, so steady-state exchanges allocate nothing.
 func (f *Field) ExchangeHalos(r *sim.Rank) {
 	if f.Depth == 0 || f.Env.M.P() == 1 {
 		return
 	}
-	env := f.Env
-	gamma := env.M.Gamma()
-	for dim := range env.Eta {
-		if gamma[dim] == 1 {
-			continue
+	if f.haloPlan == nil {
+		pl, err := redist.CompileHalo(redist.HaloSpec{
+			M: f.Env.M, Eta: f.Env.Eta, Depth: f.Depth, Tags: strictHaloTags,
+		})
+		if err != nil {
+			panic("dmem: " + err.Error())
 		}
-		for s, step := range []int{1, -1} {
-			p := f.haloDir(dim, s, step)
-			payload := r.GetPayload(p.sendTotal)
-			pos := 0
-			for _, fc := range p.send {
-				f.tiles[fc.tile].ExtractInto(fc.rect, payload[pos:pos+fc.size])
-				pos += fc.size
-			}
-			msg := r.Exchange(p.dst, p.src, strictHaloTags.Tag(dim*2+s),
-				sim.Msg{Payload: payload}, env.Overhead.PerMessage)
-			pos = 0
-			for _, fc := range p.recv {
-				f.tiles[fc.tile].InjectFrom(fc.rect, msg.Payload[pos:pos+fc.size])
-				pos += fc.size
-			}
-			if pos != len(msg.Payload) {
-				panic(fmt.Sprintf("dmem: halo exchange misaligned: consumed %d of %d values (dim %d step %+d)",
-					pos, len(msg.Payload), dim, step))
-			}
-			r.PutPayload(msg.Payload)
-		}
+		f.haloPlan = pl
 	}
+	redist.Execute(r, f.haloPlan, redist.ExecOpts{
+		PerMessage: f.Env.Overhead.PerMessage, Bind: f,
+	})
 }
 
 // GatherToRoot reconstructs the global array on rank 0 from every rank's

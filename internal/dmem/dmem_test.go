@@ -10,6 +10,7 @@ import (
 	"genmp/internal/dist"
 	"genmp/internal/grid"
 	"genmp/internal/nas"
+	"genmp/internal/numutil"
 	"genmp/internal/sim"
 	"genmp/internal/sweep"
 )
@@ -94,6 +95,24 @@ func TestFillFuncUsesGlobalCoordinates(t *testing.T) {
 	}
 }
 
+// haloShellRect returns tile i's halo shell of width w beyond the given
+// side of dim, in padded local coordinates — the geometry the hand-built
+// halo planner used before redist.CompileHalo took over, kept here as the
+// independent oracle the exchange is checked against.
+func haloShellRect(f *Field, i, dim, side, w int) grid.Rect {
+	interior := f.InteriorRect(i)
+	lo := numutil.CopyInts(interior.Lo)
+	hi := numutil.CopyInts(interior.Hi)
+	if side > 0 {
+		lo[dim] = hi[dim]
+		hi[dim] = lo[dim] + w
+	} else {
+		hi[dim] = lo[dim]
+		lo[dim] = hi[dim] - w
+	}
+	return grid.RectOf(lo, hi)
+}
+
 func TestHaloExchangeDeliversNeighborFaces(t *testing.T) {
 	env := mustEnv(t, 4, []int{4, 4, 1}, []int{8, 8, 4})
 	_, err := testMachine(4).Run(func(r *sim.Rank) {
@@ -117,7 +136,7 @@ func TestHaloExchangeDeliversNeighborFaces(t *testing.T) {
 					if side > 0 && b.Hi[dim] == env.Eta[dim] {
 						continue
 					}
-					rect := f.haloFaceRect(i, dim, side, 2, false)
+					rect := haloShellRect(f, i, dim, side, 2)
 					g.EachLine(rect, d-1, func(l grid.Line) {
 						f.localToGlobal(i, l.Base, global)
 						off := l.Base

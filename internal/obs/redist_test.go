@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"genmp/internal/obs/metrics"
+	"genmp/internal/redist"
+	"genmp/internal/sim"
+)
+
+func compileTestRedist(t *testing.T) *redist.Plan {
+	t.Helper()
+	from, err := redist.NewBlockLayout(4, []int{12, 10}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	to, err := redist.NewBlockLayout(4, []int{12, 10}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := redist.Compile(redist.Spec{From: from, To: to})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestWriteRedistJSONRoundTrip(t *testing.T) {
+	pl := compileTestRedist(t)
+	path := filepath.Join(t.TempDir(), "redist.json")
+	if err := WriteRedistJSON(path, "test source", pl); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := ReadRedistJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Source != "test source" || rf.Plan.P != 4 || rf.Plan.Kind != string(redist.KindMove) {
+		t.Errorf("round trip lost header: %+v", rf.Plan)
+	}
+	if rf.Plan.WireBytes != pl.WireBytes() || rf.Plan.WireMsgs != pl.WireMessages() || rf.Plan.Total != pl.TotalBytes() {
+		t.Errorf("derived totals drifted: %+v", rf.Plan)
+	}
+	if len(rf.Plan.Steps) != len(pl.Steps) || len(rf.Plan.Steps[0].Ranks) != 4 {
+		t.Fatalf("schedule shape lost: %d steps, %d ranks", len(rf.Plan.Steps), len(rf.Plan.Steps[0].Ranks))
+	}
+	// Totals across the dumped moves must re-derive the envelope's numbers —
+	// the dump is the schedule, not a summary.
+	wire := 0
+	for _, st := range rf.Plan.Steps {
+		for _, rk := range st.Ranks {
+			for _, m := range rk.Sends {
+				wire += m.Bytes
+			}
+		}
+	}
+	if wire != rf.Plan.WireBytes {
+		t.Errorf("dumped sends sum to %d bytes, envelope says %d", wire, rf.Plan.WireBytes)
+	}
+}
+
+// TestWriteRedistJSONDeterministic: recompiling and re-dumping the same
+// configuration yields a byte-identical file — the property the CI perf
+// gate's zero-tolerance diff rests on.
+func TestWriteRedistJSONDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	if err := WriteRedistJSON(a, "src", compileTestRedist(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRedistJSON(b, "src", compileTestRedist(t)); err != nil {
+		t.Fatal(err)
+	}
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if !bytes.Equal(da, db) {
+		t.Fatal("two dumps of the same configuration differ")
+	}
+}
+
+func TestReadRedistJSONRejects(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(path, []byte(`{"schema":1,"kind":"plan","plan":{}}`), 0o644)
+	if _, err := ReadRedistJSON(path); err == nil || !strings.Contains(err.Error(), "not a redist file") {
+		t.Fatalf("wrong-kind file accepted: %v", err)
+	}
+	os.WriteFile(path, []byte(`{"schema":99,"kind":"redist","plan":{}}`), 0o644)
+	if _, err := ReadRedistJSON(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong-schema file accepted: %v", err)
+	}
+}
+
+// TestAuditRedistBytes: executing a plan on the machine lands exactly the
+// scheduled bytes and messages in the metrics registry — zero delta rows.
+func TestAuditRedistBytes(t *testing.T) {
+	reg := metrics.New()
+	redist.EnableMetrics(reg)
+	defer redist.EnableMetrics(nil)
+
+	pl := compileTestRedist(t)
+	mach := sim.NewMachine(4, sim.Network{Latency: 10e-6, Bandwidth: 100e6}, sim.CPU{FlopsPerSec: 250e6})
+	const execs = 3
+	if _, err := mach.Run(func(r *sim.Rank) {
+		for i := 0; i < execs; i++ {
+			redist.Execute(r, pl, redist.ExecOpts{})
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	rows := AuditRedistBytes(pl, reg.Snapshot(), execs)
+	if len(rows) != 3 {
+		t.Fatalf("audit produced %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.Expected == 0 {
+			t.Errorf("%s: expected side is zero; bad fixture", r.Metric)
+		}
+		if r.Delta() != 0 {
+			t.Errorf("%s: plan %d vs observed %d (delta %d)", r.Metric, r.Expected, r.Observed, r.Delta())
+		}
+	}
+	table := FormatRedistAudit(rows)
+	if !strings.Contains(table, "wire bytes") || !strings.Contains(table, "messages") {
+		t.Errorf("audit table missing rows:\n%s", table)
+	}
+}

@@ -1,0 +1,286 @@
+package redist
+
+import (
+	"testing"
+
+	"genmp/internal/core"
+	"genmp/internal/grid"
+	"genmp/internal/obs/metrics"
+	"genmp/internal/sim"
+)
+
+func testMachine(p int) *sim.Machine {
+	return sim.NewMachine(p,
+		sim.Network{Latency: 10e-6, Bandwidth: 100e6, SendOverhead: 1e-6, RecvOverhead: 1e-6},
+		sim.CPU{FlopsPerSec: 250e6})
+}
+
+func mustBlock(t *testing.T, p int, eta []int, dim int) *BlockLayout {
+	t.Helper()
+	b, err := NewBlockLayout(p, eta, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func mustMulti(t *testing.T, p int, gamma, eta []int) *MultiLayout {
+	t.Helper()
+	m, err := core.NewGeneralized(p, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := NewMultiLayout(m, eta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ml
+}
+
+func mustCompile(t *testing.T, spec Spec) *Plan {
+	t.Helper()
+	pl, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatalf("compiled plan fails its own Validate: %v", err)
+	}
+	return pl
+}
+
+// globalBinding backs a rank's moves with whole-array grids: Extract reads
+// the move's global region from src, Inject writes it into dst. Target
+// regions are disjoint across ranks, so concurrent rank goroutines never
+// write the same element.
+type globalBinding struct {
+	src, dst *grid.Grid
+}
+
+func (b *globalBinding) Extract(m Move, dst []float64) { b.src.ExtractInto(m.Rect, dst) }
+func (b *globalBinding) Inject(m Move, src []float64)  { b.dst.InjectFrom(m.Rect, src) }
+
+// TestCompileBlockToBlock: the transpose special case — every byte of the
+// array moves exactly once, and the per-peer send sizes agree with the
+// closed-form slab intersection the legacy transpose computed.
+func TestCompileBlockToBlock(t *testing.T) {
+	eta := []int{12, 10, 8}
+	p := 4
+	pl := mustCompile(t, Spec{
+		From: mustBlock(t, p, eta, 0),
+		To:   mustBlock(t, p, eta, 1),
+	})
+	if len(pl.Steps) != 1 || pl.Steps[0].Op != OpAllToAll {
+		t.Fatalf("block→block plan has %d steps, want one OpAllToAll", len(pl.Steps))
+	}
+	want := eta[0] * eta[1] * eta[2] * 8
+	if got := pl.TotalBytes(); got != want {
+		t.Fatalf("TotalBytes = %d, want %d", got, want)
+	}
+	// Closed form: rank q sends its dim-0 slab cut by rank d's dim-1 slab.
+	ortho := eta[2]
+	for q := 0; q < p; q++ {
+		sizes := pl.SendSizes(q, 0, p)
+		qlo, qhi := core.BlockRange(eta[0], p, q)
+		for d := 0; d < p; d++ {
+			if d == q {
+				if sizes[d] != 0 {
+					t.Fatalf("rank %d self size = %d, want 0", q, sizes[d])
+				}
+				continue
+			}
+			dlo, dhi := core.BlockRange(eta[1], p, d)
+			if want := (qhi - qlo) * (dhi - dlo) * ortho * 8; sizes[d] != want {
+				t.Fatalf("rank %d → %d: %d bytes, want %d", q, d, sizes[d], want)
+			}
+		}
+	}
+}
+
+// TestCompileRejects: structural spec errors are reported, not compiled.
+func TestCompileRejects(t *testing.T) {
+	eta := []int{8, 8}
+	b0 := mustBlock(t, 4, eta, 0)
+	if _, err := Compile(Spec{From: b0}); err == nil {
+		t.Error("nil To accepted")
+	}
+	if _, err := Compile(Spec{From: b0, To: mustBlock(t, 4, []int{8, 8, 8}, 1)}); err == nil {
+		t.Error("rank mismatch accepted")
+	}
+	if _, err := Compile(Spec{From: b0, To: mustBlock(t, 4, []int{8, 10}, 1)}); err == nil {
+		t.Error("extent mismatch accepted")
+	}
+	if _, err := Compile(Spec{From: b0, To: mustBlock(t, 4, eta, 1), NGrids: -1}); err == nil {
+		t.Error("negative NGrids accepted")
+	}
+}
+
+// TestBlockMultiRoundTrip is the acceptance scenario: a BLOCK↔MULTI
+// round trip between different rank sets (12-rank block, 8-rank multi) on a
+// 12-rank machine, real data, a staging budget forcing the accountant to
+// chunk. The array must come back exactly, every rank's observed staging
+// peak must respect the plan's declared bound, and the metrics registry
+// must account for every wire byte.
+func TestBlockMultiRoundTrip(t *testing.T) {
+	eta := []int{24, 8, 8}
+	from := mustBlock(t, 12, eta, 0)
+	to := mustMulti(t, 8, []int{4, 4, 2}, eta)
+
+	const budget = 1024
+	fwd := mustCompile(t, Spec{From: from, To: to, MaxBytes: budget})
+	bwd := mustCompile(t, Spec{From: to, To: from, MaxBytes: budget})
+	if fwd.P != 12 || fwd.FromP != 12 || fwd.ToP != 8 {
+		t.Fatalf("world sizes %d/%d/%d, want 12/12/8", fwd.P, fwd.FromP, fwd.ToP)
+	}
+	if fwd.PeakBytes > budget {
+		t.Fatalf("declared peak %d exceeds budget %d", fwd.PeakBytes, budget)
+	}
+	if len(fwd.Steps) < 2 {
+		t.Fatalf("budget %d left the move in %d round(s), expected chunking", budget, len(fwd.Steps))
+	}
+
+	src := grid.New(eta...)
+	src.FillFunc(func(idx []int) float64 {
+		return float64(1 + idx[0] + 100*idx[1] + 10000*idx[2])
+	})
+	mid := grid.New(eta...)
+	back := grid.New(eta...)
+
+	stats := make([]ExecStats, 12)
+	_, err := testMachine(12).Run(func(r *sim.Rank) {
+		s1 := Execute(r, fwd, ExecOpts{Bind: &globalBinding{src: src, dst: mid}})
+		r.BeginPhase("back")
+		s2 := Execute(r, bwd, ExecOpts{Bind: &globalBinding{src: mid, dst: back}})
+		stats[r.ID] = ExecStats{
+			SentBytes:  s1.SentBytes + s2.SentBytes,
+			RecvdBytes: s1.RecvdBytes + s2.RecvdBytes,
+			LocalBytes: s1.LocalBytes + s2.LocalBytes,
+			Messages:   s1.Messages + s2.Messages,
+			PeakBytes:  maxInt(s1.PeakBytes, s2.PeakBytes),
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if d := grid.MaxAbsDiff(src, mid); d != 0 {
+		t.Fatalf("block→multi corrupted the array (max diff %g)", d)
+	}
+	if d := grid.MaxAbsDiff(src, back); d != 0 {
+		t.Fatalf("round trip corrupted the array (max diff %g)", d)
+	}
+	sent, local := 0, 0
+	for q, s := range stats {
+		sent += s.SentBytes
+		local += s.LocalBytes
+		if s.PeakBytes > maxInt(fwd.PeakBytes, bwd.PeakBytes) {
+			t.Fatalf("rank %d staged %d bytes, above both declared peaks", q, s.PeakBytes)
+		}
+	}
+	if want := fwd.WireBytes() + bwd.WireBytes(); sent != want {
+		t.Fatalf("ranks sent %d wire bytes, plans declare %d", sent, want)
+	}
+	if want := fwd.TotalBytes() + bwd.TotalBytes() - fwd.WireBytes() - bwd.WireBytes(); local != want {
+		t.Fatalf("ranks copied %d local bytes, plans declare %d", local, want)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func newTestRegistry(t *testing.T) *metrics.Registry {
+	t.Helper()
+	return metrics.New()
+}
+
+// counterValue reads one counter from a snapshot; labelKey == "" matches
+// the unlabeled instrument.
+func counterValue(t *testing.T, reg *metrics.Registry, name, labelKey, labelVal string) int64 {
+	t.Helper()
+	for _, pt := range reg.Snapshot().Points {
+		if pt.Name != name {
+			continue
+		}
+		if labelKey == "" && len(pt.Labels) == 0 {
+			return int64(pt.Value)
+		}
+		for _, l := range pt.Labels {
+			if l.Key == labelKey && l.Value == labelVal {
+				return int64(pt.Value)
+			}
+		}
+	}
+	t.Fatalf("counter %s{%s=%s} not found", name, labelKey, labelVal)
+	return 0
+}
+
+// TestExecuteMetrics: the registry counters account for exactly the bytes
+// and messages the plan declares.
+func TestExecuteMetrics(t *testing.T) {
+	eta := []int{16, 16}
+	pl := mustCompile(t, Spec{From: mustBlock(t, 4, eta, 0), To: mustBlock(t, 4, eta, 1)})
+
+	reg := newTestRegistry(t)
+	EnableMetrics(reg)
+	defer EnableMetrics(nil)
+
+	if _, err := testMachine(4).Run(func(r *sim.Rank) {
+		Execute(r, pl, ExecOpts{})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(t, reg, "redist_bytes_total", "path", "wire"); got != int64(pl.WireBytes()) {
+		t.Fatalf("redist_bytes_total{path=wire} = %d, want %d", got, pl.WireBytes())
+	}
+	if got := counterValue(t, reg, "redist_messages_total", "", ""); got != int64(pl.WireMessages()) {
+		t.Fatalf("redist_messages_total = %d, want %d", got, pl.WireMessages())
+	}
+	if got := counterValue(t, reg, "redist_executions_total", "", ""); got != 4 {
+		t.Fatalf("redist_executions_total = %d, want 4", got)
+	}
+}
+
+// TestFingerprintDeterministic: two identical compilations render the same
+// schedule; a different budget renders a different one.
+func TestFingerprintDeterministic(t *testing.T) {
+	spec := Spec{From: mustBlock(t, 4, []int{12, 12}, 0), To: mustBlock(t, 4, []int{12, 12}, 1)}
+	a := mustCompile(t, spec)
+	b := mustCompile(t, spec)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical specs compiled to different fingerprints")
+	}
+	spec.MaxBytes = 1024
+	c := mustCompile(t, spec)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("chunked plan shares the unchunked fingerprint")
+	}
+}
+
+// TestCompileHaloShape: steps come out in the legacy order (dimension
+// ascending over cut dimensions, +1 before −1), tags in the given space,
+// and per-direction bytes symmetric.
+func TestCompileHaloShape(t *testing.T) {
+	ml := mustMulti(t, 4, []int{4, 4, 1}, []int{12, 12, 12})
+	pl, err := CompileHalo(HaloSpec{M: ml.Multipartitioning(), Eta: ml.Eta(), Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatalf("halo plan fails Validate: %v", err)
+	}
+	if len(pl.Steps) != 4 {
+		t.Fatalf("%d steps, want 4 (dims 0 and 1, two directions)", len(pl.Steps))
+	}
+	wantDims := []int{0, 0, 1, 1}
+	wantDirs := []int{1, -1, 1, -1}
+	for i, st := range pl.Steps {
+		if st.Op != OpExchange || st.Dim != wantDims[i] || st.Dir != wantDirs[i] {
+			t.Fatalf("step %d = (%s, dim %d, dir %d), want (exchange, %d, %d)",
+				i, st.Op, st.Dim, st.Dir, wantDims[i], wantDirs[i])
+		}
+	}
+}

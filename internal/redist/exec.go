@@ -1,0 +1,176 @@
+package redist
+
+import (
+	"fmt"
+
+	"genmp/internal/numutil"
+	"genmp/internal/sim"
+)
+
+// Binding locates a Move's data in one rank's storage. Extract packs the
+// move's region into dst (len = Rect.Size() × NGrids, row-major, grids
+// outermost); Inject unpacks src into the region. A nil Binding runs the
+// plan model-only: full virtual-time accounting, no payloads.
+type Binding interface {
+	Extract(m Move, dst []float64)
+	Inject(m Move, src []float64)
+}
+
+// ExecOpts tunes one Execute call.
+type ExecOpts struct {
+	// Coll selects the collective algorithm for OpAllToAll steps (AlgAuto
+	// defers to the machine default and then to the legacy pairwise walk).
+	Coll sim.Alg
+	// PerMessage is the per-message CPU overhead bracketing every
+	// constituent send and receive, as the historical paths charged.
+	PerMessage float64
+	// Bind locates move data in the caller's storage; nil runs model-only.
+	Bind Binding
+}
+
+// ExecStats is one rank's accounting of one Execute call.
+type ExecStats struct {
+	// SentBytes / RecvdBytes are the modeled wire bytes this rank shipped
+	// and received; LocalBytes the bytes it copied without touching the
+	// wire.
+	SentBytes, RecvdBytes, LocalBytes int
+	// Messages is the number of aggregated payloads this rank sent (one per
+	// peer per OpAllToAll round, one per OpExchange step with traffic).
+	Messages int
+	// PeakBytes is the largest number of bytes this rank staged at once —
+	// always within Plan.PeakBytes, which Validate guarantees globally.
+	PeakBytes int
+}
+
+// Execute replays a compiled plan on one rank, lowering each step onto the
+// sim collective it names. Every rank of the machine must call Execute with
+// the same plan and options (OpAllToAll steps are machine-wide); ranks
+// outside the plan's world contribute zero-byte vectors. The schedule —
+// operation order, message sizes, tags, per-message overhead bracketing —
+// reproduces the historical hand-built paths bit for bit when the plan came
+// from their wrappers.
+func Execute(r *sim.Rank, pl *Plan, o ExecOpts) ExecStats {
+	q := r.ID
+	var st ExecStats
+	for si := range pl.Steps {
+		step := &pl.Steps[si]
+		switch step.Op {
+		case OpExchange:
+			execExchange(r, pl, step, q, o, &st)
+		default:
+			execAllToAll(r, pl, step, si, q, o, &st)
+		}
+	}
+	countExecute(st.SentBytes, st.LocalBytes, st.Messages)
+	return st
+}
+
+func execAllToAll(r *sim.Rank, pl *Plan, step *Step, si, q int, o ExecOpts, st *ExecStats) {
+	var sends, recvs, locals []Move
+	if q < pl.P {
+		sends, recvs, locals = step.Sends[q], step.Recvs[q], step.Locals[q]
+	}
+	// Local copies never touch the wire: one scratch buffer per move, so
+	// only the largest piece counts toward the staging peak.
+	for _, m := range locals {
+		st.LocalBytes += m.Bytes
+		st.PeakBytes = numutil.MaxInt(st.PeakBytes, m.Bytes)
+		if o.Bind != nil {
+			buf := r.GetPayload(m.Bytes / 8)
+			o.Bind.Extract(m, buf)
+			o.Bind.Inject(m, buf)
+			r.PutPayload(buf)
+		}
+	}
+	// The collective round. P == 1 plans have no wire traffic and skip it
+	// entirely — the legacy single-rank transpose emitted nothing.
+	if r.P() == 1 {
+		return
+	}
+	var sizes []int
+	if q < pl.P {
+		sizes = pl.SendSizes(q, si, r.P())
+	} else {
+		sizes = make([]int, r.P())
+	}
+	staged := 0
+	var data [][]float64
+	if o.Bind != nil {
+		data = make([][]float64, r.P())
+		pos := make([]int, r.P())
+		for _, m := range sends {
+			if data[m.To] == nil {
+				data[m.To] = r.GetPayload(sizes[m.To] / 8)
+			}
+			n := m.Bytes / 8
+			o.Bind.Extract(m, data[m.To][pos[m.To]:pos[m.To]+n])
+			pos[m.To] += n
+		}
+	}
+	for _, m := range sends {
+		st.SentBytes += m.Bytes
+		staged += m.Bytes
+	}
+	for _, m := range recvs {
+		st.RecvdBytes += m.Bytes
+		staged += m.Bytes
+	}
+	st.PeakBytes = numutil.MaxInt(st.PeakBytes, staged)
+	for _, n := range sizes {
+		if n > 0 {
+			st.Messages++
+		}
+	}
+	out := r.AllToAll(sizes, data, sim.CollOpts{Alg: o.Coll, PerMessage: o.PerMessage})
+	if o.Bind != nil {
+		pos := make([]int, pl.P)
+		for _, m := range recvs {
+			n := m.Bytes / 8
+			o.Bind.Inject(m, out[m.From][pos[m.From]:pos[m.From]+n])
+			pos[m.From] += n
+		}
+		for src, buf := range out {
+			if src != q && buf != nil {
+				if pos[src] != len(buf) {
+					panic(fmt.Sprintf("redist: rank %d consumed %d of %d words from rank %d", q, pos[src], len(buf), src))
+				}
+				r.PutPayload(buf)
+			}
+		}
+	}
+}
+
+func execExchange(r *sim.Rank, pl *Plan, step *Step, q int, o ExecOpts, st *ExecStats) {
+	if q >= pl.P {
+		return // exchanges are point-to-point among the plan's ranks
+	}
+	e := step.Exch[q]
+	st.SentBytes += e.SendBytes
+	st.RecvdBytes += e.RecvBytes
+	if e.SendBytes > 0 {
+		st.Messages++
+	}
+	st.PeakBytes = numutil.MaxInt(st.PeakBytes, e.SendBytes+e.RecvBytes)
+	if o.Bind == nil {
+		r.Exchange(e.Dst, e.Src, e.Tag, sim.Msg{Bytes: e.SendBytes}, o.PerMessage)
+		return
+	}
+	payload := r.GetPayload(e.SendBytes / 8)
+	pos := 0
+	for _, m := range step.Sends[q] {
+		n := m.Bytes / 8
+		o.Bind.Extract(m, payload[pos:pos+n])
+		pos += n
+	}
+	got := r.Exchange(e.Dst, e.Src, e.Tag, sim.Msg{Payload: payload}, o.PerMessage)
+	pos = 0
+	for _, m := range step.Recvs[q] {
+		n := m.Bytes / 8
+		o.Bind.Inject(m, got.Payload[pos:pos+n])
+		pos += n
+	}
+	if pos != len(got.Payload) {
+		panic(fmt.Sprintf("redist: rank %d consumed %d of %d words exchanging with rank %d", q, pos, len(got.Payload), e.Src))
+	}
+	r.PutPayload(got.Payload)
+}

@@ -1,0 +1,121 @@
+package redist
+
+import (
+	"fmt"
+
+	"genmp/internal/core"
+	"genmp/internal/grid"
+	"genmp/internal/numutil"
+)
+
+// Region is one contiguous piece of a layout: the global index region a
+// rank owns, with the owning tile's coordinate when the layout is tiled
+// (nil for slab layouts).
+type Region struct {
+	Coord []int
+	Rect  grid.Rect
+}
+
+// Layout describes one side of a redistribution: a set of ranks, each
+// owning a list of disjoint regions that together cover [0, Eta).
+type Layout interface {
+	// P is the number of ranks in this layout's world.
+	P() int
+	// Eta is the global array extents.
+	Eta() []int
+	// Name identifies the layout in dumps and error messages.
+	Name() string
+	// Regions returns rank q's owned regions in canonical order.
+	Regions(q int) []Region
+}
+
+// BlockLayout is the paper's BLOCK distribution: one dimension cut into P
+// contiguous slabs (core.BlockRange remainder spreading), one per rank.
+type BlockLayout struct {
+	p   int
+	eta []int
+	dim int
+}
+
+// NewBlockLayout builds a BLOCK layout along dim.
+func NewBlockLayout(p int, eta []int, dim int) (*BlockLayout, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("redist: BlockLayout: p = %d must be ≥ 1", p)
+	}
+	if dim < 0 || dim >= len(eta) {
+		return nil, fmt.Errorf("redist: BlockLayout: dim %d out of range for rank %d", dim, len(eta))
+	}
+	if eta[dim] < p {
+		return nil, fmt.Errorf("redist: BlockLayout: extent η[%d] = %d smaller than p = %d", dim, eta[dim], p)
+	}
+	return &BlockLayout{p: p, eta: numutil.CopyInts(eta), dim: dim}, nil
+}
+
+// P returns the number of slabs.
+func (b *BlockLayout) P() int { return b.p }
+
+// Eta returns the global extents.
+func (b *BlockLayout) Eta() []int { return numutil.CopyInts(b.eta) }
+
+// Dim returns the partitioned dimension.
+func (b *BlockLayout) Dim() int { return b.dim }
+
+// Name identifies the layout.
+func (b *BlockLayout) Name() string { return fmt.Sprintf("block(dim=%d,p=%d)", b.dim, b.p) }
+
+// Regions returns rank q's single slab.
+func (b *BlockLayout) Regions(q int) []Region {
+	lo := make([]int, len(b.eta))
+	hi := numutil.CopyInts(b.eta)
+	lo[b.dim], hi[b.dim] = core.BlockRange(b.eta[b.dim], b.p, q)
+	return []Region{{Rect: grid.RectOf(lo, hi)}}
+}
+
+// MultiLayout is the paper's MULTI distribution: a generalized
+// multipartitioning's tile grid, each rank owning its TilesOf set.
+type MultiLayout struct {
+	m   *core.Multipartitioning
+	eta []int
+}
+
+// NewMultiLayout builds a MULTI layout from a multipartitioning.
+func NewMultiLayout(m *core.Multipartitioning, eta []int) (*MultiLayout, error) {
+	if m == nil {
+		return nil, fmt.Errorf("redist: MultiLayout: nil multipartitioning")
+	}
+	if len(eta) != m.Dims() {
+		return nil, fmt.Errorf("redist: MultiLayout: array rank %d does not match partitioning rank %d", len(eta), m.Dims())
+	}
+	gamma := m.Gamma()
+	for i, e := range eta {
+		if e < gamma[i] {
+			return nil, fmt.Errorf("redist: MultiLayout: extent η[%d] = %d smaller than cut count γ[%d] = %d", i, e, i, gamma[i])
+		}
+	}
+	return &MultiLayout{m: m, eta: numutil.CopyInts(eta)}, nil
+}
+
+// P returns the partitioning's processor count.
+func (ml *MultiLayout) P() int { return ml.m.P() }
+
+// Eta returns the global extents.
+func (ml *MultiLayout) Eta() []int { return numutil.CopyInts(ml.eta) }
+
+// Name identifies the layout.
+func (ml *MultiLayout) Name() string {
+	return fmt.Sprintf("multi(%s,p=%d)", ml.m.Name(), ml.m.P())
+}
+
+// Multipartitioning returns the underlying partitioning.
+func (ml *MultiLayout) Multipartitioning() *core.Multipartitioning { return ml.m }
+
+// Regions returns rank q's tiles in canonical (row-major) order.
+func (ml *MultiLayout) Regions(q int) []Region {
+	tiles := ml.m.TilesOf(q)
+	out := make([]Region, len(tiles))
+	for i, tile := range tiles {
+		lo, hi := ml.m.TileBounds(ml.eta, tile)
+		out[i] = Region{Coord: numutil.CopyInts(tile), Rect: grid.RectOf(lo, hi)}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+// Live metrics bridge for the redistribution engine. EnableMetrics mirrors
+// compilation, validation and execution activity into an
+// obs/metrics.Registry; disabled (the default) every entry point pays one
+// atomic load and nothing else.
+package redist
+
+import (
+	"sync/atomic"
+
+	"genmp/internal/obs/metrics"
+)
+
+type redistMetrics struct {
+	reg            *metrics.Registry
+	compilesMove   *metrics.Counter
+	compilesHalo   *metrics.Counter
+	compileErrors  *metrics.Counter
+	validations    *metrics.Counter
+	validationFail *metrics.Counter
+	executions     *metrics.Counter
+	wireBytes      *metrics.Counter
+	localBytes     *metrics.Counter
+	messages       *metrics.Counter
+}
+
+var redistMetricsPtr atomic.Pointer[redistMetrics]
+
+// EnableMetrics mirrors redistribution-engine activity into reg (nil
+// disables).
+func EnableMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		redistMetricsPtr.Store(nil)
+		return
+	}
+	rm := &redistMetrics{
+		reg:            reg,
+		compilesMove:   reg.Counter("redist_compiles_total", "successful redistribution compilations, by schedule kind", metrics.L("kind", "move")),
+		compilesHalo:   reg.Counter("redist_compiles_total", "successful redistribution compilations, by schedule kind", metrics.L("kind", "halo")),
+		compileErrors:  reg.Counter("redist_compile_errors_total", "redistribution compilations rejected with an error"),
+		validations:    reg.Counter("redist_validations_total", "redist Plan.Validate calls"),
+		validationFail: reg.Counter("redist_validation_failures_total", "redist Plan.Validate calls that found a violation"),
+		executions:     reg.Counter("redist_executions_total", "per-rank Execute calls of a compiled redistribution plan"),
+		wireBytes:      reg.Counter("redist_bytes_total", "bytes moved executing redistribution plans, by path", metrics.L("path", "wire")),
+		localBytes:     reg.Counter("redist_bytes_total", "bytes moved executing redistribution plans, by path", metrics.L("path", "local")),
+		messages:       reg.Counter("redist_messages_total", "aggregated point-to-point payloads sent executing redistribution plans"),
+	}
+	redistMetricsPtr.Store(rm)
+}
+
+// countCompile records one Compile/CompileHalo outcome.
+func countCompile(kind Kind, err error) {
+	rm := redistMetricsPtr.Load()
+	if rm == nil {
+		return
+	}
+	if err != nil {
+		rm.compileErrors.Inc()
+		return
+	}
+	if kind == KindHalo {
+		rm.compilesHalo.Inc()
+	} else {
+		rm.compilesMove.Inc()
+	}
+}
+
+// countValidate records one Plan.Validate outcome.
+func countValidate(err error) {
+	rm := redistMetricsPtr.Load()
+	if rm == nil {
+		return
+	}
+	rm.validations.Inc()
+	if err != nil {
+		rm.validationFail.Inc()
+	}
+}
+
+// countExecute records one per-rank Execute: the bytes that rank put on
+// the wire, the bytes it copied locally, and the payloads it sent.
+func countExecute(wire, local, msgs int) {
+	rm := redistMetricsPtr.Load()
+	if rm == nil {
+		return
+	}
+	rm.executions.Inc()
+	rm.wireBytes.Add(int64(wire))
+	rm.localBytes.Add(int64(local))
+	rm.messages.Add(int64(msgs))
+}

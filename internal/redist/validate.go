@@ -1,0 +1,277 @@
+package redist
+
+import (
+	"fmt"
+
+	"genmp/internal/numutil"
+)
+
+// Validate checks the structural invariants the executor, the cost fold and
+// the byte audit rely on, failing with the first violated one:
+//
+//   - shape: a positive world, per-step move tables sized to it, every
+//     move's byte count agreeing with its region and NGrids, wire moves
+//     filed under their own sender and receiver, locals truly local;
+//   - rank membership: every move's source rank lives in the source
+//     distribution's world and its target rank in the target's — a rank in
+//     neither world cannot own the data it claims to ship;
+//   - byte symmetry: for every ordered rank pair the bytes sent must equal
+//     the bytes expected, and OpExchange descriptors must agree with their
+//     move tables;
+//   - tag discipline: every exchange tag falls inside the plan's
+//     reservation and no rank reuses a tag on the same channel (same peer,
+//     same transfer direction) — the plan-IR rule extended to
+//     redistribution phases;
+//   - conservation (KindMove): the moved volume is exactly the array —
+//     ∏η × 8 × NGrids bytes, locals included;
+//   - peak bound: no rank's staged bytes in any step exceed the declared
+//     PeakBytes, and PeakBytes respects MaxBytes when a budget was set.
+func (pl *Plan) Validate() (err error) {
+	defer func() { countValidate(err) }()
+	if err := pl.validateShape(); err != nil {
+		return err
+	}
+	if err := pl.validateRanks(); err != nil {
+		return err
+	}
+	if err := pl.validateSymmetry(); err != nil {
+		return err
+	}
+	if err := pl.validateTags(); err != nil {
+		return err
+	}
+	if err := pl.validateConservation(); err != nil {
+		return err
+	}
+	return pl.validatePeak()
+}
+
+func (pl *Plan) validateShape() error {
+	if pl.P < 1 || pl.FromP < 1 || pl.ToP < 1 {
+		return fmt.Errorf("redist: invalid world sizes p=%d from=%d to=%d", pl.P, pl.FromP, pl.ToP)
+	}
+	if pl.P != numutil.MaxInt(pl.FromP, pl.ToP) {
+		return fmt.Errorf("redist: world size %d is not max(from %d, to %d)", pl.P, pl.FromP, pl.ToP)
+	}
+	if pl.NGrids < 1 {
+		return fmt.Errorf("redist: NGrids = %d must be ≥ 1", pl.NGrids)
+	}
+	for si := range pl.Steps {
+		st := &pl.Steps[si]
+		if len(st.Sends) != pl.P || len(st.Recvs) != pl.P || len(st.Locals) != pl.P {
+			return fmt.Errorf("redist: step %d: move tables sized %d/%d/%d for %d ranks",
+				si, len(st.Sends), len(st.Recvs), len(st.Locals), pl.P)
+		}
+		if st.Op == OpExchange && len(st.Exch) != pl.P {
+			return fmt.Errorf("redist: step %d: %d exchange descriptors for %d ranks", si, len(st.Exch), pl.P)
+		}
+		for q := 0; q < pl.P; q++ {
+			for _, m := range st.Sends[q] {
+				if m.From != q {
+					return fmt.Errorf("redist: step %d: rank %d's send table holds a move from rank %d", si, q, m.From)
+				}
+				if m.To == q {
+					return fmt.Errorf("redist: step %d: rank %d files a self-move as a wire send", si, q)
+				}
+				if err := checkMoveBytes(si, m, pl.NGrids); err != nil {
+					return err
+				}
+			}
+			for _, m := range st.Recvs[q] {
+				if m.To != q {
+					return fmt.Errorf("redist: step %d: rank %d's recv table holds a move to rank %d", si, q, m.To)
+				}
+				if err := checkMoveBytes(si, m, pl.NGrids); err != nil {
+					return err
+				}
+			}
+			for _, m := range st.Locals[q] {
+				if m.From != q || m.To != q {
+					return fmt.Errorf("redist: step %d: rank %d's local table holds move %d→%d", si, q, m.From, m.To)
+				}
+				if err := checkMoveBytes(si, m, pl.NGrids); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkMoveBytes(step int, m Move, nGrids int) error {
+	for i := range m.Rect.Lo {
+		if m.Rect.Hi[i] <= m.Rect.Lo[i] {
+			return fmt.Errorf("redist: step %d: move %d→%d has empty region (lo %v, hi %v)", step, m.From, m.To, m.Rect.Lo, m.Rect.Hi)
+		}
+	}
+	if want := m.Rect.Size() * 8 * nGrids; m.Bytes != want {
+		return fmt.Errorf("redist: step %d: move %d→%d carries %d bytes, want %d (%d elements × %d grids × 8)",
+			step, m.From, m.To, m.Bytes, want, m.Rect.Size(), nGrids)
+	}
+	return nil
+}
+
+// validateRanks checks that every move's endpoints belong to the worlds
+// that own the data: sources in [0, FromP), targets in [0, ToP).
+func (pl *Plan) validateRanks() error {
+	for si := range pl.Steps {
+		st := &pl.Steps[si]
+		check := func(m Move) error {
+			if m.From < 0 || m.From >= pl.FromP {
+				return fmt.Errorf("redist: step %d: move sources from rank %d, which is not in either distribution (source world has %d ranks)",
+					si, m.From, pl.FromP)
+			}
+			if m.To < 0 || m.To >= pl.ToP {
+				return fmt.Errorf("redist: step %d: move targets rank %d, which is not in either distribution (target world has %d ranks)",
+					si, m.To, pl.ToP)
+			}
+			return nil
+		}
+		for q := 0; q < pl.P; q++ {
+			for _, tbl := range [][]Move{st.Sends[q], st.Recvs[q], st.Locals[q]} {
+				for _, m := range tbl {
+					if err := check(m); err != nil {
+						return err
+					}
+				}
+			}
+			if st.Op == OpExchange {
+				e := st.Exch[q]
+				if e.Dst < 0 || e.Dst >= pl.P || e.Src < 0 || e.Src >= pl.P {
+					return fmt.Errorf("redist: step %d: rank %d exchanges with (%d, %d), which is not in either distribution (world has %d ranks)",
+						si, q, e.Dst, e.Src, pl.P)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// validateSymmetry pairs every sender's traffic with its receiver's
+// expectation, per step and per ordered rank pair.
+func (pl *Plan) validateSymmetry() error {
+	for si := range pl.Steps {
+		st := &pl.Steps[si]
+		type pair struct{ from, to int }
+		sent := map[pair]int{}
+		expect := map[pair]int{}
+		for q := 0; q < pl.P; q++ {
+			for _, m := range st.Sends[q] {
+				sent[pair{m.From, m.To}] += m.Bytes
+			}
+			for _, m := range st.Recvs[q] {
+				expect[pair{m.From, m.To}] += m.Bytes
+			}
+		}
+		for pr, b := range sent {
+			if expect[pr] != b {
+				return fmt.Errorf("redist: step %d: rank %d sends %d bytes to rank %d, which expects %d — byte-count symmetry violated",
+					si, pr.from, b, pr.to, expect[pr])
+			}
+		}
+		for pr, b := range expect {
+			if _, ok := sent[pr]; !ok {
+				return fmt.Errorf("redist: step %d: rank %d expects %d bytes from rank %d, which sends none — byte-count symmetry violated",
+					si, pr.to, b, pr.from)
+			}
+		}
+		if st.Op == OpExchange {
+			for q := 0; q < pl.P; q++ {
+				e := st.Exch[q]
+				if got := sent[pair{q, e.Dst}]; e.SendBytes != got {
+					return fmt.Errorf("redist: step %d: rank %d's exchange descriptor declares %d send bytes but its moves carry %d",
+						si, q, e.SendBytes, got)
+				}
+				if got := expect[pair{e.Src, q}]; e.RecvBytes != got {
+					return fmt.Errorf("redist: step %d: rank %d's exchange descriptor declares %d recv bytes but its moves expect %d",
+						si, q, e.RecvBytes, got)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// validateTags checks containment in the plan's reservation and per-channel
+// uniqueness across the whole schedule: one rank must never post two sends
+// to the same peer, or two receives from the same peer, under one tag.
+func (pl *Plan) validateTags() error {
+	type channel struct {
+		rank, peer, tag int
+		recv            bool
+	}
+	seen := map[channel]string{}
+	for si := range pl.Steps {
+		st := &pl.Steps[si]
+		if st.Op != OpExchange {
+			continue
+		}
+		for q := 0; q < pl.P; q++ {
+			e := st.Exch[q]
+			at := fmt.Sprintf("step %d rank %d", si, q)
+			if !pl.Tags.Contains(e.Tag) {
+				return fmt.Errorf("redist: %s: tag %d outside reservation %q [%d,+%d)",
+					at, e.Tag, pl.Tags.Name(), pl.Tags.Base(), pl.Tags.Size())
+			}
+			s := channel{rank: q, peer: e.Dst, tag: e.Tag}
+			if prev, dup := seen[s]; dup {
+				return fmt.Errorf("redist: %s: send tag %d to rank %d already used by %s — tag overlap", at, e.Tag, e.Dst, prev)
+			}
+			seen[s] = at
+			r := channel{rank: q, peer: e.Src, tag: e.Tag, recv: true}
+			if prev, dup := seen[r]; dup {
+				return fmt.Errorf("redist: %s: recv tag %d from rank %d already used by %s — tag overlap", at, e.Tag, e.Src, prev)
+			}
+			seen[r] = at
+		}
+	}
+	return nil
+}
+
+// validateConservation checks that a full redistribution moves the array
+// exactly once: wire and local bytes together equal ∏η × 8 × NGrids.
+func (pl *Plan) validateConservation() error {
+	if pl.Kind != KindMove {
+		return nil
+	}
+	want := 8 * pl.NGrids
+	for _, e := range pl.Eta {
+		want *= e
+	}
+	if got := pl.TotalBytes(); got != want {
+		return fmt.Errorf("redist: plan moves %d bytes but the array holds %d (%v × %d grids × 8) — volume not conserved",
+			got, want, pl.Eta, pl.NGrids)
+	}
+	return nil
+}
+
+// validatePeak recomputes the accountant's bound from the schedule and
+// checks the declaration: staged bytes (send + recv payloads of a step,
+// and every single local copy) never exceed PeakBytes, and PeakBytes never
+// exceeds the requested MaxBytes budget.
+func (pl *Plan) validatePeak() error {
+	for si := range pl.Steps {
+		st := &pl.Steps[si]
+		for q := 0; q < pl.P; q++ {
+			staged := 0
+			for _, m := range st.Sends[q] {
+				staged += m.Bytes
+			}
+			for _, m := range st.Recvs[q] {
+				staged += m.Bytes
+			}
+			if staged > pl.PeakBytes {
+				return fmt.Errorf("redist: step %d: rank %d stages %d bytes, above the declared peak %d", si, q, staged, pl.PeakBytes)
+			}
+			for _, m := range st.Locals[q] {
+				if m.Bytes > pl.PeakBytes {
+					return fmt.Errorf("redist: step %d: rank %d's local copy of %d bytes is above the declared peak %d", si, q, m.Bytes, pl.PeakBytes)
+				}
+			}
+		}
+	}
+	if pl.MaxBytes > 0 && pl.PeakBytes > pl.MaxBytes {
+		return fmt.Errorf("redist: declared peak %d exceeds the staging budget MaxBytes = %d", pl.PeakBytes, pl.MaxBytes)
+	}
+	return nil
+}

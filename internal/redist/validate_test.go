@@ -1,0 +1,173 @@
+package redist
+
+import (
+	"strings"
+	"testing"
+)
+
+// movePlan compiles a fresh valid KindMove plan for corruption.
+func movePlan(t *testing.T) *Plan {
+	t.Helper()
+	return mustCompile(t, Spec{
+		From: mustBlock(t, 4, []int{12, 10}, 0),
+		To:   mustBlock(t, 4, []int{12, 10}, 1),
+	})
+}
+
+// haloPlan compiles a fresh valid KindHalo plan for corruption.
+func haloPlan(t *testing.T) *Plan {
+	t.Helper()
+	ml := mustMulti(t, 4, []int{4, 4, 1}, []int{8, 8, 8})
+	pl, err := CompileHalo(HaloSpec{M: ml.Multipartitioning(), Eta: ml.Eta(), Depth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatalf("halo plan fails Validate before corruption: %v", err)
+	}
+	return pl
+}
+
+func wantValidateError(t *testing.T, pl *Plan, substr string) {
+	t.Helper()
+	err := pl.Validate()
+	if err == nil {
+		t.Fatalf("Validate accepted a plan that should fail with %q", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("Validate error %q does not mention %q", err, substr)
+	}
+}
+
+// One failing input per Validate check, mirroring the plan-IR tests.
+
+func TestValidateShapeBadMoveBytes(t *testing.T) {
+	pl := movePlan(t)
+	pl.Steps[0].Sends[0][0].Bytes++
+	wantValidateError(t, pl, "carries")
+}
+
+func TestValidateShapeMisfiledSelfMove(t *testing.T) {
+	pl := movePlan(t)
+	m := pl.Steps[0].Sends[1][0]
+	m.To = m.From
+	pl.Steps[0].Sends[1][0] = m
+	wantValidateError(t, pl, "self-move")
+}
+
+func TestValidateRankOutsideDistributions(t *testing.T) {
+	pl := movePlan(t)
+	// Point a receive at a rank that exists in neither world.
+	mv := pl.Steps[0].Recvs[2][0]
+	mv.From = pl.FromP + 3
+	pl.Steps[0].Recvs[2][0] = mv
+	pl.Steps[0].Recvs[2] = pl.Steps[0].Recvs[2][:1]
+	wantValidateError(t, pl, "not in either distribution")
+}
+
+func TestValidateAsymmetricBytes(t *testing.T) {
+	pl := movePlan(t)
+	// Drop one expected receive: the matching send now has no receiver.
+	for q := 0; q < pl.P; q++ {
+		if len(pl.Steps[0].Recvs[q]) > 0 {
+			pl.Steps[0].Recvs[q] = pl.Steps[0].Recvs[q][1:]
+			break
+		}
+	}
+	wantValidateError(t, pl, "byte-count symmetry violated")
+}
+
+func TestValidateExchangeDescriptorMismatch(t *testing.T) {
+	pl := haloPlan(t)
+	pl.Steps[0].Exch[0].SendBytes++
+	wantValidateError(t, pl, "declares")
+}
+
+func TestValidateTagOutsideReservation(t *testing.T) {
+	pl := haloPlan(t)
+	for q := range pl.Steps[0].Exch {
+		pl.Steps[0].Exch[q].Tag = pl.Tags.Base() + pl.Tags.Size() + 7
+	}
+	wantValidateError(t, pl, "outside reservation")
+}
+
+func TestValidateOverlappingTags(t *testing.T) {
+	ml := mustMulti(t, 2, []int{2, 2, 1}, []int{8, 8, 8})
+	pl, err := CompileHalo(HaloSpec{M: ml.Multipartitioning(), Eta: ml.Eta(), Depth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reuse step 0's tag in step 1: same rank, same peer (γ = 2 makes both
+	// directions meet the same neighbor), same direction — a collision the
+	// simulator could mis-match.
+	for q := range pl.Steps[1].Exch {
+		pl.Steps[1].Exch[q].Tag = pl.Steps[0].Exch[q].Tag
+	}
+	wantValidateError(t, pl, "tag overlap")
+}
+
+func TestValidateVolumeNotConserved(t *testing.T) {
+	pl := movePlan(t)
+	// Lose a local copy: wire symmetry still holds, volume does not.
+	for q := 0; q < pl.P; q++ {
+		if len(pl.Steps[0].Locals[q]) > 0 {
+			pl.Steps[0].Locals[q] = pl.Steps[0].Locals[q][:0]
+			break
+		}
+	}
+	wantValidateError(t, pl, "volume not conserved")
+}
+
+func TestValidatePeakUnderdeclared(t *testing.T) {
+	pl := movePlan(t)
+	pl.PeakBytes = 1
+	wantValidateError(t, pl, "above the declared peak")
+}
+
+func TestValidatePeakOverBudget(t *testing.T) {
+	pl := movePlan(t)
+	pl.MaxBytes = pl.PeakBytes - 1
+	wantValidateError(t, pl, "exceeds the staging budget")
+}
+
+// TestValidateMetrics: validation outcomes land in the registry.
+func TestValidateMetrics(t *testing.T) {
+	reg := newTestRegistry(t)
+	EnableMetrics(reg)
+	defer EnableMetrics(nil)
+
+	pl := mustCompile(t, Spec{
+		From: mustBlock(t, 2, []int{4, 4}, 0),
+		To:   mustBlock(t, 2, []int{4, 4}, 1),
+	})
+	pl.PeakBytes = 0
+	if err := pl.Validate(); err == nil {
+		t.Fatal("corrupted plan validated")
+	}
+	if got := counterValue(t, reg, "redist_validations_total", "", ""); got != 2 {
+		t.Fatalf("redist_validations_total = %d, want 2", got)
+	}
+	if got := counterValue(t, reg, "redist_validation_failures_total", "", ""); got != 1 {
+		t.Fatalf("redist_validation_failures_total = %d, want 1", got)
+	}
+	if got := counterValue(t, reg, "redist_compiles_total", "kind", "move"); got != 1 {
+		t.Fatalf("redist_compiles_total{kind=move} = %d, want 1", got)
+	}
+}
+
+// TestSplitMoveTooSmall: a budget below one element is a compile error, not
+// an infinite recursion.
+func TestSplitMoveTooSmall(t *testing.T) {
+	_, err := Compile(Spec{
+		From:     mustBlock(t, 2, []int{4, 4}, 0),
+		To:       mustBlock(t, 2, []int{4, 4}, 1),
+		NGrids:   2,
+		MaxBytes: 8, // half-budget 4 < one 16-byte element pair
+	})
+	if err == nil {
+		t.Fatal("impossible budget accepted")
+	}
+	if !strings.Contains(err.Error(), "cannot hold") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
