@@ -193,9 +193,9 @@ func runSelftest(tf obs.TraceFile, dag *causal.DAG, sched *causal.Schedule, trac
 	matcher := causal.NewMatcher()
 	for _, n := range dag.Nodes {
 		switch n.Ev.Kind.String() {
-		case "send":
+		case "send", "isend":
 			matcher.AddSend(causal.Channel{Src: n.Ev.Rank, Dst: n.Ev.Peer, Tag: n.Ev.Tag}, n.ID)
-		case "recv":
+		case "recv", "wait":
 			matcher.AddRecv(causal.Channel{Src: n.Ev.Peer, Dst: n.Ev.Rank, Tag: n.Ev.Tag}, n.ID)
 		}
 	}

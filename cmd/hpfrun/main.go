@@ -26,6 +26,7 @@ import (
 	"genmp/internal/obs/causal"
 	"genmp/internal/obs/live"
 	"genmp/internal/partition"
+	planpkg "genmp/internal/plan"
 	"genmp/internal/sim"
 )
 
@@ -53,6 +54,7 @@ func main() {
 	blame := flag.Bool("blame", false, "print makespan blame attribution from the causal engine")
 	jsonPath := flag.String("json", "", "write machine-readable results (BENCH_*.json schema)")
 	profilePath := flag.String("profile", "", "write the serialized per-phase profile (benchdiff input)")
+	overlap := flag.Bool("overlap", false, "execute with the plan-driven boundary-first overlap schedule (DESIGN.md §14); bench suites get a +overlap suffix")
 	topology := flag.String("topology", "", "interconnect topology: crossbar, bus, hypercube, hypercube+contention (default: the network's scaling regime)")
 	collName := flag.String("coll", "", "collective algorithm for transposes: auto, pairwise, ring, bruck")
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics (/metrics Prometheus text, /metrics.json) and net/http/pprof on this address, e.g. localhost:9090")
@@ -143,7 +145,8 @@ func main() {
 			log.Fatal(err)
 		}
 		res, err = adi.Run(pb, nil, adi.Config{
-			Machine: mach, Strategy: adi.Multipartition, Env: env, ModelOnly: true})
+			Machine: mach, Strategy: adi.Multipartition, Env: env, ModelOnly: true,
+			Overlap: planpkg.Overlap{Enabled: *overlap}})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -155,7 +158,8 @@ func main() {
 			log.Fatal(err)
 		}
 		res, err = adi.Run(pb, nil, adi.Config{
-			Machine: mach, Strategy: adi.BlockWavefront, Block: blk, Grain: 64, ModelOnly: true})
+			Machine: mach, Strategy: adi.BlockWavefront, Block: blk, Grain: 64, ModelOnly: true,
+			Overlap: planpkg.Overlap{Enabled: *overlap}})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -205,8 +209,12 @@ func main() {
 	if fileID == "" {
 		fileID = "(builtin)"
 	}
-	srcLine := fmt.Sprintf("hpfrun -f %s -steps %d%s (template %s, eta %s)",
-		fileID, *steps, fabricFlags(*topology, *collName), name, partition.Describe(eta))
+	overlapFlag := ""
+	if *overlap {
+		overlapFlag = " -overlap"
+	}
+	srcLine := fmt.Sprintf("hpfrun -f %s -steps %d%s%s (template %s, eta %s)",
+		fileID, *steps, fabricFlags(*topology, *collName), overlapFlag, name, partition.Describe(eta))
 	if *traceJSON != "" {
 		if err := obs.WriteTraceJSON(*traceJSON, srcLine+" -tracejson", mach.Trace, plan.P, res.Makespan); err != nil {
 			log.Fatal(err)
@@ -216,6 +224,9 @@ func main() {
 	suiteSuffix := ""
 	if *topology != "" && *topology != "default" {
 		suiteSuffix = "@" + *topology
+	}
+	if *overlap {
+		suiteSuffix += "+overlap"
 	}
 	if *profilePath != "" {
 		if err := obs.WriteProfileJSON(*profilePath, srcLine+" -profile", obs.NewProfile(res, mach.Trace)); err != nil {

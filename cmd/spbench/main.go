@@ -30,6 +30,7 @@ import (
 	"genmp/internal/obs/live"
 	"genmp/internal/obs/metrics"
 	"genmp/internal/partition"
+	"genmp/internal/plan"
 	"genmp/internal/redist"
 	"genmp/internal/sim"
 )
@@ -54,6 +55,8 @@ func main() {
 	topology := flag.String("topology", "", "interconnect topology: crossbar, bus, hypercube, hypercube+contention (default: the network's scaling regime)")
 	collName := flag.String("coll", "", "collective algorithm: auto, pairwise, ring, doubling, bruck (applies to the -p instrumented run)")
 	dataMode := flag.Bool("data", false, "with -p: run in data mode (real arrays advanced in place) instead of model-only, exercising the payload pool and sweep arenas")
+	overlap := flag.Bool("overlap", false, "with -p: compile the plan with the boundary-first overlap schedule (DESIGN.md §14); bench suites get a +overlap suffix")
+	overlapCmp := flag.Bool("overlapcmp", false, "run the overlap experiment (SP p=16, 32³): overlap off vs on per fabric, measured recovery next to the causal what-if prediction; fails if the default fabric exceeds the predicted bound")
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics (/metrics Prometheus text, /metrics.json) and net/http/pprof on this address, e.g. localhost:9090")
 	flightDepth := flag.Int("flightrec", 0, "per-rank flight-recorder ring depth: a deadlock dumps each rank's last N events (0 = off)")
 	pprofLabels := flag.Bool("pprof-labels", false, "tag rank goroutines with rank/phase pprof labels (costs allocations; pair with /debug/pprof/profile)")
@@ -99,12 +102,25 @@ func main() {
 		exp.Table1Procs = ps
 	}
 
+	if *overlapCmp {
+		if err := runOverlapCmp(*steps, *jsonPath); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	if *pFlag > 0 {
-		src := sourceLine(class, *steps, *procs, fabricFlags(*topology, *collName)+fmt.Sprintf(" -p %d", *pFlag))
+		extra := fabricFlags(*topology, *collName) + fmt.Sprintf(" -p %d", *pFlag)
+		singleSuffix := suiteSuffix
+		if *overlap {
+			extra += " -overlap"
+			singleSuffix += "+overlap"
+		}
+		src := sourceLine(class, *steps, *procs, extra)
 		opts := singleOpts{
 			class: class, steps: *steps, p: *pFlag, topology: *topology, coll: coll,
-			suiteSuffix: suiteSuffix, tracePath: *tracePath, traceJSONPath: *traceJSON,
-			metrics: *metrics, blame: *blame, dataMode: *dataMode,
+			suiteSuffix: singleSuffix, tracePath: *tracePath, traceJSONPath: *traceJSON,
+			metrics: *metrics, blame: *blame, dataMode: *dataMode, overlap: *overlap,
 			jsonPath: *jsonPath, profilePath: *profilePath, planPath: *planPath,
 			redistPlanPath: *redistPlanPath, src: src,
 		}
@@ -207,6 +223,7 @@ type singleOpts struct {
 	metrics        bool
 	blame          bool
 	dataMode       bool
+	overlap        bool
 	jsonPath       string
 	profilePath    string
 	planPath       string
@@ -255,7 +272,7 @@ func runSingle(o singleOpts) error {
 	}
 	// One compiled plan drives the run and the dump/audit: what the dump
 	// shows is exactly the schedule the executor ran.
-	pl, err := nas.CompilePlan(env)
+	pl, err := nas.CompilePlanOverlap(env, plan.Overlap{Enabled: o.overlap})
 	if err != nil {
 		return err
 	}
@@ -421,6 +438,45 @@ func writeTable1JSON(path string, class nas.Class, steps int, rows []exp.Table1R
 		}
 	}
 	return obs.WriteBenchJSON(path, bf)
+}
+
+// runOverlapCmp is the -overlapcmp mode: the comm/compute overlap
+// experiment (exp.OverlapComparisonOn) on the default crossbar, the bus,
+// and the contended hypercube. Each fabric's report prints the measured
+// solve-phase recovery next to the causal `critpath -whatif` prediction;
+// the default fabric is the CI gate — its replay models exactly what the
+// schedule changes, so measured recovery beyond the predicted bound means
+// the overlap executor or the causal engine drifted. Contended fabrics are
+// reported but not gated: link contention is invisible to the replay, so
+// overlap may legitimately beat the bound there.
+func runOverlapCmp(steps int, jsonPath string) error {
+	const p = 16
+	eta := []int{32, 32, 32}
+	bf := obs.BenchFile{Source: fmt.Sprintf("spbench -overlapcmp -steps %d -json (eta %s)", steps, partition.Describe(eta))}
+	var gateErr error
+	for _, topo := range []string{"", "bus", "hypercube+contention"} {
+		r, err := exp.OverlapComparisonOn(topo, p, eta, steps, 0)
+		if err != nil {
+			return err
+		}
+		name := topo
+		if name == "" {
+			name = "crossbar (default)"
+		}
+		fmt.Printf("— fabric %s —\n%s\n", name, exp.FormatOverlapComparison(r))
+		if topo == "" && !r.WithinPredictedBound() {
+			gateErr = fmt.Errorf("default fabric: measured recovery %.6gs exceeds the causal what-if bound %.6gs",
+				r.MeasuredRecovery(), r.PredictedRecovery())
+		}
+		bf.Records = append(bf.Records, exp.OverlapRecords(topo, r)...)
+	}
+	if jsonPath != "" {
+		if err := obs.WriteBenchJSON(jsonPath, bf); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return gateErr
 }
 
 // writeCalibrationJSON emits the audit rows in the BENCH_*.json schema.

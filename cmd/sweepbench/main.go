@@ -31,6 +31,7 @@ import (
 	"genmp/internal/obs/causal"
 	"genmp/internal/obs/live"
 	"genmp/internal/partition"
+	"genmp/internal/plan"
 	"genmp/internal/sim"
 	"genmp/internal/sweep"
 )
@@ -53,6 +54,7 @@ func main() {
 	planPath := flag.String("plan", "", "write the compiled SweepPlan of one multipartitioned sweep and print the plan-vs-observed traffic audit")
 	topology := flag.String("topology", "", "interconnect topology: crossbar, bus, hypercube, hypercube+contention (default: the network's scaling regime); comma-separated list compares them")
 	collName := flag.String("coll", "", "collective algorithm for transposes: auto, pairwise, ring, bruck")
+	overlap := flag.Bool("overlap", false, "run sweeps with the plan-driven boundary-first overlap schedule (DESIGN.md §14); bench suites get a +overlap suffix")
 	redistCmp := flag.Bool("redist", false, "run the redistribution-policy comparison (BLOCK↔MULTI switch each timestep vs dynamic-block transposes vs staying put)")
 	redistBudget := flag.Int("redistbudget", 0, "per-rank staging budget in bytes for the -redist switch plans (0 = unbounded)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics (/metrics Prometheus text, /metrics.json) and net/http/pprof on this address, e.g. localhost:9090")
@@ -103,28 +105,35 @@ func main() {
 		return
 	}
 
+	ov := plan.Overlap{Enabled: *overlap}
+
 	if strings.Contains(*topology, ",") {
 		topos := strings.Split(*topology, ",")
 		for i := range topos {
 			topos[i] = strings.TrimSpace(topos[i])
 		}
-		fmt.Printf("ADI strategy comparison across topologies: p=%d, η=%v, %d step(s)\n\n", *p, eta, *steps)
-		rows, err := exp.TopologyComparison(topos, coll, *p, eta, *steps, *grain)
-		if err != nil {
-			log.Fatal(err)
+		fmt.Printf("ADI strategy comparison across topologies: p=%d, η=%v, %d step(s)%s\n\n",
+			*p, eta, *steps, overlapNote(*overlap))
+		var rows []exp.TopologyRow
+		for _, topo := range topos {
+			rs, err := exp.StrategyComparisonOverlap(topo, coll, *p, eta, *steps, *grain, ov)
+			if err != nil {
+				log.Fatalf("topology %q: %v", topo, err)
+			}
+			rows = append(rows, exp.TopologyRow{Topology: topo, Rows: rs})
 		}
 		fmt.Print(exp.FormatTopologyComparison(rows))
 		if *jsonPath != "" {
 			var recs []obs.BenchRecord
 			for _, topo := range topos {
-				rs, err := exp.StrategyBenchRecordsOn(topo, coll, *p, eta, *steps, *grain)
+				rs, err := exp.StrategyBenchRecordsOverlap(topo, coll, *p, eta, *steps, *grain, ov)
 				if err != nil {
 					log.Fatal(err)
 				}
 				recs = append(recs, rs...)
 			}
-			src := fmt.Sprintf("sweepbench -p %d -eta %s -steps %d -grain %d -topology %s -json (eta %s)",
-				*p, *etaStr, *steps, *grain, *topology, partition.Describe(eta))
+			src := fmt.Sprintf("sweepbench -p %d -eta %s -steps %d -grain %d -topology %s%s -json (eta %s)",
+				*p, *etaStr, *steps, *grain, *topology, overlapFlag(*overlap), partition.Describe(eta))
 			if err := obs.WriteBenchJSON(*jsonPath, obs.BenchFile{Source: src, Records: recs}); err != nil {
 				log.Fatal(err)
 			}
@@ -134,8 +143,8 @@ func main() {
 	}
 
 	if *timeline || *tracePath != "" || *traceJSON != "" || *metrics || *blame || *profilePath != "" || *planPath != "" {
-		src := fmt.Sprintf("sweepbench -p %d -eta %s%s -profile (eta %s)", *p, *etaStr, fabricFlags(*topology, *collName), partition.Describe(eta))
-		if err := instrumentedSweep(*p, eta, *topology, coll, *timeline, *tracePath, *traceJSON, *metrics, *blame, *profilePath, *planPath, src); err != nil {
+		src := fmt.Sprintf("sweepbench -p %d -eta %s%s%s -profile (eta %s)", *p, *etaStr, fabricFlags(*topology, *collName), overlapFlag(*overlap), partition.Describe(eta))
+		if err := instrumentedSweep(*p, eta, *topology, coll, ov, *timeline, *tracePath, *traceJSON, *metrics, *blame, *profilePath, *planPath, src); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -171,8 +180,8 @@ func main() {
 		return
 	}
 
-	fmt.Printf("ADI strategy comparison: p=%d, η=%v, %d step(s) (virtual Origin 2000)\n\n", *p, eta, *steps)
-	rows, err := exp.StrategyComparisonOn(*topology, coll, *p, eta, *steps, *grain)
+	fmt.Printf("ADI strategy comparison: p=%d, η=%v, %d step(s) (virtual Origin 2000)%s\n\n", *p, eta, *steps, overlapNote(*overlap))
+	rows, err := exp.StrategyComparisonOverlap(*topology, coll, *p, eta, *steps, *grain, ov)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -181,12 +190,12 @@ func main() {
 		fmt.Printf("%-34s  %12.3fms  %12d  %10d\n", r.Strategy, r.Time*1e3, r.Bytes, r.Messages)
 	}
 	if *jsonPath != "" {
-		recs, err := exp.StrategyBenchRecordsOn(*topology, coll, *p, eta, *steps, *grain)
+		recs, err := exp.StrategyBenchRecordsOverlap(*topology, coll, *p, eta, *steps, *grain, ov)
 		if err != nil {
 			log.Fatal(err)
 		}
-		src := fmt.Sprintf("sweepbench -p %d -eta %s -steps %d -grain %d%s -json (eta %s)",
-			*p, *etaStr, *steps, *grain, fabricFlags(*topology, *collName), partition.Describe(eta))
+		src := fmt.Sprintf("sweepbench -p %d -eta %s -steps %d -grain %d%s%s -json (eta %s)",
+			*p, *etaStr, *steps, *grain, fabricFlags(*topology, *collName), overlapFlag(*overlap), partition.Describe(eta))
 		if err := obs.WriteBenchJSON(*jsonPath, obs.BenchFile{Source: src, Records: recs}); err != nil {
 			log.Fatal(err)
 		}
@@ -209,12 +218,29 @@ func fabricFlags(topology, coll string) string {
 	return s
 }
 
+// overlapFlag renders the -overlap flag for a BENCH source line, empty when
+// off so legacy source lines stay byte-identical.
+func overlapFlag(on bool) string {
+	if on {
+		return " -overlap"
+	}
+	return ""
+}
+
+// overlapNote annotates table headers when the overlap schedule is active.
+func overlapNote(on bool) string {
+	if on {
+		return ", boundary-first overlap"
+	}
+	return ""
+}
+
 // instrumentedSweep runs one multipartitioned tridiagonal sweep with
 // tracing and renders whichever views were requested: the ASCII per-rank
 // timeline (the balance property appears as compute bars of equal length in
 // every phase on every rank), the per-phase profile (printed and/or
 // serialized for benchdiff), and a Perfetto trace.
-func instrumentedSweep(p int, eta []int, topology string, coll sim.Alg, timeline bool, tracePath, traceJSONPath string, metrics, blame bool, profilePath, planPath, src string) error {
+func instrumentedSweep(p int, eta []int, topology string, coll sim.Alg, ov plan.Overlap, timeline bool, tracePath, traceJSONPath string, metrics, blame bool, profilePath, planPath, src string) error {
 	obj := partition.MachineObjective(eta, 20e-6, 80e-9/float64(p))
 	m, err := core.NewOptimal(p, len(eta), obj)
 	if err != nil {
@@ -228,6 +254,7 @@ func instrumentedSweep(p int, eta []int, topology string, coll sim.Alg, timeline
 	if err != nil {
 		return err
 	}
+	ms.Overlap = ov
 	mach, err := nas.Origin2000MachineOn(topology, p)
 	if err != nil {
 		return err

@@ -22,6 +22,7 @@ import (
 
 	"genmp/internal/dist"
 	"genmp/internal/grid"
+	"genmp/internal/plan"
 	"genmp/internal/sim"
 	"genmp/internal/sweep"
 )
@@ -219,6 +220,12 @@ type Config struct {
 	// ModelOnly skips the real data movement: u is not advanced, only
 	// virtual time and communication volumes are produced.
 	ModelOnly bool
+	// Overlap compiles the sweep schedule with the boundary-first overlap
+	// annotation (plan.Overlap): split phases solve their boundary lines
+	// first and post the carry while the interior computes. Applies to
+	// Multipartition and BlockWavefront; the solution is bit-identical
+	// either way.
+	Overlap plan.Overlap
 }
 
 // Run advances u by pb.Steps distributed timesteps and returns the
@@ -253,6 +260,7 @@ func runMulti(pb Problem, u *grid.Grid, cfg Config) (sim.Result, error) {
 	if err != nil {
 		return sim.Result{}, err
 	}
+	ms.Overlap = cfg.Overlap
 	return cfg.Machine.Run(func(r *sim.Rank) {
 		for step := 0; step < pb.Steps; step++ {
 			for dim := range pb.Eta {
@@ -285,6 +293,9 @@ func tileCopier(dim int, u *grid.Grid, vecs []*grid.Grid, modelOnly bool) func(l
 
 func runBlock(pb Problem, u *grid.Grid, cfg Config) (sim.Result, error) {
 	b := cfg.Block
+	if cfg.Overlap.Enabled {
+		b.Overlap = cfg.Overlap
+	}
 	var vecs []*grid.Grid
 	if !cfg.ModelOnly {
 		vecs = []*grid.Grid{grid.New(pb.Eta...), grid.New(pb.Eta...), grid.New(pb.Eta...), grid.New(pb.Eta...)}

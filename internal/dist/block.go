@@ -31,6 +31,10 @@ type Block struct {
 	// sweep.DefaultBatchLines, negative forces the scalar per-line path
 	// (the bit-identical oracle, also used as the "before" ablation).
 	Batch int
+	// Overlap is folded into lazily compiled wavefront plans: enabled, each
+	// pipeline block solves its boundary lines first and posts the carry
+	// while the interior computes (DESIGN.md §14).
+	Overlap plan.Overlap
 	// scratchBuf holds one reusable arena per rank (indexed by rank ID, so
 	// concurrently running ranks never share); presized lazily by scratch,
 	// so literal-built Blocks are allocation-free in steady state too.
@@ -55,8 +59,9 @@ type tpKey struct {
 // wfKey identifies one compiled wavefront schedule: the carry lengths come
 // from the named solver, the phase structure from the grain.
 type wfKey struct {
-	solver string
-	grain  int
+	solver  string
+	grain   int
+	overlap bool
 }
 
 // rankScratch is the per-rank reusable state of a sweep executor: the SoA
@@ -112,14 +117,14 @@ func (b *Block) WorkspaceStats() sweep.WorkspaceStats {
 // wavefrontPlan returns the compiled pipeline schedule for (solver, grain),
 // compiling it on first use. All ranks execute the one shared instance.
 func (b *Block) wavefrontPlan(solver sweep.Solver, grainLines int) *plan.SweepPlan {
-	key := wfKey{solver: solver.Name(), grain: grainLines}
+	key := wfKey{solver: solver.Name(), grain: grainLines, overlap: b.Overlap.Enabled}
 	b.wfMu.Lock()
 	defer b.wfMu.Unlock()
 	if pl, ok := b.wfPlans[key]; ok {
 		return pl
 	}
 	pl, err := plan.CompileWavefront(plan.WavefrontSpec{
-		P: b.P, Eta: b.Eta, Dim: b.Dim, Grain: grainLines, Solver: solver, Batch: b.Batch,
+		P: b.P, Eta: b.Eta, Dim: b.Dim, Grain: grainLines, Solver: solver, Batch: b.Batch, Overlap: b.Overlap,
 	})
 	if err != nil {
 		panic("dist: " + err.Error())
@@ -307,8 +312,18 @@ func (b *Block) wavefrontPass(r *sim.Rank, solver sweep.Solver, vecs []*grid.Gri
 		}
 	}
 
+	wc := &wfPassCtx{
+		sc: sc, solver: solver, bs: bs, batched: batched, backward: backward,
+		carryLen: carryLen, flopsPerElem: flopsPerElem, chunkLen: chunkLen,
+		nv: nv, chunk: chunk, touched: touched, written: written,
+	}
+	var preB, preI *sim.Request
 	for m := range pp.Phases {
 		ph := &pp.Phases[m]
+		if ph.Boundary > 0 {
+			preB, preI = b.wavefrontOverlapPhase(r, wc, vecs, pp, m, preB, preI)
+			continue
+		}
 		first := ph.Tiles[0].LineOff
 		count := ph.Lines
 

@@ -225,6 +225,27 @@ func (e *Env) ExchangeHalos(r *sim.Rank, depth, nGrids int) {
 	redist.Execute(r, e.haloPlan(depth, nGrids), redist.ExecOpts{PerMessage: e.Overhead.PerMessage})
 }
 
+// PostHaloRecvs posts the receives of the NEXT ExchangeHalosPiped call with
+// the same (depth, nGrids) as nonblocking requests — the cross-timestep
+// halo pipelining of the overlap schedule (DESIGN.md §14). Returns nil when
+// there is no halo traffic.
+func (e *Env) PostHaloRecvs(r *sim.Rank, depth, nGrids int) []*sim.Request {
+	if e.M.P() == 1 || depth == 0 {
+		return nil
+	}
+	return redist.PostRecvs(r, e.haloPlan(depth, nGrids))
+}
+
+// ExchangeHalosPiped is ExchangeHalos consuming requests preposted by an
+// earlier PostHaloRecvs; pre == nil falls back to the blocking exchange.
+// Virtual time is identical either way.
+func (e *Env) ExchangeHalosPiped(r *sim.Rank, depth, nGrids int, pre []*sim.Request) {
+	if e.M.P() == 1 || depth == 0 {
+		return
+	}
+	redist.Execute(r, e.haloPlan(depth, nGrids), redist.ExecOpts{PerMessage: e.Overhead.PerMessage, Preposted: pre})
+}
+
 // haloPlan returns the compiled halo schedule for (depth, nGrids),
 // compiling it on first use. All ranks execute the one shared instance.
 func (e *Env) haloPlan(depth, nGrids int) *redist.Plan {

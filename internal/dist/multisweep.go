@@ -33,9 +33,16 @@ type MultiSweep struct {
 	// sweep.DefaultBatchLines, negative forces the scalar per-line path
 	// (the bit-identical oracle / "before" ablation).
 	Batch int
+	// Overlap is folded into the lazily compiled plan's Spec (ignored when
+	// Plan is pre-set): enabled, phases solve boundary lines first and post
+	// the carry while the interior computes (DESIGN.md §14). The executor
+	// itself switches on Plan.Overlap, so overlap is a property of the
+	// compiled schedule, not of this struct. Overlap requires aggregated
+	// messaging; with Aggregate false the annotation is ignored.
+	Overlap plan.Overlap
 	// Plan is the compiled schedule the executor runs. Leave nil to have
-	// the first Run compile it from (Env, Solver, Batch); pre-set it to
-	// share one instance with other consumers (the cost fold, the obs
+	// the first Run compile it from (Env, Solver, Batch, Overlap); pre-set
+	// it to share one instance with other consumers (the cost fold, the obs
 	// dump) — it must have been compiled from the same configuration.
 	Plan *plan.SweepPlan
 	// scratchBuf holds one reusable arena per rank (indexed by rank ID, so
@@ -68,7 +75,7 @@ func NewMultiSweep(env *Env, solver sweep.Solver, vecs []*grid.Grid) (*MultiSwee
 func (s *MultiSweep) init() {
 	s.once.Do(func() {
 		if s.Plan == nil {
-			pl, err := plan.Compile(plan.Spec{M: s.Env.M, Eta: s.Env.Eta, Solver: s.Solver, Batch: s.Batch})
+			pl, err := plan.Compile(plan.Spec{M: s.Env.M, Eta: s.Env.Eta, Solver: s.Solver, Batch: s.Batch, Overlap: s.Overlap})
 			if err != nil {
 				panic("dist: " + err.Error())
 			}
@@ -136,9 +143,23 @@ func (s *MultiSweep) pass(r *sim.Rank, dim int, backward bool) {
 			views = sc.chunk.Views(nv)
 		}
 	}
+	pc := &msPassCtx{
+		sc: sc, dim: dim, backward: backward, carryLen: carryLen,
+		flopsPerElem: flopsPerElem, batch: batch, nv: nv, bs: bs,
+		batched: batched, touched: touched, written: written,
+		chunk: chunk, views: views,
+	}
 
+	// Overlap-annotated phases run the boundary-first schedule; preB/preI
+	// carry receive requests preposted for the next phase while the current
+	// one's interior solve hides the wire.
+	var preB, preI *sim.Request
 	for k := range pp.Phases {
 		ph := &pp.Phases[k]
+		if ph.Boundary > 0 && s.Aggregate {
+			preB, preI = s.overlapPhase(r, pc, pp, k, preB, preI)
+			continue
+		}
 		// Per-tile line counts are identical on the sending and receiving
 		// side of a phase boundary: tiles correspond by a one-slab shift,
 		// which preserves both order and cross-section (Plan.Validate checks

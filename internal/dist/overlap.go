@@ -1,0 +1,342 @@
+// Boundary-first overlapped phase execution for MultiSweep (DESIGN.md §14).
+// A phase annotated with a split (plan.Phase.Boundary > 0) runs as:
+//
+//	wait boundary carries → solve boundary lines → Isend boundary carry
+//	→ prepost next phase's receives → wait interior carries
+//	→ solve interior lines → Isend interior carry
+//
+// so the downstream rank starts its boundary solve after only the boundary
+// share of the compute, and each rank's interior solve executes while its
+// boundary carry is on the wire. Field data is bit-identical to the strict
+// schedule: the batched kernels guarantee bit-equality regardless of panel
+// grouping, and the boundary/interior regrouping never reorders lines.
+package dist
+
+import (
+	"genmp/internal/grid"
+	"genmp/internal/plan"
+	"genmp/internal/sim"
+	"genmp/internal/sweep"
+)
+
+// msPassCtx bundles one pass invocation's resolved locals so the strict
+// loop and the overlapped phase executor share them without re-deriving.
+type msPassCtx struct {
+	sc           *rankScratch
+	dim          int
+	backward     bool
+	carryLen     int
+	flopsPerElem float64
+	batch        int
+	nv           int
+	bs           sweep.BatchSolver
+	batched      bool
+	touched      []bool
+	written      []bool
+	chunk        [][]float64
+	views        [][]float64
+}
+
+// overlapPhase executes one split phase. preB/preI are this phase's receive
+// requests if the previous phase preposted them (nil to post here); the
+// return values are the next phase's preposted requests (nil when the next
+// phase is unsplit or absent).
+func (s *MultiSweep) overlapPhase(r *sim.Rank, pc *msPassCtx, pp *plan.Pass, k int, preB, preI *sim.Request) (nextB, nextI *sim.Request) {
+	env := s.Env
+	ph := &pp.Phases[k]
+	carryLen := pc.carryLen
+	bnd, inter := ph.InteriorBoundary()
+
+	var reqB, reqI *sim.Request
+	if ph.RecvFrom >= 0 && carryLen > 0 {
+		reqB, reqI = preB, preI
+		if reqB == nil {
+			reqB = r.Irecv(ph.RecvFrom, ph.RecvTag)
+			reqI = r.Irecv(ph.RecvFrom, ph.InteriorRecvTag)
+		}
+	}
+
+	var outB, outI []float64
+	if ph.SendTo >= 0 && carryLen > 0 && s.Vecs != nil {
+		outB = r.GetPayload(bnd * carryLen)
+		outI = r.GetPayload(inter * carryLen)
+	}
+
+	// Boundary: wait the boundary carries, solve the boundary lines, ship
+	// their carries immediately.
+	var inB []float64
+	if reqB != nil {
+		msg := reqB.Wait()
+		r.Compute(env.Overhead.PerMessage)
+		inB = msg.Payload
+	}
+	elems := s.solveLineRange(r, pc, ph, 0, bnd, inB, outB)
+	if inB != nil {
+		r.PutPayload(inB)
+	}
+	r.ComputeFlops(pc.flopsPerElem * float64(elems) * env.Overhead.ComputeFactor)
+	var sendB, sendI *sim.Request
+	if ph.SendTo >= 0 && carryLen > 0 {
+		r.Compute(env.Overhead.PerMessage)
+		sendB = r.Isend(ph.SendTo, ph.SendTag, sim.Msg{Bytes: bnd * carryLen * 8, Payload: outB})
+	}
+
+	// The boundary carry is on the wire. Prepost the next phase's receives
+	// (free in virtual time; the MPI discipline the real-parallel backend
+	// inherits), then solve the interior while the messages fly.
+	if k+1 < len(pp.Phases) {
+		if np := &pp.Phases[k+1]; np.Boundary > 0 && np.RecvFrom >= 0 && carryLen > 0 {
+			nextB = r.Irecv(np.RecvFrom, np.RecvTag)
+			nextI = r.Irecv(np.RecvFrom, np.InteriorRecvTag)
+		}
+	}
+
+	var inI []float64
+	if reqI != nil {
+		msg := reqI.Wait()
+		r.Compute(env.Overhead.PerMessage)
+		inI = msg.Payload
+	}
+	elems = s.solveLineRange(r, pc, ph, bnd, ph.Lines, inI, outI)
+	if inI != nil {
+		r.PutPayload(inI)
+	}
+	r.ComputeFlops(pc.flopsPerElem * float64(elems) * env.Overhead.ComputeFactor)
+	if ph.SendTo >= 0 && carryLen > 0 {
+		r.Compute(env.Overhead.PerMessage)
+		sendI = r.Isend(ph.SendTo, ph.InteriorSendTag, sim.Msg{Bytes: inter * carryLen * 8, Payload: outI})
+	}
+	if sendB != nil {
+		sendB.Wait()
+	}
+	if sendI != nil {
+		sendI.Wait()
+	}
+	return nextB, nextI
+}
+
+// wfPassCtx bundles one wavefront pass invocation's resolved locals for the
+// overlapped block executor.
+type wfPassCtx struct {
+	sc           *rankScratch
+	solver       sweep.Solver
+	bs           sweep.BatchSolver
+	batched      bool
+	backward     bool
+	carryLen     int
+	flopsPerElem float64
+	chunkLen     int
+	nv           int
+	chunk        [][]float64
+	touched      []bool
+	written      []bool
+}
+
+// wavefrontOverlapPhase executes one split pipeline block: wait the
+// boundary carries, solve the block's boundary lines, Isend their carries,
+// prepost the next block's receives, then solve the interior behind the
+// in-flight messages. preB/preI and the return values follow overlapPhase.
+func (b *Block) wavefrontOverlapPhase(r *sim.Rank, wc *wfPassCtx, vecs []*grid.Grid, pp *plan.Pass, m int, preB, preI *sim.Request) (nextB, nextI *sim.Request) {
+	ph := &pp.Phases[m]
+	carryLen := wc.carryLen
+	first := ph.Tiles[0].LineOff
+	bnd, inter := ph.InteriorBoundary()
+
+	var reqB, reqI *sim.Request
+	if ph.RecvFrom >= 0 && carryLen > 0 {
+		reqB, reqI = preB, preI
+		if reqB == nil {
+			reqB = r.Irecv(ph.RecvFrom, ph.RecvTag)
+			reqI = r.Irecv(ph.RecvFrom, ph.InteriorRecvTag)
+		}
+	}
+	var outB, outI []float64
+	if ph.SendTo >= 0 && carryLen > 0 && vecs != nil {
+		outB = r.GetPayload(bnd * carryLen)
+		outI = r.GetPayload(inter * carryLen)
+	}
+
+	solve := func(off, count int, cIn, cOut []float64) {
+		if vecs == nil || count == 0 {
+			return
+		}
+		blk := wc.sc.lines[first+off : first+off+count]
+		if wc.batched {
+			panels := wc.sc.pan.Panels(wc.nv, count*wc.chunkLen)
+			for v, g := range vecs {
+				if sweep.MaskOn(wc.touched, v) {
+					g.GatherLines(blk, panels[v])
+				}
+			}
+			if wc.backward {
+				wc.bs.BackwardBatch(panels, count, cIn, cOut)
+			} else {
+				wc.bs.ForwardBatch(panels, count, cIn, cOut)
+			}
+			for v, g := range vecs {
+				if sweep.MaskOn(wc.written, v) {
+					g.ScatterLines(blk, panels[v])
+				}
+			}
+			return
+		}
+		for i := 0; i < count; i++ {
+			l := blk[i]
+			for v, g := range vecs {
+				g.Gather(l, wc.chunk[v])
+			}
+			var lIn, lOut []float64
+			if cIn != nil {
+				lIn = cIn[i*carryLen : (i+1)*carryLen]
+			}
+			if cOut != nil {
+				lOut = cOut[i*carryLen : (i+1)*carryLen]
+			}
+			if wc.backward {
+				wc.solver.Backward(wc.chunk, lIn, lOut)
+			} else {
+				wc.solver.Forward(wc.chunk, lIn, lOut)
+			}
+			for v, g := range vecs {
+				g.Scatter(l, wc.chunk[v])
+			}
+		}
+	}
+
+	var inB []float64
+	if reqB != nil {
+		msg := reqB.Wait()
+		r.Compute(b.Overhead.PerMessage)
+		inB = msg.Payload
+	}
+	solve(0, bnd, inB, outB)
+	if inB != nil {
+		r.PutPayload(inB)
+	}
+	r.ComputeFlops(wc.flopsPerElem * float64(bnd*wc.chunkLen) * b.Overhead.ComputeFactor)
+	var sendB, sendI *sim.Request
+	if ph.SendTo >= 0 && carryLen > 0 {
+		r.Compute(b.Overhead.PerMessage)
+		sendB = r.Isend(ph.SendTo, ph.SendTag, sim.Msg{Bytes: bnd * carryLen * 8, Payload: outB})
+	}
+	if m+1 < len(pp.Phases) {
+		if np := &pp.Phases[m+1]; np.Boundary > 0 && np.RecvFrom >= 0 && carryLen > 0 {
+			nextB = r.Irecv(np.RecvFrom, np.RecvTag)
+			nextI = r.Irecv(np.RecvFrom, np.InteriorRecvTag)
+		}
+	}
+	var inI []float64
+	if reqI != nil {
+		msg := reqI.Wait()
+		r.Compute(b.Overhead.PerMessage)
+		inI = msg.Payload
+	}
+	solve(bnd, inter, inI, outI)
+	if inI != nil {
+		r.PutPayload(inI)
+	}
+	r.ComputeFlops(wc.flopsPerElem * float64(inter*wc.chunkLen) * b.Overhead.ComputeFactor)
+	if ph.SendTo >= 0 && carryLen > 0 {
+		r.Compute(b.Overhead.PerMessage)
+		sendI = r.Isend(ph.SendTo, ph.InteriorSendTag, sim.Msg{Bytes: inter * carryLen * 8, Payload: outI})
+	}
+	if sendB != nil {
+		sendB.Wait()
+	}
+	if sendI != nil {
+		sendI.Wait()
+	}
+	return nextB, nextI
+}
+
+// solveLineRange computes the phase's canonical lines in [gLo, gHi),
+// clipping each tile to the range. cInBuf/cOutBuf hold the range's carries,
+// indexed from gLo (line g's carry block starts at (g−gLo)·carryLen). Tiles
+// intersecting the range pay PerTileVisit per visit — a tile straddling the
+// split is visited twice. Returns the elements computed; the caller charges
+// the flops so boundary and interior compute appear as separate intervals.
+func (s *MultiSweep) solveLineRange(r *sim.Rank, pc *msPassCtx, ph *plan.Phase, gLo, gHi int, cInBuf, cOutBuf []float64) int {
+	env := s.Env
+	carryLen := pc.carryLen
+	elements := 0
+	for ti := range ph.Tiles {
+		tg := &ph.Tiles[ti]
+		lo := max(gLo, tg.LineOff)
+		hi := min(gHi, tg.LineOff+tg.Lines)
+		if lo >= hi {
+			continue
+		}
+		r.Compute(env.Overhead.PerTileVisit)
+		chunkLen := tg.ChunkLen
+		elements += (hi - lo) * chunkLen
+		if s.Vecs == nil {
+			continue
+		}
+		rect := tg.Rect
+		if pc.batched {
+			sc := pc.sc
+			sc.lines = s.Vecs[0].AppendLines(rect, pc.dim, sc.lines[:0])
+			tLo, tHi := lo-tg.LineOff, hi-tg.LineOff
+			for s0 := tLo; s0 < tHi; s0 += pc.batch {
+				nb := min(pc.batch, tHi-s0)
+				blk := sc.lines[s0 : s0+nb]
+				panels := sc.pan.Panels(pc.nv, nb*chunkLen)
+				for v, g := range s.Vecs {
+					if sweep.MaskOn(pc.touched, v) {
+						g.GatherLines(blk, panels[v])
+					}
+				}
+				var cIn, cOut []float64
+				c0 := tg.LineOff + s0 - gLo
+				if cInBuf != nil {
+					cIn = cInBuf[c0*carryLen : (c0+nb)*carryLen]
+				}
+				if cOutBuf != nil {
+					cOut = cOutBuf[c0*carryLen : (c0+nb)*carryLen]
+				}
+				if pc.backward {
+					pc.bs.BackwardBatch(panels, nb, cIn, cOut)
+				} else {
+					pc.bs.ForwardBatch(panels, nb, cIn, cOut)
+				}
+				for v, g := range s.Vecs {
+					if sweep.MaskOn(pc.written, v) {
+						g.ScatterLines(blk, panels[v])
+					}
+				}
+			}
+			continue
+		}
+		// Scalar oracle path: walk the tile's canonical line order, solving
+		// only the lines inside the range.
+		g := tg.LineOff
+		s.Vecs[0].EachLine(rect, pc.dim, func(l grid.Line) {
+			idx := g
+			g++
+			if idx < gLo || idx >= gHi {
+				return
+			}
+			for v, gr := range s.Vecs {
+				gr.Gather(l, pc.chunk[v][:chunkLen])
+				pc.views[v] = pc.chunk[v][:chunkLen]
+			}
+			var cIn, cOut []float64
+			c0 := idx - gLo
+			if cInBuf != nil {
+				cIn = cInBuf[c0*carryLen : (c0+1)*carryLen]
+			}
+			if cOutBuf != nil {
+				cOut = cOutBuf[c0*carryLen : (c0+1)*carryLen]
+			}
+			if pc.backward {
+				s.Solver.Backward(pc.views, cIn, cOut)
+			} else {
+				s.Solver.Forward(pc.views, cIn, cOut)
+			}
+			for v, gr := range s.Vecs {
+				gr.Scatter(l, pc.chunk[v][:chunkLen])
+			}
+		})
+	}
+	return elements
+}

@@ -4,6 +4,7 @@ import (
 	"genmp/internal/adi"
 	"genmp/internal/dist"
 	"genmp/internal/grid"
+	"genmp/internal/plan"
 	"genmp/internal/sim"
 	"genmp/internal/sweep"
 )
@@ -15,8 +16,15 @@ import (
 // the final gather. The returned grid (rank 0) matches
 // adi.Problem.SerialSolve elementwise.
 func RunADI(pb adi.Problem, env *dist.Env, mach *sim.Machine) (*grid.Grid, sim.Result, error) {
+	return RunADIOverlap(pb, env, mach, plan.Overlap{})
+}
+
+// RunADIOverlap is RunADI under the boundary-first overlap schedule (ADI
+// has no stencil halos, so the sweep carries are the only pipelined
+// traffic); the final field is bit-identical to RunADI.
+func RunADIOverlap(pb adi.Problem, env *dist.Env, mach *sim.Machine, o plan.Overlap) (*grid.Grid, sim.Result, error) {
 	solver := sweep.Tridiag{}
-	sweepPlan, err := CompileSweepPlan(env, solver)
+	sweepPlan, err := CompileSweepPlanOverlap(env, solver, o)
 	if err != nil {
 		return nil, sim.Result{}, err
 	}

@@ -6,6 +6,7 @@ import (
 	"genmp/internal/dist"
 	"genmp/internal/grid"
 	"genmp/internal/nas"
+	"genmp/internal/plan"
 	"genmp/internal/sim"
 	"genmp/internal/sweep"
 )
@@ -14,6 +15,13 @@ import (
 // solves) in strict distributed-memory mode. The returned grid (rank 0)
 // matches nas.BTSerialSolve elementwise.
 func RunBT(env *dist.Env, mach *sim.Machine, steps int) (*grid.Grid, sim.Result, error) {
+	return RunBTOverlap(env, mach, steps, plan.Overlap{})
+}
+
+// RunBTOverlap is RunBT under the boundary-first overlap schedule with
+// cross-timestep halo pipelining (see RunSPOverlap); the final field is
+// bit-identical to RunBT.
+func RunBTOverlap(env *dist.Env, mach *sim.Machine, steps int, o plan.Overlap) (*grid.Grid, sim.Result, error) {
 	const haloDepth = 2
 	gamma := env.M.Gamma()
 	for dim := range env.Eta {
@@ -24,7 +32,7 @@ func RunBT(env *dist.Env, mach *sim.Machine, steps int) (*grid.Grid, sim.Result,
 	const b = nas.BTBlockSize
 	bb := b * b
 	solver := sweep.NewBlockTridiag(b)
-	sweepPlan, err := CompileSweepPlan(env, solver)
+	sweepPlan, err := CompileSweepPlanOverlap(env, solver, o)
 	if err != nil {
 		return nil, sim.Result{}, err
 	}
@@ -41,8 +49,10 @@ func RunBT(env *dist.Env, mach *sim.Machine, steps int) (*grid.Grid, sim.Result,
 		runner := NewSweepRunner(solver, vecs)
 		runner.Plan = sweepPlan
 
+		var haloPre []*sim.Request
 		for step := 0; step < steps; step++ {
-			u.ExchangeHalos(r)
+			u.ExchangeHalosPiped(r, haloPre)
+			haloPre = nil
 			strictComputeRHS(u, rhs)
 			strictScatterBTRHS(rhs, fvecs)
 			r.ComputeFlops(nas.BTFlopsRHS * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
@@ -50,6 +60,9 @@ func RunBT(env *dist.Env, mach *sim.Machine, steps int) (*grid.Grid, sim.Result,
 				strictBuildBTLHS(dim, env.Eta[dim], vecs)
 				r.ComputeFlops(nas.BTFlopsLHSBuild * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
 				runner.Run(r, dim)
+			}
+			if o.Enabled && step+1 < steps {
+				haloPre = u.PostHaloRecvs(r)
 			}
 			strictAdd(u, fvecs[0])
 			r.ComputeFlops(nas.BTFlopsAdd * float64(ownedElements(u)) * env.Overhead.ComputeFactor)

@@ -201,17 +201,51 @@ func (f *Field) ExchangeHalos(r *sim.Rank) {
 	if f.Depth == 0 || f.Env.M.P() == 1 {
 		return
 	}
-	if f.haloPlan == nil {
-		pl, err := redist.CompileHalo(redist.HaloSpec{
-			M: f.Env.M, Eta: f.Env.Eta, Depth: f.Depth, Tags: strictHaloTags,
-		})
-		if err != nil {
-			panic("dmem: " + err.Error())
-		}
-		f.haloPlan = pl
-	}
+	f.ensureHaloPlan()
 	redist.Execute(r, f.haloPlan, redist.ExecOpts{
 		PerMessage: f.Env.Overhead.PerMessage, Bind: f,
+	})
+}
+
+// ensureHaloPlan lazily compiles the field's halo redistribution schedule.
+func (f *Field) ensureHaloPlan() {
+	if f.haloPlan != nil {
+		return
+	}
+	pl, err := redist.CompileHalo(redist.HaloSpec{
+		M: f.Env.M, Eta: f.Env.Eta, Depth: f.Depth, Tags: strictHaloTags,
+	})
+	if err != nil {
+		panic("dmem: " + err.Error())
+	}
+	f.haloPlan = pl
+}
+
+// PostHaloRecvs posts the receives of the NEXT ExchangeHalosPiped call as
+// nonblocking requests (halo pipelining across timesteps, DESIGN.md §14).
+// Call it once the current step's field updates are in flight — typically
+// right before the add phase — and hand the result to the next step's
+// ExchangeHalosPiped. Returns nil when the field has no halo traffic.
+func (f *Field) PostHaloRecvs(r *sim.Rank) []*sim.Request {
+	if f.Depth == 0 || f.Env.M.P() == 1 {
+		return nil
+	}
+	f.ensureHaloPlan()
+	return redist.PostRecvs(r, f.haloPlan)
+}
+
+// ExchangeHalosPiped is ExchangeHalos consuming receive requests preposted
+// by an earlier PostHaloRecvs; pre == nil falls back to the blocking
+// exchange. The halo data and virtual time are identical either way — the
+// preposting is the wire discipline that lets a real MPI runtime overlap
+// the previous step's tail with the next step's halo traffic.
+func (f *Field) ExchangeHalosPiped(r *sim.Rank, pre []*sim.Request) {
+	if f.Depth == 0 || f.Env.M.P() == 1 {
+		return
+	}
+	f.ensureHaloPlan()
+	redist.Execute(r, f.haloPlan, redist.ExecOpts{
+		PerMessage: f.Env.Overhead.PerMessage, Bind: f, Preposted: pre,
 	})
 }
 

@@ -1,0 +1,177 @@
+// Boundary-first overlapped phase execution for the strict runtime — the
+// dmem mirror of dist's overlapPhase (DESIGN.md §14). A split phase waits
+// only the boundary carries, solves the boundary lines, posts their carry
+// with Isend, preposts the next phase's receives, and solves the interior
+// while the messages fly. Field data is bit-identical to the strict
+// schedule: the batched kernels are bit-equal under any panel grouping, and
+// the split never reorders the canonical line order.
+package dmem
+
+import (
+	"genmp/internal/plan"
+	"genmp/internal/sim"
+	"genmp/internal/sweep"
+)
+
+// dmPassCtx bundles one pass invocation's resolved locals shared by the
+// strict loop and the overlapped phase executor.
+type dmPassCtx struct {
+	binds        [][]tileBind
+	backward     bool
+	carryLen     int
+	flopsPerElem float64
+	batch        int
+	nv           int
+	bs           sweep.BatchSolver
+	batched      bool
+	touched      []bool
+	written      []bool
+	chunk        [][]float64
+	views        [][]float64
+}
+
+// overlapPhase executes one split phase of the strict runtime. preB/preI
+// are receive requests preposted by the previous phase (nil to post here);
+// the return values are the next phase's preposted requests.
+func (sr *SweepRunner) overlapPhase(r *sim.Rank, pc *dmPassCtx, pp *plan.Pass, k int, preB, preI *sim.Request) (nextB, nextI *sim.Request) {
+	env := sr.Fields[0].Env
+	ph := &pp.Phases[k]
+	carryLen := pc.carryLen
+	bnd, inter := ph.InteriorBoundary()
+
+	var reqB, reqI *sim.Request
+	if ph.RecvFrom >= 0 && carryLen > 0 {
+		reqB, reqI = preB, preI
+		if reqB == nil {
+			reqB = r.Irecv(ph.RecvFrom, ph.RecvTag)
+			reqI = r.Irecv(ph.RecvFrom, ph.InteriorRecvTag)
+		}
+	}
+	var outB, outI []float64
+	if ph.SendTo >= 0 && carryLen > 0 {
+		outB = r.GetPayload(bnd * carryLen)
+		outI = r.GetPayload(inter * carryLen)
+	}
+
+	var inB []float64
+	if reqB != nil {
+		msg := reqB.Wait()
+		r.Compute(env.Overhead.PerMessage)
+		inB = msg.Payload
+	}
+	elems := sr.solveLineRange(r, pc, ph, k, 0, bnd, inB, outB)
+	if inB != nil {
+		r.PutPayload(inB)
+	}
+	r.ComputeFlops(pc.flopsPerElem * float64(elems) * env.Overhead.ComputeFactor)
+	var sendB, sendI *sim.Request
+	if ph.SendTo >= 0 && carryLen > 0 {
+		r.Compute(env.Overhead.PerMessage)
+		sendB = r.Isend(ph.SendTo, ph.SendTag, sim.Msg{Bytes: bnd * carryLen * 8, Payload: outB})
+	}
+	if k+1 < len(pp.Phases) {
+		if np := &pp.Phases[k+1]; np.Boundary > 0 && np.RecvFrom >= 0 && carryLen > 0 {
+			nextB = r.Irecv(np.RecvFrom, np.RecvTag)
+			nextI = r.Irecv(np.RecvFrom, np.InteriorRecvTag)
+		}
+	}
+	var inI []float64
+	if reqI != nil {
+		msg := reqI.Wait()
+		r.Compute(env.Overhead.PerMessage)
+		inI = msg.Payload
+	}
+	elems = sr.solveLineRange(r, pc, ph, k, bnd, ph.Lines, inI, outI)
+	if inI != nil {
+		r.PutPayload(inI)
+	}
+	r.ComputeFlops(pc.flopsPerElem * float64(elems) * env.Overhead.ComputeFactor)
+	if ph.SendTo >= 0 && carryLen > 0 {
+		r.Compute(env.Overhead.PerMessage)
+		sendI = r.Isend(ph.SendTo, ph.InteriorSendTag, sim.Msg{Bytes: inter * carryLen * 8, Payload: outI})
+	}
+	if sendB != nil {
+		sendB.Wait()
+	}
+	if sendI != nil {
+		sendI.Wait()
+	}
+	return nextB, nextI
+}
+
+// solveLineRange computes the phase's canonical lines in [gLo, gHi) over
+// this rank's bound tile storage, clipping each tile to the range.
+// cInBuf/cOutBuf hold the range's carries indexed from gLo. Tiles
+// intersecting the range pay PerTileVisit per visit; the caller charges the
+// flops so boundary and interior compute appear as separate intervals.
+func (sr *SweepRunner) solveLineRange(r *sim.Rank, pc *dmPassCtx, ph *plan.Phase, k, gLo, gHi int, cInBuf, cOutBuf []float64) int {
+	fields := sr.Fields
+	env := fields[0].Env
+	carryLen := pc.carryLen
+	elements := 0
+	for ti := range ph.Tiles {
+		t := &ph.Tiles[ti]
+		lo := max(gLo, t.LineOff)
+		hi := min(gHi, t.LineOff+t.Lines)
+		if lo >= hi {
+			continue
+		}
+		tb := &pc.binds[k][ti]
+		r.Compute(env.Overhead.PerTileVisit)
+		elements += (hi - lo) * t.ChunkLen
+		tLo, tHi := lo-t.LineOff, hi-t.LineOff
+		if pc.batched {
+			for s0 := tLo; s0 < tHi; s0 += pc.batch {
+				nb := min(pc.batch, tHi-s0)
+				panels := sr.pan.Panels(pc.nv, nb*t.ChunkLen)
+				for v, f := range fields {
+					if sweep.MaskOn(pc.touched, v) {
+						f.TileGrid(tb.local).GatherLines(tb.geom[v][s0:s0+nb], panels[v])
+					}
+				}
+				var cIn, cOut []float64
+				c0 := t.LineOff + s0 - gLo
+				if cInBuf != nil {
+					cIn = cInBuf[c0*carryLen : (c0+nb)*carryLen]
+				}
+				if cOutBuf != nil {
+					cOut = cOutBuf[c0*carryLen : (c0+nb)*carryLen]
+				}
+				if pc.backward {
+					pc.bs.BackwardBatch(panels, nb, cIn, cOut)
+				} else {
+					pc.bs.ForwardBatch(panels, nb, cIn, cOut)
+				}
+				for v, f := range fields {
+					if sweep.MaskOn(pc.written, v) {
+						f.TileGrid(tb.local).ScatterLines(tb.geom[v][s0:s0+nb], panels[v])
+					}
+				}
+			}
+			continue
+		}
+		for li := tLo; li < tHi; li++ {
+			for v, f := range fields {
+				f.TileGrid(tb.local).Gather(tb.geom[v][li], pc.chunk[v][:t.ChunkLen])
+				pc.views[v] = pc.chunk[v][:t.ChunkLen]
+			}
+			var cIn, cOut []float64
+			c0 := t.LineOff + li - gLo
+			if cInBuf != nil {
+				cIn = cInBuf[c0*carryLen : (c0+1)*carryLen]
+			}
+			if cOutBuf != nil {
+				cOut = cOutBuf[c0*carryLen : (c0+1)*carryLen]
+			}
+			if pc.backward {
+				sr.Solver.Backward(pc.views, cIn, cOut)
+			} else {
+				sr.Solver.Forward(pc.views, cIn, cOut)
+			}
+			for v, f := range fields {
+				f.TileGrid(tb.local).Scatter(tb.geom[v][li], pc.chunk[v][:t.ChunkLen])
+			}
+		}
+	}
+	return elements
+}

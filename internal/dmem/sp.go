@@ -6,6 +6,7 @@ import (
 	"genmp/internal/dist"
 	"genmp/internal/grid"
 	"genmp/internal/nas"
+	"genmp/internal/plan"
 	"genmp/internal/sim"
 	"genmp/internal/sweep"
 )
@@ -19,6 +20,17 @@ import (
 // Every tile must be at least haloDepth (2) cells thick in every cut
 // dimension so a single neighbor's face covers the stencil reach.
 func RunSP(env *dist.Env, mach *sim.Machine, steps int) (*grid.Grid, sim.Result, error) {
+	return RunSPOverlap(env, mach, steps, plan.Overlap{})
+}
+
+// RunSPOverlap is RunSP with the boundary-first overlap schedule: the sweep
+// plan is compiled with the overlap annotation (each phase solves its
+// boundary lines, posts the carry with Isend and solves the interior while
+// the message flies), and the stencil halos pipeline across timesteps (each
+// step preposts the next step's halo receives before the add phase). The
+// final field is bit-identical to RunSP; the zero Overlap reproduces it
+// exactly.
+func RunSPOverlap(env *dist.Env, mach *sim.Machine, steps int, o plan.Overlap) (*grid.Grid, sim.Result, error) {
 	const haloDepth = 2
 	gamma := env.M.Gamma()
 	for dim := range env.Eta {
@@ -27,7 +39,7 @@ func RunSP(env *dist.Env, mach *sim.Machine, steps int) (*grid.Grid, sim.Result,
 		}
 	}
 	solver := sweep.NewPenta()
-	sweepPlan, err := CompileSweepPlan(env, solver)
+	sweepPlan, err := CompileSweepPlanOverlap(env, solver, o)
 	if err != nil {
 		return nil, sim.Result{}, err
 	}
@@ -43,8 +55,10 @@ func RunSP(env *dist.Env, mach *sim.Machine, steps int) (*grid.Grid, sim.Result,
 		runner := NewSweepRunner(solver, vecs)
 		runner.Plan = sweepPlan
 
+		var haloPre []*sim.Request
 		for step := 0; step < steps; step++ {
-			u.ExchangeHalos(r)
+			u.ExchangeHalosPiped(r, haloPre)
+			haloPre = nil
 			r.Compute(env.Overhead.PerTileVisit * float64(u.NumTiles()))
 			strictComputeRHS(u, rhs)
 			r.ComputeFlops(nas.FlopsRHS * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
@@ -52,6 +66,9 @@ func RunSP(env *dist.Env, mach *sim.Machine, steps int) (*grid.Grid, sim.Result,
 				strictBuildLHS(dim, env.Eta[dim], vecs)
 				r.ComputeFlops(nas.FlopsLHSBuild * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
 				runner.Run(r, dim)
+			}
+			if o.Enabled && step+1 < steps {
+				haloPre = u.PostHaloRecvs(r)
 			}
 			strictAdd(u, rhs)
 			r.ComputeFlops(nas.FlopsAdd * float64(ownedElements(u)) * env.Overhead.ComputeFactor)

@@ -27,6 +27,10 @@ type SweepRunner struct {
 	// sweep.DefaultBatchLines, negative forces the scalar per-line path
 	// (the bit-identical oracle / "before" ablation).
 	Batch int
+	// Overlap is folded into the lazily compiled plan's Spec (ignored when
+	// Plan is pre-set — use CompileSweepPlanOverlap for the shared
+	// instance). The runner itself switches on Plan.Overlap.
+	Overlap plan.Overlap
 	// Plan is the compiled schedule the runner executes. Leave nil to have
 	// the first Run compile it from the fields' environment; pre-set it
 	// (see CompileSweepPlan) to share one instance across all rank
@@ -72,6 +76,17 @@ func CompileSweepPlan(env *dist.Env, solver sweep.Solver) (*plan.SweepPlan, erro
 	})
 }
 
+// CompileSweepPlanOverlap is CompileSweepPlan with the boundary-first
+// overlap annotation enabled (plan.Overlap): the same schedule plus per-
+// phase split points and interior-message tags.
+func CompileSweepPlanOverlap(env *dist.Env, solver sweep.Solver, o plan.Overlap) (*plan.SweepPlan, error) {
+	return plan.Compile(plan.Spec{
+		M: env.M, Eta: env.Eta, Solver: solver,
+		Halos:   make([]int, solver.NumVecs()),
+		Overlap: o,
+	})
+}
+
 // NewSweepRunner builds a runner for one rank's fields. fields must hold
 // Solver.NumVecs() fields of the same rank.
 func NewSweepRunner(solver sweep.Solver, fields []*Field) *SweepRunner {
@@ -107,7 +122,7 @@ func (sr *SweepRunner) ensurePlan() {
 	}
 	pl, err := plan.Compile(plan.Spec{
 		M: f0.Env.M, Eta: f0.Env.Eta, Solver: sr.Solver,
-		Halos: halos, Batch: sr.Batch,
+		Halos: halos, Batch: sr.Batch, Overlap: sr.Overlap,
 	})
 	if err != nil {
 		panic("dmem: " + err.Error())
@@ -208,9 +223,22 @@ func (sr *SweepRunner) pass(r *sim.Rank, dim int, backward bool) {
 		chunk = sr.pan.Panels(nv, env.Eta[dim])
 		views = sr.views.Views(nv)
 	}
+	pc := &dmPassCtx{
+		binds: binds, backward: backward, carryLen: carryLen,
+		flopsPerElem: flopsPerElem, batch: batch, nv: nv, bs: bs,
+		batched: batched, touched: touched, written: written,
+		chunk: chunk, views: views,
+	}
 
+	// Overlap-annotated phases run the boundary-first schedule; preB/preI
+	// carry receive requests preposted for the next phase.
+	var preB, preI *sim.Request
 	for k := range pp.Phases {
 		ph := &pp.Phases[k]
+		if ph.Boundary > 0 {
+			preB, preI = sr.overlapPhase(r, pc, pp, k, preB, preI)
+			continue
+		}
 		// Carries arrive in a pooled payload whose ownership transfers with
 		// the message; it is recycled below once every tile has read its
 		// rows. Outgoing carries are assembled directly in a pooled payload

@@ -21,6 +21,7 @@ import (
 	"genmp/internal/numutil"
 	"genmp/internal/obs"
 	"genmp/internal/partition"
+	"genmp/internal/plan"
 	"genmp/internal/sim"
 )
 
@@ -329,6 +330,13 @@ func StrategyComparison(p int, eta []int, steps, grain int) ([]StrategyRow, erro
 // exactly). Each strategy run gets its own fabric instance, so contention
 // state never leaks between runs.
 func StrategyComparisonOn(topology string, coll sim.Alg, p int, eta []int, steps, grain int) ([]StrategyRow, error) {
+	return StrategyComparisonOverlap(topology, coll, p, eta, steps, grain, plan.Overlap{})
+}
+
+// StrategyComparisonOverlap is StrategyComparisonOn with the boundary-first
+// overlap annotation applied to the strategies that sweep (multipartition
+// and block-wavefront; the transpose strategy has no carries to overlap).
+func StrategyComparisonOverlap(topology string, coll sim.Alg, p int, eta []int, steps, grain int, o plan.Overlap) ([]StrategyRow, error) {
 	pb := adi.Problem{Eta: eta, Alpha: 0.3, Steps: steps}
 	var rows []StrategyRow
 
@@ -346,7 +354,7 @@ func StrategyComparisonOn(topology string, coll sim.Alg, p int, eta []int, steps
 		return nil, err
 	}
 	resM, err := adi.Run(pb, nil, adi.Config{
-		Machine: machM, Strategy: adi.Multipartition, Env: env, ModelOnly: true})
+		Machine: machM, Strategy: adi.Multipartition, Env: env, ModelOnly: true, Overlap: o})
 	if err != nil {
 		return nil, err
 	}
@@ -365,7 +373,7 @@ func StrategyComparisonOn(topology string, coll sim.Alg, p int, eta []int, steps
 		return nil, err
 	}
 	resW, err := adi.Run(pb, nil, adi.Config{
-		Machine: machW, Strategy: adi.BlockWavefront, Block: b, Grain: grain, ModelOnly: true})
+		Machine: machW, Strategy: adi.BlockWavefront, Block: b, Grain: grain, ModelOnly: true, Overlap: o})
 	if err != nil {
 		return nil, err
 	}
@@ -403,13 +411,24 @@ func StrategyBenchRecords(p int, eta []int, steps, grain int) ([]obs.BenchRecord
 // so their records sit alongside the default ones without colliding in the
 // zero-tolerance perf gate.
 func StrategyBenchRecordsOn(topology string, coll sim.Alg, p int, eta []int, steps, grain int) ([]obs.BenchRecord, error) {
-	rows, err := StrategyComparisonOn(topology, coll, p, eta, steps, grain)
+	return StrategyBenchRecordsOverlap(topology, coll, p, eta, steps, grain, plan.Overlap{})
+}
+
+// StrategyBenchRecordsOverlap is StrategyBenchRecordsOn with the overlap
+// annotation; overlap-on records get their own suite ("adi-strategy+overlap")
+// so they never collide with the committed overlap-off baselines in the
+// zero-tolerance perf gate.
+func StrategyBenchRecordsOverlap(topology string, coll sim.Alg, p int, eta []int, steps, grain int, o plan.Overlap) ([]obs.BenchRecord, error) {
+	rows, err := StrategyComparisonOverlap(topology, coll, p, eta, steps, grain, o)
 	if err != nil {
 		return nil, err
 	}
 	suite := "adi-strategy"
 	if topology != "" && topology != "default" {
 		suite += "@" + topology
+	}
+	if o.Enabled {
+		suite += "+overlap"
 	}
 	recs := make([]obs.BenchRecord, 0, len(rows))
 	for _, r := range rows {

@@ -3,6 +3,7 @@ package nas
 import (
 	"genmp/internal/dist"
 	"genmp/internal/grid"
+	"genmp/internal/plan"
 	"genmp/internal/sim"
 	"genmp/internal/sweep"
 )
@@ -152,10 +153,25 @@ func BTSerialSolve(u *grid.Grid, steps int) {
 	}
 }
 
+// CompileBTPlan compiles the BT application's SweepPlan over env, with the
+// overlap annotation when o is enabled (the zero Overlap yields the strict
+// schedule). Pass it to BTRunPlanned.
+func CompileBTPlan(env *dist.Env, o plan.Overlap) (*plan.SweepPlan, error) {
+	return plan.Compile(plan.Spec{M: env.M, Eta: env.Eta, Solver: btSolver(), Overlap: o})
+}
+
 // BTRun advances the BT pseudo-application on a multipartitioned domain; u
 // nil selects model-only mode. In data mode the final u matches
 // BTSerialSolve.
 func BTRun(env *dist.Env, mach *sim.Machine, steps int, u *grid.Grid) (sim.Result, error) {
+	return BTRunPlanned(env, mach, steps, u, nil)
+}
+
+// BTRunPlanned is BTRun executing a pre-compiled SweepPlan (from
+// CompileBTPlan over the same env); pl == nil compiles one internally. An
+// overlap-annotated plan selects the boundary-first schedule and
+// cross-timestep halo pipelining, exactly as in RunPlanned.
+func BTRunPlanned(env *dist.Env, mach *sim.Machine, steps int, u *grid.Grid, pl *plan.SweepPlan) (sim.Result, error) {
 	modelOnly := u == nil
 	var vecs []*grid.Grid
 	var rhs *grid.Grid
@@ -172,15 +188,19 @@ func BTRun(env *dist.Env, mach *sim.Machine, steps int, u *grid.Grid) (sim.Resul
 	if err != nil {
 		return sim.Result{}, err
 	}
+	ms.Plan = pl
 	d := len(env.Eta)
 	haloDepth := 2 - env.Overhead.ReplicationDepth
 	if haloDepth < 1 {
 		haloDepth = 1
 	}
+	pipeline := pl != nil && pl.Overlap.Enabled
 	return mach.Run(func(r *sim.Rank) {
+		var haloPre []*sim.Request
 		for step := 0; step < steps; step++ {
 			r.BeginPhase(PhaseHalo)
-			env.ExchangeHalos(r, haloDepth, 1)
+			env.ExchangeHalosPiped(r, haloDepth, 1, haloPre)
+			haloPre = nil
 			r.BeginPhase(PhaseRHS)
 			env.ComputeOnTiles(r, BTFlopsRHS, tileOp(modelOnly, func(rect grid.Rect) {
 				ComputeRHS(u, rhs, rect)
@@ -195,6 +215,9 @@ func BTRun(env *dist.Env, mach *sim.Machine, steps int, u *grid.Grid) (sim.Resul
 				ms.Run(r, dim)
 			}
 			r.BeginPhase(PhaseAdd)
+			if pipeline && step+1 < steps {
+				haloPre = env.PostHaloRecvs(r, haloDepth, 1)
+			}
 			env.ComputeOnTiles(r, BTFlopsAdd, tileOp(modelOnly, func(rect grid.Rect) {
 				btAdd(u, fvecs[0], rect)
 			}))

@@ -48,6 +48,15 @@ func CompilePlan(env *dist.Env) (*plan.SweepPlan, error) {
 	return plan.Compile(plan.Spec{M: env.M, Eta: env.Eta, Solver: newSPSolver()})
 }
 
+// CompilePlanOverlap is CompilePlan with the boundary-first overlap
+// annotation (plan.Overlap): the identical schedule plus per-phase split
+// points and interior-carry tags. RunPlanned (and every other consumer of
+// the plan) switches on the annotation itself — overlap is a property of
+// the compiled plan, not of any executor.
+func CompilePlanOverlap(env *dist.Env, o plan.Overlap) (*plan.SweepPlan, error) {
+	return plan.Compile(plan.Spec{M: env.M, Eta: env.Eta, Solver: newSPSolver(), Overlap: o})
+}
+
 // Run advances the SP pseudo-application for the given number of steps on a
 // multipartitioned domain. In data mode u is advanced in place and matches
 // SerialSolve; in model-only mode (u == nil) only virtual time and traffic
@@ -83,10 +92,17 @@ func RunPlanned(env *dist.Env, mach *sim.Machine, steps int, u *grid.Grid, pl *p
 	if haloDepth < 1 {
 		haloDepth = 1
 	}
+	// Under the overlap schedule each step preposts the next step's halo
+	// receives before the add phase (cross-timestep halo pipelining,
+	// DESIGN.md §14) — timing-neutral in virtual time, but the discipline a
+	// real MPI runtime needs to overlap the step tail with halo traffic.
+	pipeline := pl != nil && pl.Overlap.Enabled
 	return mach.Run(func(r *sim.Rank) {
+		var haloPre []*sim.Request
 		for step := 0; step < steps; step++ {
 			r.BeginPhase(PhaseHalo)
-			env.ExchangeHalos(r, haloDepth, 1)
+			env.ExchangeHalosPiped(r, haloDepth, 1, haloPre)
+			haloPre = nil
 			r.BeginPhase(PhaseRHS)
 			env.ComputeOnTiles(r, FlopsRHS, tileOp(modelOnly, func(rect grid.Rect) {
 				ComputeRHS(u, rhs, rect)
@@ -100,6 +116,9 @@ func RunPlanned(env *dist.Env, mach *sim.Machine, steps int, u *grid.Grid, pl *p
 				ms.Run(r, dim)
 			}
 			r.BeginPhase(PhaseAdd)
+			if pipeline && step+1 < steps {
+				haloPre = env.PostHaloRecvs(r, haloDepth, 1)
+			}
 			env.ComputeOnTiles(r, FlopsAdd, tileOp(modelOnly, func(rect grid.Rect) {
 				Add(u, rhs, rect)
 			}))

@@ -72,7 +72,7 @@ func (s *Schedule) Blame() *Blame {
 		kr.Busy += st.Busy
 		kr.Wait += st.Wait
 		kr.Count++
-		if st.Ev.Kind == sim.EvRecv {
+		if st.Ev.Kind == sim.EvRecv || st.Ev.Kind == sim.EvWait {
 			lr := bucket(link, fmt.Sprintf("%d→%d", st.Ev.Peer, st.Ev.Rank))
 			lr.Busy += st.Busy
 			lr.Wait += st.Wait
@@ -165,9 +165,11 @@ func FormatChain(chain []ChainStep, head, tail int) string {
 			label = "(unlabeled)"
 		}
 		extra := ""
-		if st.Ev.Kind == sim.EvRecv || st.Ev.Kind == sim.EvSend {
+		switch st.Ev.Kind {
+		case sim.EvRecv, sim.EvSend, sim.EvIsend, sim.EvWait:
 			extra = fmt.Sprintf("  peer %d tag %d bytes %d", st.Ev.Peer, st.Ev.Tag, st.Ev.Bytes)
-		} else if st.Ev.Label != "" {
+		}
+		if extra == "" && st.Ev.Label != "" {
 			extra = "  " + st.Ev.Label
 		}
 		fmt.Fprintf(&sb, "  %4d  %-10s  %4d  %-12s  %-10s  %10s  %10s%s\n",

@@ -167,9 +167,12 @@ func build(events []sim.Event, p int) (*DAG, error) {
 			d.Nodes[n.Prev].Next = id
 		}
 		switch e.Kind {
-		case sim.EvSend:
+		case sim.EvSend, sim.EvIsend:
 			m.AddSend(Channel{Src: e.Rank, Dst: e.Peer, Tag: e.Tag}, id)
-		case sim.EvRecv:
+		case sim.EvRecv, sim.EvWait:
+			// A nonblocking receive's cost accrues at Wait, whose event
+			// carries the same (start, wait, end) arithmetic as a blocking
+			// recv; the zero-duration EvIrecv post marker stays a plain node.
 			m.AddRecv(Channel{Src: e.Peer, Dst: e.Rank, Tag: e.Tag}, id)
 		case sim.EvCollective:
 			g := collOrdinal[e.Rank]
@@ -237,12 +240,12 @@ func BusyCriticalPath(events []sim.Event, p int) float64 {
 			continue
 		}
 		switch e.Kind {
-		case sim.EvSend:
+		case sim.EvSend, sim.EvIsend:
 			cp := rankCP[e.Rank] + e.Busy()
 			rankCP[e.Rank] = cp
 			sendCP[i] = cp
 			m.AddSend(Channel{Src: e.Rank, Dst: e.Peer, Tag: e.Tag}, i)
-		case sim.EvRecv:
+		case sim.EvRecv, sim.EvWait:
 			in := rankCP[e.Rank]
 			if id, ok := m.TakeSend(Channel{Src: e.Peer, Dst: e.Rank, Tag: e.Tag}); ok {
 				if sendCP[id] > in {

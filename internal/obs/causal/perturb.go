@@ -2,6 +2,7 @@ package causal
 
 import (
 	"fmt"
+	"path"
 	"strconv"
 	"strings"
 )
@@ -86,7 +87,7 @@ func (p Perturbation) matchesRecv(src, dst int, phase string, tag int) bool {
 	if p.Dst >= 0 && p.Dst != dst {
 		return false
 	}
-	if p.Phase != "" && p.Phase != phase {
+	if !p.matchesPhase(phase) {
 		return false
 	}
 	if p.Tag >= 0 && p.Tag != tag {
@@ -95,17 +96,40 @@ func (p Perturbation) matchesRecv(src, dst int, phase string, tag int) bool {
 	return true
 }
 
+// matchesPhase reports whether the perturbation's phase pattern selects the
+// label. An empty pattern matches everything; otherwise the pattern is a
+// '|'-separated list of terms, each an exact label or a glob (path.Match
+// syntax) — "solve*" selects every solve phase, "solve0|solve2" exactly
+// those two.
+func (p Perturbation) matchesPhase(phase string) bool {
+	if p.Phase == "" {
+		return true
+	}
+	for _, term := range strings.Split(p.Phase, "|") {
+		term = strings.TrimSpace(term)
+		if term == phase {
+			return true
+		}
+		if ok, err := path.Match(term, phase); err == nil && ok {
+			return true
+		}
+	}
+	return false
+}
+
 // ParsePerturbations parses a what-if expression: one or more perturbations
 // separated by ';'. Grammar (whitespace around tokens is ignored):
 //
 //	identity
 //	scale-link:SRC->DST:FACTOR      ranks or '*', e.g. scale-link:0->1:0.5
 //	zero-wait:FILTERS               e.g. zero-wait:phase=solve0,link=0->1
-//	overlap:phase=LABEL[,frac=F][,tag=N]   frac defaults to 0.25
+//	overlap:phase=LABELS[,frac=F][,tag=N]   frac defaults to 0.25
 //
-// FILTERS is a comma-separated AND of phase=LABEL, link=SRC->DST, tag=N;
+// FILTERS is a comma-separated AND of phase=LABELS, link=SRC->DST, tag=N;
 // zero-wait needs at least one filter (an unfiltered zero-wait would erase
-// every dependence in the run).
+// every dependence in the run). LABELS is a '|'-separated list of phase
+// labels, each an exact name or a glob — overlap:phase=solve* posts every
+// solve phase's carries early, phase=solve0|solve2 exactly those two.
 func ParsePerturbations(expr string) ([]Perturbation, error) {
 	var out []Perturbation
 	for _, part := range strings.Split(expr, ";") {
@@ -188,6 +212,11 @@ func parseFilters(p *Perturbation, s string) error {
 		val = strings.TrimSpace(val)
 		switch strings.TrimSpace(key) {
 		case "phase":
+			for _, term := range strings.Split(val, "|") {
+				if _, err := path.Match(strings.TrimSpace(term), ""); err != nil {
+					return fmt.Errorf("causal: bad phase pattern %q: %v", term, err)
+				}
+			}
 			p.Phase = val
 		case "link":
 			src, dst, err := parseLink(val)

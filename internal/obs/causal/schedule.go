@@ -120,7 +120,7 @@ func (d *DAG) Replay(perts ...Perturbation) (*Schedule, error) {
 						}
 					}
 					blocked = !processed[i] // wait for the other members
-				case sim.EvRecv:
+				case sim.EvRecv, sim.EvWait:
 					if nd.Match >= 0 && !zeroWait[i] && !processed[nd.Match] {
 						blocked = true // message's send not scheduled yet
 					} else {
@@ -244,7 +244,7 @@ func (d *DAG) applyPerturbations(perts []Perturbation) (dBusy, edgeDelta []float
 		case ScaleLink:
 			for i := range d.Nodes {
 				nd := &d.Nodes[i]
-				if nd.Ev.Kind != sim.EvRecv || (p.Src >= 0 && nd.Ev.Peer != p.Src) || (p.Dst >= 0 && nd.Ev.Rank != p.Dst) {
+				if (nd.Ev.Kind != sim.EvRecv && nd.Ev.Kind != sim.EvWait) || (p.Src >= 0 && nd.Ev.Peer != p.Src) || (p.Dst >= 0 && nd.Ev.Rank != p.Dst) {
 					continue
 				}
 				dBusy[i] += (p.Factor - 1) * nd.Ev.Busy()
@@ -258,14 +258,14 @@ func (d *DAG) applyPerturbations(perts []Perturbation) (dBusy, edgeDelta []float
 		case ZeroWait:
 			for i := range d.Nodes {
 				nd := &d.Nodes[i]
-				if nd.Ev.Kind == sim.EvRecv && p.matchesRecv(nd.Ev.Peer, nd.Ev.Rank, nd.Ev.Phase, nd.Ev.Tag) {
+				if (nd.Ev.Kind == sim.EvRecv || nd.Ev.Kind == sim.EvWait) && p.matchesRecv(nd.Ev.Peer, nd.Ev.Rank, nd.Ev.Phase, nd.Ev.Tag) {
 					zeroWait[i] = true
 				}
 			}
 		case Overlap:
 			for i := range d.Nodes {
 				nd := &d.Nodes[i]
-				if nd.Ev.Kind != sim.EvSend || nd.Ev.Phase != p.Phase || (p.Tag >= 0 && nd.Ev.Tag != p.Tag) {
+				if (nd.Ev.Kind != sim.EvSend && nd.Ev.Kind != sim.EvIsend) || !p.matchesPhase(nd.Ev.Phase) || (p.Tag >= 0 && nd.Ev.Tag != p.Tag) {
 					continue
 				}
 				if nd.Prev >= 0 && d.Nodes[nd.Prev].Ev.Kind == sim.EvCompute {
@@ -323,7 +323,7 @@ func (s *Schedule) computeSlack() {
 		if nd.Prev >= 0 {
 			relax(nd.Prev, s.BodyStart[i]+s.Slack[i])
 		}
-		if nd.Ev.Kind == sim.EvRecv && nd.Match >= 0 && !math.IsNaN(s.avail[i]) {
+		if (nd.Ev.Kind == sim.EvRecv || nd.Ev.Kind == sim.EvWait) && nd.Match >= 0 && !math.IsNaN(s.avail[i]) {
 			relax(nd.Match, s.End[nd.Match]+(s.BodyStart[i]-s.avail[i])+s.Slack[i])
 		}
 	}

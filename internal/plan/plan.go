@@ -55,6 +55,8 @@ type Spec struct {
 	// Tags is the tag space messages are minted from; the zero value picks
 	// SweepTags.
 	Tags sim.TagSpace
+	// Overlap enables the boundary-first split annotation (see Overlap).
+	Overlap Overlap
 }
 
 // WavefrontSpec is the input of CompileWavefront: a block unipartitioning
@@ -74,6 +76,8 @@ type WavefrontSpec struct {
 	Batch int
 	// Tags is the tag space; the zero value picks SweepTags.
 	Tags sim.TagSpace
+	// Overlap enables the boundary-first split annotation (see Overlap).
+	Overlap Overlap
 }
 
 // Kind distinguishes the two schedule families the IR covers.
@@ -129,6 +133,18 @@ type Phase struct {
 	Lines int
 	// Tiles is the phase's tile geometry in canonical order.
 	Tiles []Tile
+	// Boundary is the overlap split point: the first Boundary lines of the
+	// canonical order form the boundary set an overlapping executor solves
+	// (and ships) first; the remaining Lines−Boundary interior lines solve
+	// while the boundary carry is in flight. 0 = unsplit (always, when the
+	// plan was compiled without Overlap).
+	Boundary int
+	// InteriorRecvTag / InteriorSendTag are the tags of the interior carry
+	// messages of a split phase (Boundary > 0): the boundary carries travel
+	// under RecvTag/SendTag, the interior remainder under these. Zero when
+	// unsplit or when the corresponding peer does not exist.
+	InteriorRecvTag int
+	InteriorSendTag int
 }
 
 // Pass is one direction of one sweep dimension for one rank.
@@ -164,6 +180,10 @@ type SweepPlan struct {
 	Batch int
 	// Tags is the reservation every RecvTag/SendTag falls in.
 	Tags sim.TagSpace
+	// Overlap records whether (and how) the plan's phases carry the
+	// boundary-first split annotation. Executors switch schedules on it;
+	// plans compiled with it off are byte-identical to pre-overlap compiles.
+	Overlap Overlap
 	// Passes is indexed [rank][dim*2 + direction] (direction 1 = backward).
 	Passes [][]Pass
 	// fpOnce/fp memoize Fingerprint. A plan is immutable once compiled, and
@@ -262,6 +282,9 @@ func Compile(spec Spec) (pl *SweepPlan, err error) {
 				pl.Passes[q][k] = pass
 			}
 		}
+	}
+	if spec.Overlap.Enabled {
+		pl.applyOverlap(spec.Overlap)
 	}
 	return pl, nil
 }
@@ -380,6 +403,9 @@ func CompileWavefront(spec WavefrontSpec) (pl *SweepPlan, err error) {
 			pl.Passes[q][dim*2] = Pass{Dim: dim, CarryLen: fwd}
 			pl.Passes[q][dim*2+1] = Pass{Dim: dim, Backward: true, CarryLen: bwd}
 		}
+	}
+	if spec.Overlap.Enabled {
+		pl.applyOverlap(spec.Overlap)
 	}
 	return pl, nil
 }

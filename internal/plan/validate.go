@@ -41,6 +41,9 @@ func (pl *SweepPlan) Validate() (err error) {
 	if err := pl.validateTags(); err != nil {
 		return err
 	}
+	if err := pl.validateOverlap(); err != nil {
+		return err
+	}
 	return pl.validateSymmetry()
 }
 
@@ -183,6 +186,14 @@ func (pl *SweepPlan) validateTags() error {
 							at, ph.SendTag, ph.SendTo, prev)
 					}
 					seen[c] = at
+					if ph.Boundary > 0 {
+						ci := channel{peer: ph.SendTo, tag: ph.InteriorSendTag}
+						if prev, dup := seen[ci]; dup {
+							return fmt.Errorf("plan: %s: interior send tag %d to rank %d already used by %s — tag overlap",
+								at, ph.InteriorSendTag, ph.SendTo, prev)
+						}
+						seen[ci] = at
+					}
 				}
 				if ph.RecvFrom >= 0 {
 					if !pl.Tags.Contains(ph.RecvTag) {
@@ -195,6 +206,14 @@ func (pl *SweepPlan) validateTags() error {
 							at, ph.RecvTag, ph.RecvFrom, prev)
 					}
 					seen[c] = at
+					if ph.Boundary > 0 {
+						ci := channel{peer: ph.RecvFrom, tag: ph.InteriorRecvTag, recv: true}
+						if prev, dup := seen[ci]; dup {
+							return fmt.Errorf("plan: %s: interior recv tag %d from rank %d already used by %s — tag overlap",
+								at, ph.InteriorRecvTag, ph.RecvFrom, prev)
+						}
+						seen[ci] = at
+					}
 				}
 			}
 		}
@@ -244,6 +263,14 @@ func (pl *SweepPlan) validateSymmetry() error {
 				if rp.RecvBytes != ph.SendBytes {
 					return fmt.Errorf("plan: %s: sends %d bytes but rank %d phase %d expects %d — byte-count symmetry violated",
 						at, ph.SendBytes, ph.SendTo, j, rp.RecvBytes)
+				}
+				if rp.Boundary != ph.Boundary {
+					return fmt.Errorf("plan: %s: boundary split %d but rank %d phase %d expects %d — overlap symmetry violated",
+						at, ph.Boundary, ph.SendTo, j, rp.Boundary)
+				}
+				if ph.Boundary > 0 && rp.InteriorRecvTag != ph.InteriorSendTag {
+					return fmt.Errorf("plan: %s: interior send tag %d but rank %d phase %d receives interior tag %d",
+						at, ph.InteriorSendTag, ph.SendTo, j, rp.InteriorRecvTag)
 				}
 				if pl.Kind == KindMultipartition {
 					if len(rp.Tiles) != len(ph.Tiles) {
@@ -295,14 +322,24 @@ func (pl *SweepPlan) fingerprint() string {
 	fmt.Fprintf(&sb, "kind=%s p=%d eta=%v gamma=%v dim=%d grain=%d solver=%s carry=%d/%d tags=%s[%d,+%d)\n",
 		pl.Kind, pl.P, pl.Eta, pl.Gamma, pl.Dim, pl.Grain, pl.Solver,
 		pl.ForwardCarry, pl.BackwardCarry, pl.Tags.Name(), pl.Tags.Base(), pl.Tags.Size())
+	// Overlap renders only when enabled, so plans compiled without it keep
+	// their historical fingerprints (and the committed goldens) byte for
+	// byte.
+	if pl.Overlap.Enabled {
+		fmt.Fprintf(&sb, "overlap frac=%g\n", pl.Overlap.Frac)
+	}
 	for q, passes := range pl.Passes {
 		for k := range passes {
 			pass := &passes[k]
 			fmt.Fprintf(&sb, "q%d dim%d bwd=%v carry=%d\n", q, pass.Dim, pass.Backward, pass.CarryLen)
 			for i := range pass.Phases {
 				ph := &pass.Phases[i]
-				fmt.Fprintf(&sb, " ph%d slab=%d recv=%d/%d/%dB send=%d/%d/%dB lines=%d\n",
+				fmt.Fprintf(&sb, " ph%d slab=%d recv=%d/%d/%dB send=%d/%d/%dB lines=%d",
 					i, ph.Slab, ph.RecvFrom, ph.RecvTag, ph.RecvBytes, ph.SendTo, ph.SendTag, ph.SendBytes, ph.Lines)
+				if pl.Overlap.Enabled {
+					fmt.Fprintf(&sb, " b=%d it=%d/%d", ph.Boundary, ph.InteriorRecvTag, ph.InteriorSendTag)
+				}
+				sb.WriteString("\n")
 				for ti := range ph.Tiles {
 					t := &ph.Tiles[ti]
 					fmt.Fprintf(&sb, "  t%d coord=%v lo=%v hi=%v off=%d lines=%d chunk=%d\n",

@@ -26,6 +26,35 @@ type ExecOpts struct {
 	PerMessage float64
 	// Bind locates move data in the caller's storage; nil runs model-only.
 	Bind Binding
+	// Preposted holds receive requests from an earlier PostRecvs over the
+	// same plan (halo pipelining across timesteps, DESIGN.md §14): each
+	// OpExchange step waits its preposted request instead of issuing a
+	// blocking receive. nil falls back to the blocking exchange. The slice
+	// must come from PostRecvs(r, pl) with the same rank and plan.
+	Preposted []*sim.Request
+}
+
+// PostRecvs posts nonblocking receives for every OpExchange step of the
+// plan, in schedule order, and returns the requests for a later Execute
+// with ExecOpts.Preposted. Waiting is free until the matching sends are
+// posted and the requests are waited (sim.Irecv costs nothing at post
+// time), so preposting across a compute region is timing-neutral in
+// virtual time while exercising the real MPI-style discipline. Returns nil
+// for ranks outside the plan's world or plans with no exchange steps.
+func PostRecvs(r *sim.Rank, pl *Plan) []*sim.Request {
+	if r.ID >= pl.P {
+		return nil
+	}
+	var reqs []*sim.Request
+	for si := range pl.Steps {
+		step := &pl.Steps[si]
+		if step.Op != OpExchange {
+			continue
+		}
+		e := step.Exch[r.ID]
+		reqs = append(reqs, r.Irecv(e.Src, e.Tag))
+	}
+	return reqs
 }
 
 // ExecStats is one rank's accounting of one Execute call.
@@ -52,11 +81,17 @@ type ExecStats struct {
 func Execute(r *sim.Rank, pl *Plan, o ExecOpts) ExecStats {
 	q := r.ID
 	var st ExecStats
+	exch := 0
 	for si := range pl.Steps {
 		step := &pl.Steps[si]
 		switch step.Op {
 		case OpExchange:
-			execExchange(r, pl, step, q, o, &st)
+			var pre *sim.Request
+			if exch < len(o.Preposted) {
+				pre = o.Preposted[exch]
+			}
+			exch++
+			execExchange(r, pl, step, q, o, &st, pre)
 		default:
 			execAllToAll(r, pl, step, si, q, o, &st)
 		}
@@ -140,7 +175,7 @@ func execAllToAll(r *sim.Rank, pl *Plan, step *Step, si, q int, o ExecOpts, st *
 	}
 }
 
-func execExchange(r *sim.Rank, pl *Plan, step *Step, q int, o ExecOpts, st *ExecStats) {
+func execExchange(r *sim.Rank, pl *Plan, step *Step, q int, o ExecOpts, st *ExecStats, pre *sim.Request) {
 	if q >= pl.P {
 		return // exchanges are point-to-point among the plan's ranks
 	}
@@ -151,8 +186,21 @@ func execExchange(r *sim.Rank, pl *Plan, step *Step, q int, o ExecOpts, st *Exec
 		st.Messages++
 	}
 	st.PeakBytes = numutil.MaxInt(st.PeakBytes, e.SendBytes+e.RecvBytes)
+	// exchange runs the step's wire traffic: the blocking Exchange, or —
+	// with a preposted receive — the same send followed by waiting the
+	// request, which performs the identical virtual-time arithmetic.
+	exchange := func(m sim.Msg) sim.Msg {
+		if pre == nil {
+			return r.Exchange(e.Dst, e.Src, e.Tag, m, o.PerMessage)
+		}
+		r.Compute(o.PerMessage)
+		r.Send(e.Dst, e.Tag, m)
+		got := pre.Wait()
+		r.Compute(o.PerMessage)
+		return got
+	}
 	if o.Bind == nil {
-		r.Exchange(e.Dst, e.Src, e.Tag, sim.Msg{Bytes: e.SendBytes}, o.PerMessage)
+		exchange(sim.Msg{Bytes: e.SendBytes})
 		return
 	}
 	payload := r.GetPayload(e.SendBytes / 8)
@@ -162,7 +210,7 @@ func execExchange(r *sim.Rank, pl *Plan, step *Step, q int, o ExecOpts, st *Exec
 		o.Bind.Extract(m, payload[pos:pos+n])
 		pos += n
 	}
-	got := r.Exchange(e.Dst, e.Src, e.Tag, sim.Msg{Payload: payload}, o.PerMessage)
+	got := exchange(sim.Msg{Payload: payload})
 	pos = 0
 	for _, m := range step.Recvs[q] {
 		n := m.Bytes / 8

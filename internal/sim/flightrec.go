@@ -106,14 +106,16 @@ func formatFlightEvent(e Event) string {
 	switch e.Kind {
 	case EvCompute:
 		fmt.Fprintf(&b, " %.6gs", e.End-e.Start)
-	case EvSend:
+	case EvSend, EvIsend:
 		fmt.Fprintf(&b, " -> rank %d tag %d (%d B)", e.Peer, e.Tag, e.Bytes)
-	case EvRecv:
+	case EvRecv, EvWait:
 		fmt.Fprintf(&b, " <- rank %d tag %d (%d B", e.Peer, e.Tag, e.Bytes)
 		if e.Wait > 0 {
 			fmt.Fprintf(&b, ", waited %.6gs", e.Wait)
 		}
 		b.WriteString(")")
+	case EvIrecv:
+		fmt.Fprintf(&b, " <- rank %d tag %d (posted)", e.Peer, e.Tag)
 	case EvBlocked:
 		fmt.Fprintf(&b, " <- rank %d tag %d (never completed)", e.Peer, e.Tag)
 	case EvCollective:
@@ -199,6 +201,23 @@ func (m *Machine) FlightReport() string {
 		}
 		if len(events) == 0 {
 			fmt.Fprintf(&b, "  (no events recorded)\n")
+		}
+		if rank < len(m.ranks) && m.ranks[rank] != nil {
+			if reqs := m.ranks[rank].PendingRequests(); len(reqs) > 0 {
+				sort.Slice(reqs, func(a, b int) bool { return reqs[a].posted < reqs[b].posted })
+				fmt.Fprintf(&b, "  un-Waited requests:\n")
+				for _, q := range reqs {
+					op, arrow := "irecv", "<-"
+					if q.isSend {
+						op, arrow = "isend", "->"
+					}
+					fmt.Fprintf(&b, "    %s %s rank %d tag %d, posted t=%.6g", op, arrow, q.peer, q.tag, q.posted)
+					if q.phase != "" {
+						fmt.Fprintf(&b, " [phase %s]", q.phase)
+					}
+					b.WriteString("\n")
+				}
+			}
 		}
 	}
 	if len(pending) > 0 {

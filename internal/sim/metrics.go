@@ -70,6 +70,10 @@ type machMetrics struct {
 	envNew    *metrics.Counter
 	envReused *metrics.Counter
 
+	nbIsend *metrics.Counter
+	nbIrecv *metrics.Counter
+	nbWait  *metrics.Counter
+
 	runs      *metrics.Counter
 	deadlocks *metrics.Counter
 	makespan  *metrics.Gauge
@@ -91,6 +95,9 @@ func newMachMetrics(reg *metrics.Registry, p int) *machMetrics {
 	mm.poolDrops = reg.Counter("sim_payload_pool_drops_total", "returned payload buffers dropped because the pool was full")
 	mm.envNew = reg.Counter("sim_mailbox_envelopes_total", "message envelopes by provenance", metrics.L("source", "new"))
 	mm.envReused = reg.Counter("sim_mailbox_envelopes_total", "message envelopes by provenance", metrics.L("source", "reused"))
+	mm.nbIsend = reg.Counter("sim_nonblocking_total", "nonblocking operations by kind", metrics.L("op", "isend"))
+	mm.nbIrecv = reg.Counter("sim_nonblocking_total", "nonblocking operations by kind", metrics.L("op", "irecv"))
+	mm.nbWait = reg.Counter("sim_nonblocking_total", "nonblocking operations by kind", metrics.L("op", "wait"))
 	mm.runs = reg.Counter("sim_runs_total", "completed Machine.Run calls")
 	mm.deadlocks = reg.Counter("sim_deadlocks_total", "runs aborted by the deadlock detector")
 	mm.makespan = reg.Gauge("sim_makespan_seconds", "virtual-time makespan of the most recent run")
@@ -123,6 +130,19 @@ func (mm *machMetrics) collective(label string) *metrics.Counter {
 	}
 	mm.collMu.Unlock()
 	return c
+}
+
+// nonblocking returns the invocation counter of one nonblocking primitive
+// ("isend", "irecv", "wait").
+func (mm *machMetrics) nonblocking(op string) *metrics.Counter {
+	switch op {
+	case "isend":
+		return mm.nbIsend
+	case "irecv":
+		return mm.nbIrecv
+	default:
+		return mm.nbWait
+	}
 }
 
 // sent records one injected message on the hot path.

@@ -139,6 +139,9 @@ type Machine struct {
 	// across runs (reset each Run) so repeated runs on one machine do not
 	// re-allocate messaging state.
 	mbox *mailbox
+	// ranks retains the most recent run's rank states so FlightReport can
+	// name nonblocking requests that were posted but never Waited.
+	ranks []*Rank
 }
 
 // NewMachine builds a machine with the given rank count, network and CPU.
@@ -527,6 +530,12 @@ type Rank struct {
 	// collectives bracket their constituent messages with it so the
 	// timeline carries one labeled interval instead of the pieces.
 	quiet int
+	// pending holds posted-but-not-Waited nonblocking requests; reqFree
+	// recycles completed request envelopes; chanSeq enforces that Waits on
+	// one (src,dst,tag) channel follow Irecv post order.
+	pending []*Request
+	reqFree []*Request
+	chanSeq map[msgKey]*chanOrder
 }
 
 // P returns the machine's rank count.
@@ -850,6 +859,7 @@ func (m *Machine) Run(body func(r *Rank)) (Result, error) {
 	mb := m.mbox
 	bar := newBarrier(m.P)
 	ranks := make([]*Rank, m.P)
+	m.ranks = ranks
 	errs := make([]error, m.P)
 	var wg sync.WaitGroup
 	for id := 0; id < m.P; id++ {

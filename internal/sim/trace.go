@@ -28,6 +28,18 @@ const (
 	// deadlock post-mortem shows what each rank's final, never-completed
 	// receive was waiting on. Healthy receives follow up with an EvRecv.
 	EvBlocked
+	// EvIsend is a nonblocking message injection (Rank.Isend). Timing is
+	// identical to EvSend — injection is eager either way — but the kind is
+	// distinct so traces show which sends the overlap schedule posted early.
+	EvIsend
+	// EvIrecv marks the posting of a nonblocking receive (Rank.Irecv). The
+	// event is zero-duration: matching and all cost happen at the Wait.
+	EvIrecv
+	// EvWait is the completion of a nonblocking receive (Request.Wait): the
+	// interval from the Wait call to message consumption, with the blocked
+	// portion in Wait — the same shape as EvRecv, which is what lets the
+	// causal DAG treat the two uniformly.
+	EvWait
 )
 
 // String names the kind.
@@ -43,6 +55,12 @@ func (k EventKind) String() string {
 		return "collective"
 	case EvBlocked:
 		return "blocked"
+	case EvIsend:
+		return "isend"
+	case EvIrecv:
+		return "irecv"
+	case EvWait:
+		return "wait"
 	default:
 		return "mark"
 	}
@@ -64,6 +82,12 @@ func ParseEventKind(s string) (EventKind, error) {
 		return EvMark, nil
 	case "blocked":
 		return EvBlocked, nil
+	case "isend":
+		return EvIsend, nil
+	case "irecv":
+		return EvIrecv, nil
+	case "wait":
+		return EvWait, nil
 	default:
 		return 0, fmt.Errorf("sim: unknown event kind %q", s)
 	}
@@ -164,7 +188,7 @@ func (t *Trace) RenderTimeline(w io.Writer, p int, makespan float64, width int) 
 		}
 		return c
 	}
-	glyph := map[EventKind]byte{EvCompute: '#', EvSend: '>', EvRecv: '<', EvCollective: '|', EvMark: '*', EvBlocked: '?'}
+	glyph := map[EventKind]byte{EvCompute: '#', EvSend: '>', EvRecv: '<', EvCollective: '|', EvMark: '*', EvBlocked: '?', EvIsend: '>', EvIrecv: '^', EvWait: '<'}
 	for _, e := range t.Events() {
 		if e.Rank < 0 || e.Rank >= p {
 			continue
