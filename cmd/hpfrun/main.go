@@ -28,6 +28,7 @@ import (
 	"genmp/internal/partition"
 	planpkg "genmp/internal/plan"
 	"genmp/internal/sim"
+	"genmp/internal/sweep"
 )
 
 const builtin = `
@@ -54,6 +55,7 @@ func main() {
 	blame := flag.Bool("blame", false, "print makespan blame attribution from the causal engine")
 	jsonPath := flag.String("json", "", "write machine-readable results (BENCH_*.json schema)")
 	profilePath := flag.String("profile", "", "write the serialized per-phase profile (benchdiff input)")
+	planPath := flag.String("plan", "", "write the compiled sweep schedule as plan JSON (the shippable schedule; reload with obs.LoadPlan)")
 	overlap := flag.Bool("overlap", false, "execute with the plan-driven boundary-first overlap schedule (DESIGN.md §14); bench suites get a +overlap suffix")
 	topology := flag.String("topology", "", "interconnect topology: crossbar, bus, hypercube, hypercube+contention (default: the network's scaling regime)")
 	collName := flag.String("coll", "", "collective algorithm for transposes: auto, pairwise, ring, bruck")
@@ -132,6 +134,8 @@ func main() {
 	}
 	pb := adi.Problem{Eta: eta, Alpha: 0.3, Steps: *steps}
 	var res sim.Result
+	var swPlan *planpkg.SweepPlan
+	ovl := planpkg.Overlap{Enabled: *overlap}
 	variant, gammaStr := "serial", ""
 	switch {
 	case plan.Multi != nil:
@@ -143,6 +147,11 @@ func main() {
 		env, err := dist.NewEnv(plan.Multi, eta, ov)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *planPath != "" {
+			if swPlan, err = planpkg.Compile(planpkg.Spec{M: plan.Multi, Eta: eta, Solver: sweep.Tridiag{}, Overlap: ovl}); err != nil {
+				log.Fatal(err)
+			}
 		}
 		res, err = adi.Run(pb, nil, adi.Config{
 			Machine: mach, Strategy: adi.Multipartition, Env: env, ModelOnly: true,
@@ -157,6 +166,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if *planPath != "" {
+			if swPlan, err = planpkg.CompileWavefront(planpkg.WavefrontSpec{
+				P: plan.P, Eta: eta, Dim: plan.BlockDim, Grain: 64, Solver: sweep.Tridiag{}, Overlap: ovl}); err != nil {
+				log.Fatal(err)
+			}
+		}
 		res, err = adi.Run(pb, nil, adi.Config{
 			Machine: mach, Strategy: adi.BlockWavefront, Block: blk, Grain: 64, ModelOnly: true,
 			Overlap: planpkg.Overlap{Enabled: *overlap}})
@@ -168,6 +183,11 @@ func main() {
 		env, err := trivialEnv(eta, ov)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *planPath != "" {
+			if swPlan, err = planpkg.Compile(planpkg.Spec{M: env.M, Eta: eta, Solver: sweep.Tridiag{}}); err != nil {
+				log.Fatal(err)
+			}
 		}
 		res, err = adi.Run(pb, nil, adi.Config{
 			Machine: mach, Strategy: adi.Multipartition, Env: env, ModelOnly: true})
@@ -215,6 +235,15 @@ func main() {
 	}
 	srcLine := fmt.Sprintf("hpfrun -f %s -steps %d%s%s (template %s, eta %s)",
 		fileID, *steps, fabricFlags(*topology, *collName), overlapFlag, name, partition.Describe(eta))
+	if *planPath != "" {
+		if err := swPlan.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.WritePlanJSON(*planPath, srcLine+" -plan", swPlan); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("plan written to %s (%d ranks; reload with obs.LoadPlan)\n", *planPath, swPlan.P)
+	}
 	if *traceJSON != "" {
 		if err := obs.WriteTraceJSON(*traceJSON, srcLine+" -tracejson", mach.Trace, plan.P, res.Makespan); err != nil {
 			log.Fatal(err)

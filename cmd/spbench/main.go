@@ -22,6 +22,7 @@ import (
 
 	"genmp/internal/core"
 	"genmp/internal/dist"
+	"genmp/internal/dmem"
 	"genmp/internal/exp"
 	"genmp/internal/grid"
 	"genmp/internal/nas"
@@ -32,6 +33,7 @@ import (
 	"genmp/internal/partition"
 	"genmp/internal/plan"
 	"genmp/internal/redist"
+	"genmp/internal/rt"
 	"genmp/internal/sim"
 )
 
@@ -43,6 +45,7 @@ func main() {
 	procs := flag.String("procs", "", "comma-separated processor counts (default: the paper's Table 1 column)")
 	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of the formatted table")
 	pFlag := flag.Int("p", 0, "run one instrumented SP configuration on this many processors instead of the table")
+	backend := flag.String("backend", "sim", "execution backend for the -p run: sim (virtual-time Origin 2000) or rt (real-parallel goroutines, wall clock; runs the strict distributed-memory SP with overlap off and on, checking field bits against the simulator)")
 	tracePath := flag.String("trace", "", "with -p: write a Perfetto/Chrome trace-event JSON file")
 	traceJSON := flag.String("tracejson", "", "with -p: write the round-trippable trace artifact (critpath input)")
 	metrics := flag.Bool("metrics", false, "with -p: print the per-rank/per-phase profile")
@@ -107,6 +110,20 @@ func main() {
 			log.Fatal(err)
 		}
 		return
+	}
+
+	if *pFlag > 0 && *backend == "rt" {
+		src := sourceLine(class, *steps, *procs, fmt.Sprintf(" -backend rt -p %d", *pFlag))
+		if err := runSingleReal(class, *steps, *pFlag, *jsonPath, src); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *backend != "sim" && *backend != "rt" {
+		log.Fatalf("unknown backend %q (want sim or rt)", *backend)
+	}
+	if *backend == "rt" {
+		log.Fatal("-backend rt needs -p (the table modes are virtual-time only)")
 	}
 
 	if *pFlag > 0 {
@@ -355,6 +372,82 @@ func runSingle(o singleOpts) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", o.jsonPath)
+	}
+	return nil
+}
+
+// runSingleReal is the -backend rt path: one SP configuration executed on
+// the real-parallel runtime (internal/rt) — goroutine ranks, shared-memory
+// mailboxes, wall-clock time — with overlap off and then on. Each run's
+// final field is checked bit for bit against the virtual-time simulator
+// executing the identical compiled schedule, so a wall-clock row in
+// BENCH_real.json always certifies backend equivalence too. Message and
+// byte counts are schedule properties and reproduce exactly; wall seconds
+// are host-dependent and gated only at a wide tolerance band in CI.
+func runSingleReal(class nas.Class, steps, p int, jsonPath, src string) error {
+	eta := class.Eta
+	obj := partition.MachineObjective(eta, 20e-6, 80e-9/float64(p))
+	res, err := partition.OptimalCapped(p, len(eta), obj, eta)
+	if err != nil {
+		return err
+	}
+	m, err := core.NewGeneralized(p, res.Gamma)
+	if err != nil {
+		return err
+	}
+	env, err := dist.NewEnv(m, eta, dist.DHPF())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("SP class %s, %d step(s), p=%d, partitioning %s — real-parallel backend (strict distributed memory, wall clock)\n\n",
+		class.Name, steps, p, partition.Describe(res.Gamma))
+	bf := obs.BenchFile{Source: src + " -json"}
+	for _, o := range []plan.Overlap{{}, {Enabled: true}} {
+		want, _, err := dmem.RunSPOverlap(env, nas.Origin2000Machine(p), steps, o)
+		if err != nil {
+			return err
+		}
+		got, rres, err := dmem.RunSPReal(env, rt.NewMachine(p), steps, o, nil)
+		if err != nil {
+			return err
+		}
+		if err := sameFieldBits(want, got); err != nil {
+			return fmt.Errorf("rt backend diverged from the simulator (overlap=%v): %w", o.Enabled, err)
+		}
+		name := fmt.Sprintf("class%s-p%02d", class.Name, p)
+		if o.Enabled {
+			name += "+overlap"
+		}
+		fmt.Printf("  %-20s  wall %9.3f ms  %7d messages  %11d bytes  (field bits match sim)\n",
+			name, float64(rres.Wall.Nanoseconds())/1e6, rres.TotalMessages(), rres.TotalBytes())
+		bf.Records = append(bf.Records, obs.BenchRecord{
+			Suite: "sp-real", Name: name,
+			P: p, Eta: eta, Steps: steps, Gamma: partition.Describe(res.Gamma),
+			Messages: rres.TotalMessages(), Bytes: rres.TotalBytes(),
+			Extra: map[string]float64{"wall_sec": rres.Wall.Seconds()},
+		})
+	}
+	if jsonPath != "" {
+		if err := obs.WriteBenchJSON(jsonPath, bf); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// sameFieldBits reports the first element where two grids differ in raw
+// float64 bit patterns.
+func sameFieldBits(a, b *grid.Grid) error {
+	da, db := a.Data(), b.Data()
+	if len(da) != len(db) {
+		return fmt.Errorf("field sizes differ: %d vs %d elements", len(da), len(db))
+	}
+	for i := range da {
+		if math.Float64bits(da[i]) != math.Float64bits(db[i]) {
+			return fmt.Errorf("element %d: %g (%#x) vs %g (%#x)",
+				i, da[i], math.Float64bits(da[i]), db[i], math.Float64bits(db[i]))
+		}
 	}
 	return nil
 }

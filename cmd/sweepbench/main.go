@@ -19,19 +19,24 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"strconv"
 	"strings"
 
+	"genmp/internal/adi"
 	"genmp/internal/core"
 	"genmp/internal/dist"
+	"genmp/internal/dmem"
 	"genmp/internal/exp"
+	"genmp/internal/grid"
 	"genmp/internal/nas"
 	"genmp/internal/obs"
 	"genmp/internal/obs/causal"
 	"genmp/internal/obs/live"
 	"genmp/internal/partition"
 	"genmp/internal/plan"
+	"genmp/internal/rt"
 	"genmp/internal/sim"
 	"genmp/internal/sweep"
 )
@@ -44,6 +49,7 @@ func main() {
 	steps := flag.Int("steps", 2, "ADI timesteps")
 	grain := flag.Int("grain", 64, "wavefront message granularity (lines per message)")
 	grainSweep := flag.Bool("grainsweep", false, "sweep wavefront granularities instead")
+	backend := flag.String("backend", "sim", "execution backend: sim (virtual-time strategy comparison) or rt (real-parallel goroutines, wall clock; runs the strict distributed-memory ADI with overlap off and on, checking field bits against the simulator)")
 	timeline := flag.Bool("timeline", false, "render an ASCII timeline of one multipartitioned sweep")
 	tracePath := flag.String("trace", "", "write a Perfetto/Chrome trace of one multipartitioned sweep to this file")
 	traceJSON := flag.String("tracejson", "", "write the round-trippable trace artifact of one multipartitioned sweep (critpath input)")
@@ -106,6 +112,18 @@ func main() {
 	}
 
 	ov := plan.Overlap{Enabled: *overlap}
+
+	if *backend != "sim" && *backend != "rt" {
+		log.Fatalf("unknown backend %q (want sim or rt)", *backend)
+	}
+	if *backend == "rt" {
+		src := fmt.Sprintf("sweepbench -backend rt -p %d -eta %s -steps %d -json (eta %s)",
+			*p, *etaStr, *steps, partition.Describe(eta))
+		if err := runRealADI(*p, eta, *steps, *jsonPath, src); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if strings.Contains(*topology, ",") {
 		topos := strings.Split(*topology, ",")
@@ -203,6 +221,76 @@ func main() {
 	}
 	fmt.Println("\nMultipartitioning keeps every processor busy in every phase with only")
 	fmt.Println("coarse-grain carry messages — the property the paper generalizes to any p.")
+}
+
+// runRealADI is the -backend rt path: the strict distributed-memory ADI
+// integration executed on the real-parallel runtime (internal/rt), overlap
+// off and then on, each run's final field checked bit for bit against the
+// virtual-time simulator executing the identical compiled schedule. Message
+// and byte counts are schedule properties and reproduce exactly; wall
+// seconds are host-dependent and gated only at a wide tolerance band in CI.
+func runRealADI(p int, eta []int, steps int, jsonPath, src string) error {
+	obj := partition.MachineObjective(eta, 20e-6, 80e-9/float64(p))
+	m, err := core.NewOptimal(p, len(eta), obj)
+	if err != nil {
+		return err
+	}
+	env, err := dist.NewEnv(m, eta, dist.HandCoded())
+	if err != nil {
+		return err
+	}
+	pb := adi.Problem{Eta: eta, Alpha: 0.3, Steps: steps}
+	fmt.Printf("ADI strict distributed memory: p=%d, eta=%v, %d step(s), partitioning %s — real-parallel backend (wall clock)\n\n",
+		p, eta, steps, partition.Describe(m.Gamma()))
+	bf := obs.BenchFile{Source: src}
+	for _, o := range []plan.Overlap{{}, {Enabled: true}} {
+		want, _, err := dmem.RunADIOverlap(pb, env, nas.Origin2000Machine(p), o)
+		if err != nil {
+			return err
+		}
+		got, rres, err := dmem.RunADIReal(pb, env, rt.NewMachine(p), o, nil)
+		if err != nil {
+			return err
+		}
+		if err := sameFieldBits(want, got); err != nil {
+			return fmt.Errorf("rt backend diverged from the simulator (overlap=%v): %w", o.Enabled, err)
+		}
+		name := fmt.Sprintf("multi-p%02d", p)
+		if o.Enabled {
+			name += "+overlap"
+		}
+		fmt.Printf("  %-20s  wall %9.3f ms  %7d messages  %11d bytes  (field bits match sim)\n",
+			name, float64(rres.Wall.Nanoseconds())/1e6, rres.TotalMessages(), rres.TotalBytes())
+		bf.Records = append(bf.Records, obs.BenchRecord{
+			Suite: "adi-real", Name: name,
+			P: p, Eta: eta, Steps: steps, Gamma: partition.Describe(m.Gamma()),
+			Messages: rres.TotalMessages(), Bytes: rres.TotalBytes(),
+			Extra: map[string]float64{"wall_sec": rres.Wall.Seconds()},
+		})
+	}
+	if jsonPath != "" {
+		if err := obs.WriteBenchJSON(jsonPath, bf); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+// sameFieldBits reports the first element where two grids differ in raw
+// float64 bit patterns.
+func sameFieldBits(a, b *grid.Grid) error {
+	da, db := a.Data(), b.Data()
+	if len(da) != len(db) {
+		return fmt.Errorf("field sizes differ: %d vs %d elements", len(da), len(db))
+	}
+	for i := range da {
+		if math.Float64bits(da[i]) != math.Float64bits(db[i]) {
+			return fmt.Errorf("element %d: %g (%#x) vs %g (%#x)",
+				i, da[i], math.Float64bits(da[i]), db[i], math.Float64bits(db[i]))
+		}
+	}
+	return nil
 }
 
 // fabricFlags renders the -topology/-coll flags for a BENCH source line,

@@ -9,8 +9,8 @@ import (
 	"genmp/internal/numutil"
 	"genmp/internal/plan"
 	"genmp/internal/redist"
-	"genmp/internal/sim"
 	"genmp/internal/sweep"
+	"genmp/internal/xport"
 )
 
 // Block is a static block unipartitioning of a d-dimensional array: one
@@ -25,8 +25,8 @@ type Block struct {
 	Dim      int
 	Overhead OverheadModel
 	// Coll selects the all-to-all algorithm of TransposeSweep
-	// (sim.AlgAuto: the direct pairwise exchange).
-	Coll sim.Alg
+	// (xport.AlgAuto: the direct pairwise exchange).
+	Coll xport.Alg
 	// Batch is the panel width of the batched sweep kernels: 0 picks
 	// sweep.DefaultBatchLines, negative forces the scalar per-line path
 	// (the bit-identical oracle, also used as the "before" ablation).
@@ -78,7 +78,7 @@ type rankScratch struct {
 
 // publish streams this rank's arena acquisition counters into the run's
 // live registry (a no-op when metrics are off).
-func (sc *rankScratch) publish(r *sim.Rank) {
+func (sc *rankScratch) publish(r xport.Transport) {
 	sc.pub.Publish(r.MetricsRegistry(), &sc.pan, &sc.chunk)
 }
 
@@ -178,8 +178,8 @@ func (b *Block) orthoLines(q, dim int) int {
 // ComputeOnSlab models (and, when f is non-nil, performs) a local
 // computation phase of flopsPerElement over every element of the calling
 // rank's slab.
-func (b *Block) ComputeOnSlab(r *sim.Rank, flopsPerElement float64, f func(rect grid.Rect)) {
-	rect := b.ownedRect(r.ID)
+func (b *Block) ComputeOnSlab(r xport.Transport, flopsPerElement float64, f func(rect grid.Rect)) {
+	rect := b.ownedRect(r.Rank())
 	r.Compute(b.Overhead.PerTileVisit)
 	if f != nil {
 		f(rect)
@@ -192,16 +192,16 @@ func (b *Block) OwnedRect(q int) grid.Rect { return b.ownedRect(q) }
 
 // LocalSweep performs a sweep along an unpartitioned dimension: every line
 // is fully local to its owner, so there is no communication at all.
-func (b *Block) LocalSweep(r *sim.Rank, dim int, solver sweep.Solver, vecs []*grid.Grid) {
+func (b *Block) LocalSweep(r xport.Transport, dim int, solver sweep.Solver, vecs []*grid.Grid) {
 	if dim == b.Dim {
 		panic("dist: LocalSweep along the partitioned dimension; use WavefrontSweep or TransposeSweep")
 	}
-	rect := b.ownedRect(r.ID)
-	lines := b.orthoLines(r.ID, dim)
+	rect := b.ownedRect(r.Rank())
+	lines := b.orthoLines(r.Rank(), dim)
 	elements := lines * b.Eta[dim]
 	r.Compute(b.Overhead.PerTileVisit)
 	if vecs != nil {
-		sc := b.scratch(r.ID)
+		sc := b.scratch(r.Rank())
 		solveLocalLines(solver, vecs, rect, dim, b.Batch, sc)
 		sc.publish(r)
 	}
@@ -270,7 +270,7 @@ func solveLocalLines(solver sweep.Solver, vecs []*grid.Grid, rect grid.Rect, dim
 // rank q−1, so computation proceeds as a software pipeline whose fill and
 // drain cost shrinks with the grain while the per-message overhead grows —
 // the Section 1 tension of static block partitionings.
-func (b *Block) WavefrontSweep(r *sim.Rank, solver sweep.Solver, vecs []*grid.Grid, grainLines int) {
+func (b *Block) WavefrontSweep(r xport.Transport, solver sweep.Solver, vecs []*grid.Grid, grainLines int) {
 	if grainLines < 1 {
 		panic("dist: WavefrontSweep: grainLines must be ≥ 1")
 	}
@@ -281,8 +281,8 @@ func (b *Block) WavefrontSweep(r *sim.Rank, solver sweep.Solver, vecs []*grid.Gr
 	}
 }
 
-func (b *Block) wavefrontPass(r *sim.Rank, solver sweep.Solver, vecs []*grid.Grid, pl *plan.SweepPlan, backward bool) {
-	q := r.ID
+func (b *Block) wavefrontPass(r xport.Transport, solver sweep.Solver, vecs []*grid.Grid, pl *plan.SweepPlan, backward bool) {
+	q := r.Rank()
 	pp := pl.Pass(q, b.Dim, backward)
 	carryLen := pp.CarryLen
 	flopsPerElem := solver.ForwardFlopsPerElement()
@@ -317,7 +317,7 @@ func (b *Block) wavefrontPass(r *sim.Rank, solver sweep.Solver, vecs []*grid.Gri
 		carryLen: carryLen, flopsPerElem: flopsPerElem, chunkLen: chunkLen,
 		nv: nv, chunk: chunk, touched: touched, written: written,
 	}
-	var preB, preI *sim.Request
+	var preB, preI xport.Request
 	for m := range pp.Phases {
 		ph := &pp.Phases[m]
 		if ph.Boundary > 0 {
@@ -389,7 +389,7 @@ func (b *Block) wavefrontPass(r *sim.Rank, solver sweep.Solver, vecs []*grid.Gri
 
 		if ph.SendTo >= 0 && carryLen > 0 {
 			r.Compute(b.Overhead.PerMessage)
-			r.Send(ph.SendTo, ph.SendTag, sim.Msg{Bytes: ph.SendBytes, Payload: outBuf})
+			r.Send(ph.SendTo, ph.SendTag, xport.Msg{Bytes: ph.SendBytes, Payload: outBuf})
 		}
 	}
 	sc.publish(r)
@@ -402,8 +402,8 @@ func (b *Block) wavefrontPass(r *sim.Rank, solver sweep.Solver, vecs []*grid.Gri
 // this process, so the messages carry cost and ordering while the solve
 // reads whole lines directly. transposeGrids is the number of arrays that
 // must move (the solver's vec count in a real code).
-func (b *Block) TransposeSweep(r *sim.Rank, solver sweep.Solver, vecs []*grid.Grid) {
-	q := r.ID
+func (b *Block) TransposeSweep(r xport.Transport, solver sweep.Solver, vecs []*grid.Grid) {
+	q := r.Rank()
 	nGrids := solver.NumVecs()
 
 	// Pick the dimension that becomes the distributed one after the
@@ -481,7 +481,7 @@ func (b *Block) transposeSizes(q, tDim, nGrids, phase int) []int {
 // allToAll runs one transpose phase by executing its compiled plan: a
 // single OpAllToAll step under the algorithm selected by Block.Coll,
 // bit-identical to the historical hand-rolled collective call.
-func (b *Block) allToAll(r *sim.Rank, tDim, nGrids, phase int) {
+func (b *Block) allToAll(r xport.Transport, tDim, nGrids, phase int) {
 	if b.P == 1 {
 		return
 	}

@@ -30,14 +30,14 @@ import (
 	"genmp/internal/grid"
 	"genmp/internal/numutil"
 	"genmp/internal/redist"
-	"genmp/internal/sim"
+	"genmp/internal/xport"
 )
 
-// Reserved message-tag space of the halo exchange (see sim.ReserveTags).
+// Reserved message-tag space of the halo exchange (see xport.ReserveTags).
 // Sweep carries are tagged by the compiled schedule itself, from the shared
 // plan.SweepTags reservation — same base as the historical dist/sweep
 // space, so tag values are unchanged.
-var haloTags = sim.ReserveTags("dist/halo", 1<<26, 64)
+var haloTags = xport.ReserveTags("dist/halo", 1<<26, 64)
 
 // OverheadModel captures the per-construct costs that distinguish hand-
 // written message-passing code from compiler-generated code. The paper's
@@ -146,9 +146,9 @@ func (e *Env) EachOwnedTile(q int, f func(lo, hi []int)) {
 // computation phase of flopsPerElement over every element of every tile of
 // the calling rank, charging per-tile overheads and the compute factor.
 // Used for the stencil phases (compute_rhs, add) between sweeps.
-func (e *Env) ComputeOnTiles(r *sim.Rank, flopsPerElement float64, f func(lo, hi []int)) {
+func (e *Env) ComputeOnTiles(r xport.Transport, flopsPerElement float64, f func(lo, hi []int)) {
 	elements := 0
-	for _, tile := range e.M.TilesOf(r.ID) {
+	for _, tile := range e.M.TilesOf(r.Rank()) {
 		lo, hi := e.M.TileBounds(e.Eta, tile)
 		r.Compute(e.Overhead.PerTileVisit)
 		rect := grid.RectOf(lo, hi)
@@ -218,7 +218,7 @@ func (e *Env) HaloBytes(q, depth, nGrids int) int {
 // generalized redistribution engine, replaying the historical hand-built
 // loop bit for bit (same step order, byte counts, tags, and per-message
 // bracketing).
-func (e *Env) ExchangeHalos(r *sim.Rank, depth, nGrids int) {
+func (e *Env) ExchangeHalos(r xport.Transport, depth, nGrids int) {
 	if e.M.P() == 1 || depth == 0 {
 		return
 	}
@@ -229,7 +229,7 @@ func (e *Env) ExchangeHalos(r *sim.Rank, depth, nGrids int) {
 // the same (depth, nGrids) as nonblocking requests — the cross-timestep
 // halo pipelining of the overlap schedule (DESIGN.md §14). Returns nil when
 // there is no halo traffic.
-func (e *Env) PostHaloRecvs(r *sim.Rank, depth, nGrids int) []*sim.Request {
+func (e *Env) PostHaloRecvs(r xport.Transport, depth, nGrids int) []xport.Request {
 	if e.M.P() == 1 || depth == 0 {
 		return nil
 	}
@@ -239,7 +239,7 @@ func (e *Env) PostHaloRecvs(r *sim.Rank, depth, nGrids int) []*sim.Request {
 // ExchangeHalosPiped is ExchangeHalos consuming requests preposted by an
 // earlier PostHaloRecvs; pre == nil falls back to the blocking exchange.
 // Virtual time is identical either way.
-func (e *Env) ExchangeHalosPiped(r *sim.Rank, depth, nGrids int, pre []*sim.Request) {
+func (e *Env) ExchangeHalosPiped(r xport.Transport, depth, nGrids int, pre []xport.Request) {
 	if e.M.P() == 1 || depth == 0 {
 		return
 	}

@@ -6,8 +6,8 @@ import (
 
 	"genmp/internal/grid"
 	"genmp/internal/plan"
-	"genmp/internal/sim"
 	"genmp/internal/sweep"
+	"genmp/internal/xport"
 )
 
 // MultiSweep executes a line sweep (forward elimination + back
@@ -104,7 +104,7 @@ func (s *MultiSweep) WorkspaceStats() sweep.WorkspaceStats {
 // Run performs the full sweep along dim for the calling rank: the forward
 // pass over slabs 0..γ−1 and (if the solver has one) the backward pass over
 // slabs γ−1..0.
-func (s *MultiSweep) Run(r *sim.Rank, dim int) {
+func (s *MultiSweep) Run(r xport.Transport, dim int) {
 	s.init()
 	s.pass(r, dim, false)
 	if s.Solver.BackwardCarryLen() > 0 || s.Solver.BackwardFlopsPerElement() > 0 {
@@ -112,9 +112,9 @@ func (s *MultiSweep) Run(r *sim.Rank, dim int) {
 	}
 }
 
-func (s *MultiSweep) pass(r *sim.Rank, dim int, backward bool) {
+func (s *MultiSweep) pass(r xport.Transport, dim int, backward bool) {
 	env := s.Env
-	q := r.ID
+	q := r.Rank()
 	pp := s.Plan.Pass(q, dim, backward)
 	carryLen := pp.CarryLen
 	flopsPerElem := s.Solver.ForwardFlopsPerElement()
@@ -153,7 +153,7 @@ func (s *MultiSweep) pass(r *sim.Rank, dim int, backward bool) {
 	// Overlap-annotated phases run the boundary-first schedule; preB/preI
 	// carry receive requests preposted for the next phase while the current
 	// one's interior solve hides the wire.
-	var preB, preI *sim.Request
+	var preB, preI xport.Request
 	for k := range pp.Phases {
 		ph := &pp.Phases[k]
 		if ph.Boundary > 0 && s.Aggregate {
@@ -288,13 +288,13 @@ func (s *MultiSweep) pass(r *sim.Rank, dim int, backward bool) {
 		if ph.SendTo >= 0 && carryLen > 0 {
 			if s.Aggregate {
 				r.Compute(env.Overhead.PerMessage)
-				r.Send(ph.SendTo, ph.SendTag, sim.Msg{Bytes: ph.SendBytes, Payload: outBuf})
+				r.Send(ph.SendTo, ph.SendTag, xport.Msg{Bytes: ph.SendBytes, Payload: outBuf})
 			} else {
 				off := 0
 				for ti := range ph.Tiles {
 					n := ph.Tiles[ti].Lines
 					r.Compute(env.Overhead.PerMessage)
-					msg := sim.Msg{Bytes: n * carryLen * 8}
+					msg := xport.Msg{Bytes: n * carryLen * 8}
 					if outBuf != nil {
 						msg.Payload = outBuf[off : off+n*carryLen]
 					}

@@ -1,5 +1,5 @@
-// Boundary-first overlapped phase execution for MultiSweep (DESIGN.md §14).
-// A phase annotated with a split (plan.Phase.Boundary > 0) runs as:
+// Boundary-first overlapped phase execution (DESIGN.md §14). A phase
+// annotated with a split (plan.Phase.Boundary > 0) runs as:
 //
 //	wait boundary carries → solve boundary lines → Isend boundary carry
 //	→ prepost next phase's receives → wait interior carries
@@ -10,14 +10,113 @@
 // boundary carry is on the wire. Field data is bit-identical to the strict
 // schedule: the batched kernels guarantee bit-equality regardless of panel
 // grouping, and the boundary/interior regrouping never reorders lines.
+//
+// The message choreography is identical for every executor — MultiSweep,
+// the wavefront pipeline, and dmem's strict SweepRunner — so it lives in
+// the one shared helper OverlapPhase, parameterized over the transport
+// interface and a per-executor solve callback.
 package dist
 
 import (
 	"genmp/internal/grid"
 	"genmp/internal/plan"
-	"genmp/internal/sim"
 	"genmp/internal/sweep"
+	"genmp/internal/xport"
 )
+
+// OverlapPhaseSpec parameterizes one split-phase execution: the schedule
+// position plus the two things that differ between executors — the packing
+// overhead and the solve kernel.
+type OverlapPhaseSpec struct {
+	Pass  *plan.Pass
+	Phase int
+	// PerMessage is the executor's per-message packing overhead, charged
+	// once per carry message received or sent.
+	PerMessage float64
+	// Payloads selects data mode: outgoing carries are assembled in pooled
+	// payload buffers. False sends byte-count-only messages (model-only).
+	Payloads bool
+	// Solve computes the phase's canonical lines in [gLo, gHi) and charges
+	// their flops. cIn/cOut hold the range's carries indexed from gLo (line
+	// g's carry block starts at (g−gLo)·CarryLen); either may be nil.
+	Solve func(gLo, gHi int, cIn, cOut []float64)
+}
+
+// OverlapPhase executes one split phase over any transport. preB/preI are
+// this phase's receive requests if the previous phase preposted them (nil
+// to post here); the return values are the next phase's preposted requests
+// (nil when the next phase is unsplit or absent).
+func OverlapPhase(t xport.Transport, sp OverlapPhaseSpec, preB, preI xport.Request) (nextB, nextI xport.Request) {
+	pp := sp.Pass
+	ph := &pp.Phases[sp.Phase]
+	carryLen := pp.CarryLen
+	bnd, inter := ph.InteriorBoundary()
+
+	var reqB, reqI xport.Request
+	if ph.RecvFrom >= 0 && carryLen > 0 {
+		reqB, reqI = preB, preI
+		if reqB == nil {
+			reqB = t.Irecv(ph.RecvFrom, ph.RecvTag)
+			reqI = t.Irecv(ph.RecvFrom, ph.InteriorRecvTag)
+		}
+	}
+
+	var outB, outI []float64
+	if ph.SendTo >= 0 && carryLen > 0 && sp.Payloads {
+		outB = t.GetPayload(bnd * carryLen)
+		outI = t.GetPayload(inter * carryLen)
+	}
+
+	// Boundary: wait the boundary carries, solve the boundary lines, ship
+	// their carries immediately.
+	var inB []float64
+	if reqB != nil {
+		msg := reqB.Wait()
+		t.Compute(sp.PerMessage)
+		inB = msg.Payload
+	}
+	sp.Solve(0, bnd, inB, outB)
+	if inB != nil {
+		t.PutPayload(inB)
+	}
+	var sendB, sendI xport.Request
+	if ph.SendTo >= 0 && carryLen > 0 {
+		t.Compute(sp.PerMessage)
+		sendB = t.Isend(ph.SendTo, ph.SendTag, xport.Msg{Bytes: bnd * carryLen * 8, Payload: outB})
+	}
+
+	// The boundary carry is on the wire. Prepost the next phase's receives
+	// (free in virtual time; the MPI discipline the real-parallel backend
+	// inherits), then solve the interior while the messages fly.
+	if sp.Phase+1 < len(pp.Phases) {
+		if np := &pp.Phases[sp.Phase+1]; np.Boundary > 0 && np.RecvFrom >= 0 && carryLen > 0 {
+			nextB = t.Irecv(np.RecvFrom, np.RecvTag)
+			nextI = t.Irecv(np.RecvFrom, np.InteriorRecvTag)
+		}
+	}
+
+	var inI []float64
+	if reqI != nil {
+		msg := reqI.Wait()
+		t.Compute(sp.PerMessage)
+		inI = msg.Payload
+	}
+	sp.Solve(bnd, ph.Lines, inI, outI)
+	if inI != nil {
+		t.PutPayload(inI)
+	}
+	if ph.SendTo >= 0 && carryLen > 0 {
+		t.Compute(sp.PerMessage)
+		sendI = t.Isend(ph.SendTo, ph.InteriorSendTag, xport.Msg{Bytes: inter * carryLen * 8, Payload: outI})
+	}
+	if sendB != nil {
+		sendB.Wait()
+	}
+	if sendI != nil {
+		sendI.Wait()
+	}
+	return nextB, nextI
+}
 
 // msPassCtx bundles one pass invocation's resolved locals so the strict
 // loop and the overlapped phase executor share them without re-deriving.
@@ -37,82 +136,19 @@ type msPassCtx struct {
 	views        [][]float64
 }
 
-// overlapPhase executes one split phase. preB/preI are this phase's receive
-// requests if the previous phase preposted them (nil to post here); the
-// return values are the next phase's preposted requests (nil when the next
-// phase is unsplit or absent).
-func (s *MultiSweep) overlapPhase(r *sim.Rank, pc *msPassCtx, pp *plan.Pass, k int, preB, preI *sim.Request) (nextB, nextI *sim.Request) {
+// overlapPhase adapts MultiSweep's solve kernel to the shared executor.
+func (s *MultiSweep) overlapPhase(r xport.Transport, pc *msPassCtx, pp *plan.Pass, k int, preB, preI xport.Request) (nextB, nextI xport.Request) {
 	env := s.Env
 	ph := &pp.Phases[k]
-	carryLen := pc.carryLen
-	bnd, inter := ph.InteriorBoundary()
-
-	var reqB, reqI *sim.Request
-	if ph.RecvFrom >= 0 && carryLen > 0 {
-		reqB, reqI = preB, preI
-		if reqB == nil {
-			reqB = r.Irecv(ph.RecvFrom, ph.RecvTag)
-			reqI = r.Irecv(ph.RecvFrom, ph.InteriorRecvTag)
-		}
-	}
-
-	var outB, outI []float64
-	if ph.SendTo >= 0 && carryLen > 0 && s.Vecs != nil {
-		outB = r.GetPayload(bnd * carryLen)
-		outI = r.GetPayload(inter * carryLen)
-	}
-
-	// Boundary: wait the boundary carries, solve the boundary lines, ship
-	// their carries immediately.
-	var inB []float64
-	if reqB != nil {
-		msg := reqB.Wait()
-		r.Compute(env.Overhead.PerMessage)
-		inB = msg.Payload
-	}
-	elems := s.solveLineRange(r, pc, ph, 0, bnd, inB, outB)
-	if inB != nil {
-		r.PutPayload(inB)
-	}
-	r.ComputeFlops(pc.flopsPerElem * float64(elems) * env.Overhead.ComputeFactor)
-	var sendB, sendI *sim.Request
-	if ph.SendTo >= 0 && carryLen > 0 {
-		r.Compute(env.Overhead.PerMessage)
-		sendB = r.Isend(ph.SendTo, ph.SendTag, sim.Msg{Bytes: bnd * carryLen * 8, Payload: outB})
-	}
-
-	// The boundary carry is on the wire. Prepost the next phase's receives
-	// (free in virtual time; the MPI discipline the real-parallel backend
-	// inherits), then solve the interior while the messages fly.
-	if k+1 < len(pp.Phases) {
-		if np := &pp.Phases[k+1]; np.Boundary > 0 && np.RecvFrom >= 0 && carryLen > 0 {
-			nextB = r.Irecv(np.RecvFrom, np.RecvTag)
-			nextI = r.Irecv(np.RecvFrom, np.InteriorRecvTag)
-		}
-	}
-
-	var inI []float64
-	if reqI != nil {
-		msg := reqI.Wait()
-		r.Compute(env.Overhead.PerMessage)
-		inI = msg.Payload
-	}
-	elems = s.solveLineRange(r, pc, ph, bnd, ph.Lines, inI, outI)
-	if inI != nil {
-		r.PutPayload(inI)
-	}
-	r.ComputeFlops(pc.flopsPerElem * float64(elems) * env.Overhead.ComputeFactor)
-	if ph.SendTo >= 0 && carryLen > 0 {
-		r.Compute(env.Overhead.PerMessage)
-		sendI = r.Isend(ph.SendTo, ph.InteriorSendTag, sim.Msg{Bytes: inter * carryLen * 8, Payload: outI})
-	}
-	if sendB != nil {
-		sendB.Wait()
-	}
-	if sendI != nil {
-		sendI.Wait()
-	}
-	return nextB, nextI
+	return OverlapPhase(r, OverlapPhaseSpec{
+		Pass: pp, Phase: k,
+		PerMessage: env.Overhead.PerMessage,
+		Payloads:   s.Vecs != nil,
+		Solve: func(gLo, gHi int, cIn, cOut []float64) {
+			elems := s.solveLineRange(r, pc, ph, gLo, gHi, cIn, cOut)
+			r.ComputeFlops(pc.flopsPerElem * float64(elems) * env.Overhead.ComputeFactor)
+		},
+	}, preB, preI)
 }
 
 // wfPassCtx bundles one wavefront pass invocation's resolved locals for the
@@ -132,121 +168,68 @@ type wfPassCtx struct {
 	written      []bool
 }
 
-// wavefrontOverlapPhase executes one split pipeline block: wait the
-// boundary carries, solve the block's boundary lines, Isend their carries,
-// prepost the next block's receives, then solve the interior behind the
-// in-flight messages. preB/preI and the return values follow overlapPhase.
-func (b *Block) wavefrontOverlapPhase(r *sim.Rank, wc *wfPassCtx, vecs []*grid.Grid, pp *plan.Pass, m int, preB, preI *sim.Request) (nextB, nextI *sim.Request) {
+// wavefrontOverlapPhase adapts the wavefront pipeline's block solve to the
+// shared executor: the phase is a contiguous run of whole lines, so the
+// range [gLo, gHi) maps directly onto the cached line geometry.
+func (b *Block) wavefrontOverlapPhase(r xport.Transport, wc *wfPassCtx, vecs []*grid.Grid, pp *plan.Pass, m int, preB, preI xport.Request) (nextB, nextI xport.Request) {
 	ph := &pp.Phases[m]
 	carryLen := wc.carryLen
 	first := ph.Tiles[0].LineOff
-	bnd, inter := ph.InteriorBoundary()
 
-	var reqB, reqI *sim.Request
-	if ph.RecvFrom >= 0 && carryLen > 0 {
-		reqB, reqI = preB, preI
-		if reqB == nil {
-			reqB = r.Irecv(ph.RecvFrom, ph.RecvTag)
-			reqI = r.Irecv(ph.RecvFrom, ph.InteriorRecvTag)
-		}
-	}
-	var outB, outI []float64
-	if ph.SendTo >= 0 && carryLen > 0 && vecs != nil {
-		outB = r.GetPayload(bnd * carryLen)
-		outI = r.GetPayload(inter * carryLen)
-	}
-
-	solve := func(off, count int, cIn, cOut []float64) {
-		if vecs == nil || count == 0 {
-			return
-		}
-		blk := wc.sc.lines[first+off : first+off+count]
-		if wc.batched {
-			panels := wc.sc.pan.Panels(wc.nv, count*wc.chunkLen)
-			for v, g := range vecs {
-				if sweep.MaskOn(wc.touched, v) {
-					g.GatherLines(blk, panels[v])
+	solve := func(gLo, gHi int, cIn, cOut []float64) {
+		count := gHi - gLo
+		if vecs != nil && count > 0 {
+			blk := wc.sc.lines[first+gLo : first+gLo+count]
+			if wc.batched {
+				panels := wc.sc.pan.Panels(wc.nv, count*wc.chunkLen)
+				for v, g := range vecs {
+					if sweep.MaskOn(wc.touched, v) {
+						g.GatherLines(blk, panels[v])
+					}
+				}
+				if wc.backward {
+					wc.bs.BackwardBatch(panels, count, cIn, cOut)
+				} else {
+					wc.bs.ForwardBatch(panels, count, cIn, cOut)
+				}
+				for v, g := range vecs {
+					if sweep.MaskOn(wc.written, v) {
+						g.ScatterLines(blk, panels[v])
+					}
+				}
+			} else {
+				for i := 0; i < count; i++ {
+					l := blk[i]
+					for v, g := range vecs {
+						g.Gather(l, wc.chunk[v])
+					}
+					var lIn, lOut []float64
+					if cIn != nil {
+						lIn = cIn[i*carryLen : (i+1)*carryLen]
+					}
+					if cOut != nil {
+						lOut = cOut[i*carryLen : (i+1)*carryLen]
+					}
+					if wc.backward {
+						wc.solver.Backward(wc.chunk, lIn, lOut)
+					} else {
+						wc.solver.Forward(wc.chunk, lIn, lOut)
+					}
+					for v, g := range vecs {
+						g.Scatter(l, wc.chunk[v])
+					}
 				}
 			}
-			if wc.backward {
-				wc.bs.BackwardBatch(panels, count, cIn, cOut)
-			} else {
-				wc.bs.ForwardBatch(panels, count, cIn, cOut)
-			}
-			for v, g := range vecs {
-				if sweep.MaskOn(wc.written, v) {
-					g.ScatterLines(blk, panels[v])
-				}
-			}
-			return
 		}
-		for i := 0; i < count; i++ {
-			l := blk[i]
-			for v, g := range vecs {
-				g.Gather(l, wc.chunk[v])
-			}
-			var lIn, lOut []float64
-			if cIn != nil {
-				lIn = cIn[i*carryLen : (i+1)*carryLen]
-			}
-			if cOut != nil {
-				lOut = cOut[i*carryLen : (i+1)*carryLen]
-			}
-			if wc.backward {
-				wc.solver.Backward(wc.chunk, lIn, lOut)
-			} else {
-				wc.solver.Forward(wc.chunk, lIn, lOut)
-			}
-			for v, g := range vecs {
-				g.Scatter(l, wc.chunk[v])
-			}
-		}
+		r.ComputeFlops(wc.flopsPerElem * float64(count*wc.chunkLen) * b.Overhead.ComputeFactor)
 	}
 
-	var inB []float64
-	if reqB != nil {
-		msg := reqB.Wait()
-		r.Compute(b.Overhead.PerMessage)
-		inB = msg.Payload
-	}
-	solve(0, bnd, inB, outB)
-	if inB != nil {
-		r.PutPayload(inB)
-	}
-	r.ComputeFlops(wc.flopsPerElem * float64(bnd*wc.chunkLen) * b.Overhead.ComputeFactor)
-	var sendB, sendI *sim.Request
-	if ph.SendTo >= 0 && carryLen > 0 {
-		r.Compute(b.Overhead.PerMessage)
-		sendB = r.Isend(ph.SendTo, ph.SendTag, sim.Msg{Bytes: bnd * carryLen * 8, Payload: outB})
-	}
-	if m+1 < len(pp.Phases) {
-		if np := &pp.Phases[m+1]; np.Boundary > 0 && np.RecvFrom >= 0 && carryLen > 0 {
-			nextB = r.Irecv(np.RecvFrom, np.RecvTag)
-			nextI = r.Irecv(np.RecvFrom, np.InteriorRecvTag)
-		}
-	}
-	var inI []float64
-	if reqI != nil {
-		msg := reqI.Wait()
-		r.Compute(b.Overhead.PerMessage)
-		inI = msg.Payload
-	}
-	solve(bnd, inter, inI, outI)
-	if inI != nil {
-		r.PutPayload(inI)
-	}
-	r.ComputeFlops(wc.flopsPerElem * float64(inter*wc.chunkLen) * b.Overhead.ComputeFactor)
-	if ph.SendTo >= 0 && carryLen > 0 {
-		r.Compute(b.Overhead.PerMessage)
-		sendI = r.Isend(ph.SendTo, ph.InteriorSendTag, sim.Msg{Bytes: inter * carryLen * 8, Payload: outI})
-	}
-	if sendB != nil {
-		sendB.Wait()
-	}
-	if sendI != nil {
-		sendI.Wait()
-	}
-	return nextB, nextI
+	return OverlapPhase(r, OverlapPhaseSpec{
+		Pass: pp, Phase: m,
+		PerMessage: b.Overhead.PerMessage,
+		Payloads:   vecs != nil,
+		Solve:      solve,
+	}, preB, preI)
 }
 
 // solveLineRange computes the phase's canonical lines in [gLo, gHi),
@@ -255,7 +238,7 @@ func (b *Block) wavefrontOverlapPhase(r *sim.Rank, wc *wfPassCtx, vecs []*grid.G
 // intersecting the range pay PerTileVisit per visit — a tile straddling the
 // split is visited twice. Returns the elements computed; the caller charges
 // the flops so boundary and interior compute appear as separate intervals.
-func (s *MultiSweep) solveLineRange(r *sim.Rank, pc *msPassCtx, ph *plan.Phase, gLo, gHi int, cInBuf, cOutBuf []float64) int {
+func (s *MultiSweep) solveLineRange(r xport.Transport, pc *msPassCtx, ph *plan.Phase, gLo, gHi int, cInBuf, cOutBuf []float64) int {
 	env := s.Env
 	carryLen := pc.carryLen
 	elements := 0

@@ -5,8 +5,10 @@ import (
 	"genmp/internal/dist"
 	"genmp/internal/grid"
 	"genmp/internal/plan"
+	"genmp/internal/rt"
 	"genmp/internal/sim"
 	"genmp/internal/sweep"
+	"genmp/internal/xport"
 )
 
 // RunADI executes the ADI heat integration in strict distributed-memory
@@ -29,13 +31,44 @@ func RunADIOverlap(pb adi.Problem, env *dist.Env, mach *sim.Machine, o plan.Over
 		return nil, sim.Result{}, err
 	}
 	var out *grid.Grid
-	res, err := mach.Run(func(r *sim.Rank) {
-		u := NewField(env, r.ID, 0)
+	body := adiBody(pb, env, sweepPlan, &out)
+	res, err := mach.Run(func(r *sim.Rank) { body(r) })
+	if err != nil {
+		return nil, sim.Result{}, err
+	}
+	return out, res, nil
+}
+
+// RunADIReal executes ADI on the real-parallel runtime (see RunSPReal). pl
+// nil compiles the schedule locally; the final field is Float64bits-
+// identical to RunADIOverlap's.
+func RunADIReal(pb adi.Problem, env *dist.Env, rm *rt.Machine, o plan.Overlap, pl *plan.SweepPlan) (*grid.Grid, rt.Result, error) {
+	if pl == nil {
+		var err error
+		if pl, err = CompileSweepPlanOverlap(env, sweep.Tridiag{}, o); err != nil {
+			return nil, rt.Result{}, err
+		}
+	}
+	var out *grid.Grid
+	body := adiBody(pb, env, pl, &out)
+	res, err := rm.Run(func(r *rt.Rank) { body(r) })
+	if err != nil {
+		return nil, rt.Result{}, err
+	}
+	return out, res, nil
+}
+
+// adiBody builds the per-rank body of the ADI strict run, shared by both
+// backends. Only rank 0 writes *out.
+func adiBody(pb adi.Problem, env *dist.Env, sweepPlan *plan.SweepPlan, out **grid.Grid) func(t xport.Transport) {
+	solver := sweep.Tridiag{}
+	return func(t xport.Transport) {
+		u := NewField(env, t.Rank(), 0)
 		init := pb.InitialCondition()
 		u.FillFunc(func(g []int) float64 { return init.At(g...) })
 		vecs := make([]*Field, solver.NumVecs()) // lower, diag, upper, rhs
 		for v := range vecs {
-			vecs[v] = NewField(env, r.ID, 0)
+			vecs[v] = NewField(env, t.Rank(), 0)
 		}
 		runner := NewSweepRunner(solver, vecs)
 		runner.Plan = sweepPlan
@@ -43,20 +76,16 @@ func RunADIOverlap(pb adi.Problem, env *dist.Env, mach *sim.Machine, o plan.Over
 		for step := 0; step < pb.Steps; step++ {
 			for dim := range pb.Eta {
 				strictFillADI(pb, dim, u, vecs)
-				r.ComputeFlops(buildFlops * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
-				runner.Run(r, dim)
+				t.ComputeFlops(buildFlops * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
+				runner.Run(t, dim)
 				strictCopy(vecs[3], u)
-				r.ComputeFlops(1 * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
+				t.ComputeFlops(1 * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
 			}
 		}
-		if g := GatherToRoot(r, u, sim.AlgAuto); g != nil {
-			out = g
+		if g := GatherToRoot(t, u, xport.AlgAuto); g != nil {
+			*out = g
 		}
-	})
-	if err != nil {
-		return nil, sim.Result{}, err
 	}
-	return out, res, nil
 }
 
 // strictFillADI assembles the half-step coefficients over every owned tile:

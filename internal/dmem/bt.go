@@ -7,8 +7,10 @@ import (
 	"genmp/internal/grid"
 	"genmp/internal/nas"
 	"genmp/internal/plan"
+	"genmp/internal/rt"
 	"genmp/internal/sim"
 	"genmp/internal/sweep"
+	"genmp/internal/xport"
 )
 
 // RunBT executes the BT pseudo-application (5×5 block tridiagonal line
@@ -22,59 +24,97 @@ func RunBT(env *dist.Env, mach *sim.Machine, steps int) (*grid.Grid, sim.Result,
 // cross-timestep halo pipelining (see RunSPOverlap); the final field is
 // bit-identical to RunBT.
 func RunBTOverlap(env *dist.Env, mach *sim.Machine, steps int, o plan.Overlap) (*grid.Grid, sim.Result, error) {
-	const haloDepth = 2
-	gamma := env.M.Gamma()
-	for dim := range env.Eta {
-		if gamma[dim] > 1 && env.Eta[dim]/gamma[dim] < haloDepth {
-			return nil, sim.Result{}, fmt.Errorf("dmem: tiles along dim %d are thinner than the halo depth %d", dim, haloDepth)
-		}
+	if err := btCheck(env); err != nil {
+		return nil, sim.Result{}, err
 	}
-	const b = nas.BTBlockSize
-	bb := b * b
-	solver := sweep.NewBlockTridiag(b)
+	solver := sweep.NewBlockTridiag(nas.BTBlockSize)
 	sweepPlan, err := CompileSweepPlanOverlap(env, solver, o)
 	if err != nil {
 		return nil, sim.Result{}, err
 	}
 	var out *grid.Grid
-	res, err := mach.Run(func(r *sim.Rank) {
-		u := NewField(env, r.ID, haloDepth)
+	body := btBody(env, solver, sweepPlan, steps, o, &out)
+	res, err := mach.Run(func(r *sim.Rank) { body(r) })
+	if err != nil {
+		return nil, sim.Result{}, err
+	}
+	return out, res, nil
+}
+
+// RunBTReal executes BT on the real-parallel runtime (see RunSPReal). pl
+// nil compiles the schedule locally; the final field is Float64bits-
+// identical to RunBTOverlap's.
+func RunBTReal(env *dist.Env, rm *rt.Machine, steps int, o plan.Overlap, pl *plan.SweepPlan) (*grid.Grid, rt.Result, error) {
+	if err := btCheck(env); err != nil {
+		return nil, rt.Result{}, err
+	}
+	solver := sweep.NewBlockTridiag(nas.BTBlockSize)
+	if pl == nil {
+		var err error
+		if pl, err = CompileSweepPlanOverlap(env, solver, o); err != nil {
+			return nil, rt.Result{}, err
+		}
+	}
+	var out *grid.Grid
+	body := btBody(env, solver, pl, steps, o, &out)
+	res, err := rm.Run(func(r *rt.Rank) { body(r) })
+	if err != nil {
+		return nil, rt.Result{}, err
+	}
+	return out, res, nil
+}
+
+// btCheck validates tile thickness against the BT halo depth.
+func btCheck(env *dist.Env) error {
+	const haloDepth = 2
+	gamma := env.M.Gamma()
+	for dim := range env.Eta {
+		if gamma[dim] > 1 && env.Eta[dim]/gamma[dim] < haloDepth {
+			return fmt.Errorf("dmem: tiles along dim %d are thinner than the halo depth %d", dim, haloDepth)
+		}
+	}
+	return nil
+}
+
+// btBody builds the per-rank body of the BT strict run, shared by both
+// backends. Only rank 0 writes *out.
+func btBody(env *dist.Env, solver sweep.Solver, sweepPlan *plan.SweepPlan, steps int, o plan.Overlap, out **grid.Grid) func(t xport.Transport) {
+	const haloDepth = 2
+	bb := nas.BTBlockSize * nas.BTBlockSize
+	return func(t xport.Transport) {
+		u := NewField(env, t.Rank(), haloDepth)
 		u.FillFunc(initialAt(env.Eta))
-		rhs := NewField(env, r.ID, 0)
+		rhs := NewField(env, t.Rank(), 0)
 		vecs := make([]*Field, solver.NumVecs())
 		for v := range vecs {
-			vecs[v] = NewField(env, r.ID, 0)
+			vecs[v] = NewField(env, t.Rank(), 0)
 		}
 		fvecs := vecs[3*bb:]
 		runner := NewSweepRunner(solver, vecs)
 		runner.Plan = sweepPlan
 
-		var haloPre []*sim.Request
+		var haloPre []xport.Request
 		for step := 0; step < steps; step++ {
-			u.ExchangeHalosPiped(r, haloPre)
+			u.ExchangeHalosPiped(t, haloPre)
 			haloPre = nil
 			strictComputeRHS(u, rhs)
 			strictScatterBTRHS(rhs, fvecs)
-			r.ComputeFlops(nas.BTFlopsRHS * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
+			t.ComputeFlops(nas.BTFlopsRHS * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
 			for dim := range env.Eta {
 				strictBuildBTLHS(dim, env.Eta[dim], vecs)
-				r.ComputeFlops(nas.BTFlopsLHSBuild * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
-				runner.Run(r, dim)
+				t.ComputeFlops(nas.BTFlopsLHSBuild * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
+				runner.Run(t, dim)
 			}
 			if o.Enabled && step+1 < steps {
-				haloPre = u.PostHaloRecvs(r)
+				haloPre = u.PostHaloRecvs(t)
 			}
 			strictAdd(u, fvecs[0])
-			r.ComputeFlops(nas.BTFlopsAdd * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
+			t.ComputeFlops(nas.BTFlopsAdd * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
 		}
-		if g := GatherToRoot(r, u, sim.AlgAuto); g != nil {
-			out = g
+		if g := GatherToRoot(t, u, xport.AlgAuto); g != nil {
+			*out = g
 		}
-	})
-	if err != nil {
-		return nil, sim.Result{}, err
 	}
-	return out, res, nil
 }
 
 // strictScatterBTRHS copies the scalar stencil output into the B solution

@@ -16,7 +16,7 @@ import (
 	"genmp/internal/grid"
 	"genmp/internal/numutil"
 	"genmp/internal/redist"
-	"genmp/internal/sim"
+	"genmp/internal/xport"
 )
 
 // Field is one rank's private storage for one distributed array: a padded
@@ -151,11 +151,11 @@ func (f *Field) SumSquares() float64 {
 }
 
 // Reserved message-tag space of the strict halo exchange (see
-// sim.ReserveTags). Sweep carries are tagged by the compiled schedule
+// xport.ReserveTags). Sweep carries are tagged by the compiled schedule
 // itself, from the shared plan.SweepTags reservation — both runtimes now
 // draw sweep tags from the same space, which is safe because a machine
 // never mixes dist and dmem sweeps.
-var strictHaloTags = sim.ReserveTags("dmem/halo", 1<<25, 64)
+var strictHaloTags = xport.ReserveTags("dmem/halo", 1<<25, 64)
 
 // localRect converts a move's global region into local tile i's padded
 // coordinates (interior starts at Depth). Scratch-backed: the returned Rect
@@ -197,7 +197,7 @@ func (f *Field) Inject(m redist.Move, src []float64) {
 // pack/exchange/unpack loop, replayed bit for bit as a special case of the
 // generalized redistribution engine. Payloads cycle through the machine's
 // buffer pool, so steady-state exchanges allocate nothing.
-func (f *Field) ExchangeHalos(r *sim.Rank) {
+func (f *Field) ExchangeHalos(r xport.Transport) {
 	if f.Depth == 0 || f.Env.M.P() == 1 {
 		return
 	}
@@ -226,7 +226,7 @@ func (f *Field) ensureHaloPlan() {
 // Call it once the current step's field updates are in flight — typically
 // right before the add phase — and hand the result to the next step's
 // ExchangeHalosPiped. Returns nil when the field has no halo traffic.
-func (f *Field) PostHaloRecvs(r *sim.Rank) []*sim.Request {
+func (f *Field) PostHaloRecvs(r xport.Transport) []xport.Request {
 	if f.Depth == 0 || f.Env.M.P() == 1 {
 		return nil
 	}
@@ -239,7 +239,7 @@ func (f *Field) PostHaloRecvs(r *sim.Rank) []*sim.Request {
 // exchange. The halo data and virtual time are identical either way — the
 // preposting is the wire discipline that lets a real MPI runtime overlap
 // the previous step's tail with the next step's halo traffic.
-func (f *Field) ExchangeHalosPiped(r *sim.Rank, pre []*sim.Request) {
+func (f *Field) ExchangeHalosPiped(r xport.Transport, pre []xport.Request) {
 	if f.Depth == 0 || f.Env.M.P() == 1 {
 		return
 	}
@@ -254,7 +254,7 @@ func (f *Field) ExchangeHalosPiped(r *sim.Rank, pre []*sim.Request) {
 // algorithm reproduces the historical send-to-root loop exactly; alg
 // selects an alternative). All ranks must call it; non-root ranks return
 // nil.
-func GatherToRoot(r *sim.Rank, f *Field, alg sim.Alg) *grid.Grid {
+func GatherToRoot(r xport.Transport, f *Field, alg xport.Alg) *grid.Grid {
 	env := f.Env
 	total := 0
 	for i := range f.tiles {
@@ -267,8 +267,8 @@ func GatherToRoot(r *sim.Rank, f *Field, alg sim.Alg) *grid.Grid {
 		f.tiles[i].ExtractInto(f.interior[i], payload[pos:pos+size])
 		pos += size
 	}
-	parts := r.GatherTo(0, 8*len(payload), payload, sim.CollOpts{Alg: alg})
-	if r.ID != 0 {
+	parts := r.GatherTo(0, 8*len(payload), payload, xport.CollOpts{Alg: alg})
+	if r.Rank() != 0 {
 		return nil
 	}
 	out := grid.New(env.Eta...)

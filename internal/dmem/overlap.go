@@ -1,16 +1,18 @@
 // Boundary-first overlapped phase execution for the strict runtime — the
-// dmem mirror of dist's overlapPhase (DESIGN.md §14). A split phase waits
-// only the boundary carries, solves the boundary lines, posts their carry
-// with Isend, preposts the next phase's receives, and solves the interior
-// while the messages fly. Field data is bit-identical to the strict
-// schedule: the batched kernels are bit-equal under any panel grouping, and
-// the split never reorders the canonical line order.
+// dmem adapter over the shared executor dist.OverlapPhase (DESIGN.md §14).
+// A split phase waits only the boundary carries, solves the boundary
+// lines, posts their carry with Isend, preposts the next phase's receives,
+// and solves the interior while the messages fly. Field data is
+// bit-identical to the strict schedule: the batched kernels are bit-equal
+// under any panel grouping, and the split never reorders the canonical
+// line order.
 package dmem
 
 import (
+	"genmp/internal/dist"
 	"genmp/internal/plan"
-	"genmp/internal/sim"
 	"genmp/internal/sweep"
+	"genmp/internal/xport"
 )
 
 // dmPassCtx bundles one pass invocation's resolved locals shared by the
@@ -30,73 +32,22 @@ type dmPassCtx struct {
 	views        [][]float64
 }
 
-// overlapPhase executes one split phase of the strict runtime. preB/preI
-// are receive requests preposted by the previous phase (nil to post here);
-// the return values are the next phase's preposted requests.
-func (sr *SweepRunner) overlapPhase(r *sim.Rank, pc *dmPassCtx, pp *plan.Pass, k int, preB, preI *sim.Request) (nextB, nextI *sim.Request) {
+// overlapPhase adapts the strict runtime's solve kernel to the shared
+// executor. preB/preI are receive requests preposted by the previous phase
+// (nil to post here); the return values are the next phase's preposted
+// requests.
+func (sr *SweepRunner) overlapPhase(r xport.Transport, pc *dmPassCtx, pp *plan.Pass, k int, preB, preI xport.Request) (nextB, nextI xport.Request) {
 	env := sr.Fields[0].Env
 	ph := &pp.Phases[k]
-	carryLen := pc.carryLen
-	bnd, inter := ph.InteriorBoundary()
-
-	var reqB, reqI *sim.Request
-	if ph.RecvFrom >= 0 && carryLen > 0 {
-		reqB, reqI = preB, preI
-		if reqB == nil {
-			reqB = r.Irecv(ph.RecvFrom, ph.RecvTag)
-			reqI = r.Irecv(ph.RecvFrom, ph.InteriorRecvTag)
-		}
-	}
-	var outB, outI []float64
-	if ph.SendTo >= 0 && carryLen > 0 {
-		outB = r.GetPayload(bnd * carryLen)
-		outI = r.GetPayload(inter * carryLen)
-	}
-
-	var inB []float64
-	if reqB != nil {
-		msg := reqB.Wait()
-		r.Compute(env.Overhead.PerMessage)
-		inB = msg.Payload
-	}
-	elems := sr.solveLineRange(r, pc, ph, k, 0, bnd, inB, outB)
-	if inB != nil {
-		r.PutPayload(inB)
-	}
-	r.ComputeFlops(pc.flopsPerElem * float64(elems) * env.Overhead.ComputeFactor)
-	var sendB, sendI *sim.Request
-	if ph.SendTo >= 0 && carryLen > 0 {
-		r.Compute(env.Overhead.PerMessage)
-		sendB = r.Isend(ph.SendTo, ph.SendTag, sim.Msg{Bytes: bnd * carryLen * 8, Payload: outB})
-	}
-	if k+1 < len(pp.Phases) {
-		if np := &pp.Phases[k+1]; np.Boundary > 0 && np.RecvFrom >= 0 && carryLen > 0 {
-			nextB = r.Irecv(np.RecvFrom, np.RecvTag)
-			nextI = r.Irecv(np.RecvFrom, np.InteriorRecvTag)
-		}
-	}
-	var inI []float64
-	if reqI != nil {
-		msg := reqI.Wait()
-		r.Compute(env.Overhead.PerMessage)
-		inI = msg.Payload
-	}
-	elems = sr.solveLineRange(r, pc, ph, k, bnd, ph.Lines, inI, outI)
-	if inI != nil {
-		r.PutPayload(inI)
-	}
-	r.ComputeFlops(pc.flopsPerElem * float64(elems) * env.Overhead.ComputeFactor)
-	if ph.SendTo >= 0 && carryLen > 0 {
-		r.Compute(env.Overhead.PerMessage)
-		sendI = r.Isend(ph.SendTo, ph.InteriorSendTag, sim.Msg{Bytes: inter * carryLen * 8, Payload: outI})
-	}
-	if sendB != nil {
-		sendB.Wait()
-	}
-	if sendI != nil {
-		sendI.Wait()
-	}
-	return nextB, nextI
+	return dist.OverlapPhase(r, dist.OverlapPhaseSpec{
+		Pass: pp, Phase: k,
+		PerMessage: env.Overhead.PerMessage,
+		Payloads:   true,
+		Solve: func(gLo, gHi int, cIn, cOut []float64) {
+			elems := sr.solveLineRange(r, pc, ph, k, gLo, gHi, cIn, cOut)
+			r.ComputeFlops(pc.flopsPerElem * float64(elems) * env.Overhead.ComputeFactor)
+		},
+	}, preB, preI)
 }
 
 // solveLineRange computes the phase's canonical lines in [gLo, gHi) over
@@ -104,7 +55,7 @@ func (sr *SweepRunner) overlapPhase(r *sim.Rank, pc *dmPassCtx, pp *plan.Pass, k
 // cInBuf/cOutBuf hold the range's carries indexed from gLo. Tiles
 // intersecting the range pay PerTileVisit per visit; the caller charges the
 // flops so boundary and interior compute appear as separate intervals.
-func (sr *SweepRunner) solveLineRange(r *sim.Rank, pc *dmPassCtx, ph *plan.Phase, k, gLo, gHi int, cInBuf, cOutBuf []float64) int {
+func (sr *SweepRunner) solveLineRange(r xport.Transport, pc *dmPassCtx, ph *plan.Phase, k, gLo, gHi int, cInBuf, cOutBuf []float64) int {
 	fields := sr.Fields
 	env := fields[0].Env
 	carryLen := pc.carryLen

@@ -7,8 +7,10 @@ import (
 	"genmp/internal/grid"
 	"genmp/internal/nas"
 	"genmp/internal/plan"
+	"genmp/internal/rt"
 	"genmp/internal/sim"
 	"genmp/internal/sweep"
+	"genmp/internal/xport"
 )
 
 // RunSP executes the SP pseudo-application in strict distributed-memory
@@ -31,12 +33,8 @@ func RunSP(env *dist.Env, mach *sim.Machine, steps int) (*grid.Grid, sim.Result,
 // final field is bit-identical to RunSP; the zero Overlap reproduces it
 // exactly.
 func RunSPOverlap(env *dist.Env, mach *sim.Machine, steps int, o plan.Overlap) (*grid.Grid, sim.Result, error) {
-	const haloDepth = 2
-	gamma := env.M.Gamma()
-	for dim := range env.Eta {
-		if gamma[dim] > 1 && env.Eta[dim]/gamma[dim] < haloDepth {
-			return nil, sim.Result{}, fmt.Errorf("dmem: tiles along dim %d are thinner than the halo depth %d", dim, haloDepth)
-		}
+	if err := spCheck(env); err != nil {
+		return nil, sim.Result{}, err
 	}
 	solver := sweep.NewPenta()
 	sweepPlan, err := CompileSweepPlanOverlap(env, solver, o)
@@ -44,43 +42,90 @@ func RunSPOverlap(env *dist.Env, mach *sim.Machine, steps int, o plan.Overlap) (
 		return nil, sim.Result{}, err
 	}
 	var out *grid.Grid
-	res, err := mach.Run(func(r *sim.Rank) {
-		u := NewField(env, r.ID, haloDepth)
+	body := spBody(env, solver, sweepPlan, steps, o, &out)
+	res, err := mach.Run(func(r *sim.Rank) { body(r) })
+	if err != nil {
+		return nil, sim.Result{}, err
+	}
+	return out, res, nil
+}
+
+// RunSPReal executes SP on the real-parallel runtime: the same per-rank
+// body, the same compiled schedule, measured in wall-clock time. pl is the
+// schedule to execute — typically shipped via obs.WritePlanJSON/
+// obs.PlanFromJSON so workers load rather than recompile it; nil compiles
+// locally. The final field is Float64bits-identical to RunSPOverlap's.
+func RunSPReal(env *dist.Env, rm *rt.Machine, steps int, o plan.Overlap, pl *plan.SweepPlan) (*grid.Grid, rt.Result, error) {
+	if err := spCheck(env); err != nil {
+		return nil, rt.Result{}, err
+	}
+	solver := sweep.NewPenta()
+	if pl == nil {
+		var err error
+		if pl, err = CompileSweepPlanOverlap(env, solver, o); err != nil {
+			return nil, rt.Result{}, err
+		}
+	}
+	var out *grid.Grid
+	body := spBody(env, solver, pl, steps, o, &out)
+	res, err := rm.Run(func(r *rt.Rank) { body(r) })
+	if err != nil {
+		return nil, rt.Result{}, err
+	}
+	return out, res, nil
+}
+
+// spHaloDepth is the stencil reach of the SP pseudo-application.
+const spHaloDepth = 2
+
+// spCheck validates that every tile is thick enough for the halo depth.
+func spCheck(env *dist.Env) error {
+	gamma := env.M.Gamma()
+	for dim := range env.Eta {
+		if gamma[dim] > 1 && env.Eta[dim]/gamma[dim] < spHaloDepth {
+			return fmt.Errorf("dmem: tiles along dim %d are thinner than the halo depth %d", dim, spHaloDepth)
+		}
+	}
+	return nil
+}
+
+// spBody builds the per-rank body of the SP strict run — shared verbatim
+// by the simulator and real-parallel backends, so schedule and data flow
+// cannot drift between them. Only rank 0 writes *out (the gathered grid).
+func spBody(env *dist.Env, solver sweep.Solver, sweepPlan *plan.SweepPlan, steps int, o plan.Overlap, out **grid.Grid) func(t xport.Transport) {
+	return func(t xport.Transport) {
+		u := NewField(env, t.Rank(), spHaloDepth)
 		u.FillFunc(initialAt(env.Eta))
 		vecs := make([]*Field, solver.NumVecs())
 		for v := range vecs {
-			vecs[v] = NewField(env, r.ID, 0)
+			vecs[v] = NewField(env, t.Rank(), 0)
 		}
 		rhs := vecs[5]
 		runner := NewSweepRunner(solver, vecs)
 		runner.Plan = sweepPlan
 
-		var haloPre []*sim.Request
+		var haloPre []xport.Request
 		for step := 0; step < steps; step++ {
-			u.ExchangeHalosPiped(r, haloPre)
+			u.ExchangeHalosPiped(t, haloPre)
 			haloPre = nil
-			r.Compute(env.Overhead.PerTileVisit * float64(u.NumTiles()))
+			t.Compute(env.Overhead.PerTileVisit * float64(u.NumTiles()))
 			strictComputeRHS(u, rhs)
-			r.ComputeFlops(nas.FlopsRHS * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
+			t.ComputeFlops(nas.FlopsRHS * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
 			for dim := range env.Eta {
 				strictBuildLHS(dim, env.Eta[dim], vecs)
-				r.ComputeFlops(nas.FlopsLHSBuild * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
-				runner.Run(r, dim)
+				t.ComputeFlops(nas.FlopsLHSBuild * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
+				runner.Run(t, dim)
 			}
 			if o.Enabled && step+1 < steps {
-				haloPre = u.PostHaloRecvs(r)
+				haloPre = u.PostHaloRecvs(t)
 			}
 			strictAdd(u, rhs)
-			r.ComputeFlops(nas.FlopsAdd * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
+			t.ComputeFlops(nas.FlopsAdd * float64(ownedElements(u)) * env.Overhead.ComputeFactor)
 		}
-		if g := GatherToRoot(r, u, sim.AlgAuto); g != nil {
-			out = g
+		if g := GatherToRoot(t, u, xport.AlgAuto); g != nil {
+			*out = g
 		}
-	})
-	if err != nil {
-		return nil, sim.Result{}, err
 	}
-	return out, res, nil
 }
 
 // initialAt evaluates nas.InitialState's formula pointwise so every rank

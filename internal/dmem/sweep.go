@@ -6,8 +6,8 @@ import (
 	"genmp/internal/dist"
 	"genmp/internal/grid"
 	"genmp/internal/plan"
-	"genmp/internal/sim"
 	"genmp/internal/sweep"
+	"genmp/internal/xport"
 )
 
 // SweepRunner executes line sweeps over one rank's strictly distributed
@@ -105,7 +105,7 @@ func NewSweepRunner(solver sweep.Solver, fields []*Field) *SweepRunner {
 // The helper builds a throwaway SweepRunner (and compiles a throwaway
 // plan) per call; loops should build one runner up front, sharing a
 // CompileSweepPlan instance, so schedule, bindings and arenas persist.
-func RunSweep(r *sim.Rank, solver sweep.Solver, fields []*Field, dim int) {
+func RunSweep(r xport.Transport, solver sweep.Solver, fields []*Field, dim int) {
 	NewSweepRunner(solver, fields).Run(r, dim)
 }
 
@@ -137,7 +137,7 @@ func (sr *SweepRunner) CompiledPlan() *plan.SweepPlan {
 }
 
 // Run performs the full sweep along dim for the calling rank.
-func (sr *SweepRunner) Run(r *sim.Rank, dim int) {
+func (sr *SweepRunner) Run(r xport.Transport, dim int) {
 	sr.ensurePlan()
 	sr.pass(r, dim, false)
 	if sr.Solver.BackwardCarryLen() > 0 || sr.Solver.BackwardFlopsPerElement() > 0 {
@@ -195,11 +195,11 @@ func (sr *SweepRunner) bindings(pp *plan.Pass, dim int, backward bool) [][]tileB
 	return out
 }
 
-func (sr *SweepRunner) pass(r *sim.Rank, dim int, backward bool) {
+func (sr *SweepRunner) pass(r xport.Transport, dim int, backward bool) {
 	solver := sr.Solver
 	fields := sr.Fields
 	env := fields[0].Env
-	q := r.ID
+	q := r.Rank()
 	pp := sr.Plan.Pass(q, dim, backward)
 	binds := sr.bindings(pp, dim, backward)
 	carryLen := pp.CarryLen
@@ -232,7 +232,7 @@ func (sr *SweepRunner) pass(r *sim.Rank, dim int, backward bool) {
 
 	// Overlap-annotated phases run the boundary-first schedule; preB/preI
 	// carry receive requests preposted for the next phase.
-	var preB, preI *sim.Request
+	var preB, preI xport.Request
 	for k := range pp.Phases {
 		ph := &pp.Phases[k]
 		if ph.Boundary > 0 {
@@ -329,7 +329,7 @@ func (sr *SweepRunner) pass(r *sim.Rank, dim int, backward bool) {
 
 		if ph.SendTo >= 0 && carryLen > 0 {
 			r.Compute(env.Overhead.PerMessage)
-			r.Send(ph.SendTo, ph.SendTag, sim.Msg{Bytes: ph.SendBytes, Payload: outBuf})
+			r.Send(ph.SendTo, ph.SendTag, xport.Msg{Bytes: ph.SendBytes, Payload: outBuf})
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"genmp/internal/plan"
 	"genmp/internal/sim"
 	"genmp/internal/sweep"
+	"genmp/internal/xport"
 )
 
 // BT-style benchmark: the NAS BT (Block Tridiagonal) pseudo-application is
@@ -196,7 +197,7 @@ func BTRunPlanned(env *dist.Env, mach *sim.Machine, steps int, u *grid.Grid, pl 
 	}
 	pipeline := pl != nil && pl.Overlap.Enabled
 	return mach.Run(func(r *sim.Rank) {
-		var haloPre []*sim.Request
+		var haloPre []xport.Request
 		for step := 0; step < steps; step++ {
 			r.BeginPhase(PhaseHalo)
 			env.ExchangeHalosPiped(r, haloDepth, 1, haloPre)

@@ -10,6 +10,7 @@ import (
 	"genmp/internal/plan"
 	"genmp/internal/sim"
 	"genmp/internal/sweep"
+	"genmp/internal/xport"
 )
 
 // spSolver is the pentadiagonal solver with the real SP's per-point flop
@@ -98,7 +99,7 @@ func RunPlanned(env *dist.Env, mach *sim.Machine, steps int, u *grid.Grid, pl *p
 	// real MPI runtime needs to overlap the step tail with halo traffic.
 	pipeline := pl != nil && pl.Overlap.Enabled
 	return mach.Run(func(r *sim.Rank) {
-		var haloPre []*sim.Request
+		var haloPre []xport.Request
 		for step := 0; step < steps; step++ {
 			r.BeginPhase(PhaseHalo)
 			env.ExchangeHalosPiped(r, haloDepth, 1, haloPre)

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"os"
 
+	"genmp/internal/grid"
 	"genmp/internal/plan"
+	"genmp/internal/xport"
 )
 
 // PlanSchema is the current plan_*.json schema version.
@@ -30,21 +32,26 @@ type PlanFile struct {
 
 // PlanJSON mirrors plan.SweepPlan field by field in a stable wire shape.
 type PlanJSON struct {
-	Kind          string         `json:"plan_kind"`
-	P             int            `json:"p"`
-	Eta           []int          `json:"eta"`
-	Gamma         []int          `json:"gamma,omitempty"`
-	Dim           int            `json:"dim"`
-	Grain         int            `json:"grain,omitempty"`
-	Solver        string         `json:"solver"`
-	ForwardCarry  int            `json:"forward_carry"`
-	BackwardCarry int            `json:"backward_carry"`
-	Halos         []int          `json:"halos,omitempty"`
-	Batch         int            `json:"batch,omitempty"`
-	TagSpace      string         `json:"tag_space"`
-	TagBase       int            `json:"tag_base"`
-	TagSize       int            `json:"tag_size"`
-	Ranks         []PlanRankJSON `json:"ranks"`
+	Kind          string `json:"plan_kind"`
+	P             int    `json:"p"`
+	Eta           []int  `json:"eta"`
+	Gamma         []int  `json:"gamma,omitempty"`
+	Dim           int    `json:"dim"`
+	Grain         int    `json:"grain,omitempty"`
+	Solver        string `json:"solver"`
+	ForwardCarry  int    `json:"forward_carry"`
+	BackwardCarry int    `json:"backward_carry"`
+	Halos         []int  `json:"halos,omitempty"`
+	Batch         int    `json:"batch,omitempty"`
+	TagSpace      string `json:"tag_space"`
+	TagBase       int    `json:"tag_base"`
+	TagSize       int    `json:"tag_size"`
+	// OverlapEnabled / OverlapFrac mirror plan.Overlap. Both omit when the
+	// plan was compiled without overlap, so pre-overlap dumps (and the
+	// committed fixtures) keep their historical bytes.
+	OverlapEnabled bool           `json:"overlap_enabled,omitempty"`
+	OverlapFrac    float64        `json:"overlap_frac,omitempty"`
+	Ranks          []PlanRankJSON `json:"ranks"`
 }
 
 // PlanRankJSON is one rank's pass table.
@@ -63,15 +70,20 @@ type PlanPassJSON struct {
 
 // PlanPhaseJSON is one phase of a pass.
 type PlanPhaseJSON struct {
-	Slab      int            `json:"slab"`
-	RecvFrom  int            `json:"recv_from"`
-	SendTo    int            `json:"send_to"`
-	RecvTag   int            `json:"recv_tag"`
-	SendTag   int            `json:"send_tag"`
-	RecvBytes int            `json:"recv_bytes"`
-	SendBytes int            `json:"send_bytes"`
-	Lines     int            `json:"lines"`
-	Tiles     []PlanTileJSON `json:"tiles"`
+	Slab      int `json:"slab"`
+	RecvFrom  int `json:"recv_from"`
+	SendTo    int `json:"send_to"`
+	RecvTag   int `json:"recv_tag"`
+	SendTag   int `json:"send_tag"`
+	RecvBytes int `json:"recv_bytes"`
+	SendBytes int `json:"send_bytes"`
+	Lines     int `json:"lines"`
+	// Boundary and the interior tags carry the overlap split annotation;
+	// they omit on unsplit phases, keeping pre-overlap dumps byte-stable.
+	Boundary        int            `json:"boundary,omitempty"`
+	InteriorRecvTag int            `json:"interior_recv_tag,omitempty"`
+	InteriorSendTag int            `json:"interior_send_tag,omitempty"`
+	Tiles           []PlanTileJSON `json:"tiles"`
 }
 
 // PlanTileJSON is one tile's geometry within a phase.
@@ -92,6 +104,7 @@ func NewPlanJSON(pl *plan.SweepPlan) PlanJSON {
 		Solver: pl.Solver, ForwardCarry: pl.ForwardCarry, BackwardCarry: pl.BackwardCarry,
 		Halos: pl.Halos, Batch: pl.Batch,
 		TagSpace: pl.Tags.Name(), TagBase: pl.Tags.Base(), TagSize: pl.Tags.Size(),
+		OverlapEnabled: pl.Overlap.Enabled, OverlapFrac: pl.Overlap.Frac,
 		Ranks: make([]PlanRankJSON, pl.P),
 	}
 	for q := 0; q < pl.P; q++ {
@@ -104,7 +117,9 @@ func NewPlanJSON(pl *plan.SweepPlan) PlanJSON {
 					Slab: ph.Slab, RecvFrom: ph.RecvFrom, SendTo: ph.SendTo,
 					RecvTag: ph.RecvTag, SendTag: ph.SendTag,
 					RecvBytes: ph.RecvBytes, SendBytes: ph.SendBytes,
-					Lines: ph.Lines, Tiles: make([]PlanTileJSON, len(ph.Tiles)),
+					Lines: ph.Lines, Boundary: ph.Boundary,
+					InteriorRecvTag: ph.InteriorRecvTag, InteriorSendTag: ph.InteriorSendTag,
+					Tiles: make([]PlanTileJSON, len(ph.Tiles)),
 				}
 				for t, tg := range ph.Tiles {
 					phj.Tiles[t] = PlanTileJSON{Coord: tg.Coord, Lo: tg.Rect.Lo, Hi: tg.Rect.Hi,
@@ -149,6 +164,77 @@ func ReadPlanJSON(path string) (PlanFile, error) {
 		return PlanFile{}, fmt.Errorf("obs: %s: unsupported plan schema %d (this build reads schema %d)", path, pf.Schema, PlanSchema)
 	}
 	return pf, nil
+}
+
+// PlanFromJSON reconstructs a compiled SweepPlan from its wire shape — the
+// worker side of plan shipping: one node compiles and dumps, every other
+// node loads the schedule instead of recompiling. The tag space is resolved
+// back to the live registry by name (reservations are package-init
+// constants, so a matching build has it), and the result is Validated so a
+// corrupted or cross-version dump fails loudly rather than deadlocking an
+// executor. Round-tripping is lossless: the reconstruction's Fingerprint
+// equals the original's.
+func PlanFromJSON(pj PlanJSON) (*plan.SweepPlan, error) {
+	ts, ok := xport.LookupTags(pj.TagSpace)
+	if !ok {
+		return nil, fmt.Errorf("obs: plan tag space %q is not reserved in this build", pj.TagSpace)
+	}
+	if ts.Base() != pj.TagBase || ts.Size() != pj.TagSize {
+		return nil, fmt.Errorf("obs: plan tag space %q is [%d,+%d) in this build but the dump recorded [%d,+%d)",
+			pj.TagSpace, ts.Base(), ts.Size(), pj.TagBase, pj.TagSize)
+	}
+	if len(pj.Ranks) != pj.P {
+		return nil, fmt.Errorf("obs: plan records %d rank tables for p = %d", len(pj.Ranks), pj.P)
+	}
+	pl := &plan.SweepPlan{
+		Kind: plan.Kind(pj.Kind), P: pj.P, Eta: pj.Eta, Gamma: pj.Gamma,
+		Dim: pj.Dim, Grain: pj.Grain,
+		Solver: pj.Solver, ForwardCarry: pj.ForwardCarry, BackwardCarry: pj.BackwardCarry,
+		Halos: pj.Halos, Batch: pj.Batch,
+		Tags:    ts,
+		Overlap: plan.Overlap{Enabled: pj.OverlapEnabled, Frac: pj.OverlapFrac},
+		Passes:  make([][]plan.Pass, pj.P),
+	}
+	for q, rj := range pj.Ranks {
+		if rj.Rank != q {
+			return nil, fmt.Errorf("obs: plan rank table %d records rank %d", q, rj.Rank)
+		}
+		pl.Passes[q] = make([]plan.Pass, len(rj.Passes))
+		for k, pjp := range rj.Passes {
+			pass := plan.Pass{Dim: pjp.Dim, Backward: pjp.Backward, CarryLen: pjp.CarryLen,
+				Phases: make([]plan.Phase, len(pjp.Phases))}
+			for i, phj := range pjp.Phases {
+				ph := plan.Phase{
+					Slab: phj.Slab, RecvFrom: phj.RecvFrom, SendTo: phj.SendTo,
+					RecvTag: phj.RecvTag, SendTag: phj.SendTag,
+					RecvBytes: phj.RecvBytes, SendBytes: phj.SendBytes,
+					Lines: phj.Lines, Boundary: phj.Boundary,
+					InteriorRecvTag: phj.InteriorRecvTag, InteriorSendTag: phj.InteriorSendTag,
+					Tiles: make([]plan.Tile, len(phj.Tiles)),
+				}
+				for t, tj := range phj.Tiles {
+					ph.Tiles[t] = plan.Tile{Coord: tj.Coord, Rect: grid.RectOf(tj.Lo, tj.Hi),
+						LineOff: tj.LineOff, Lines: tj.Lines, ChunkLen: tj.ChunkLen}
+				}
+				pass.Phases[i] = ph
+			}
+			pl.Passes[q][k] = pass
+		}
+	}
+	if err := pl.Validate(); err != nil {
+		return nil, fmt.Errorf("obs: reconstructed plan: %w", err)
+	}
+	return pl, nil
+}
+
+// LoadPlan reads a plan dump and reconstructs the compiled schedule —
+// ReadPlanJSON then PlanFromJSON.
+func LoadPlan(path string) (*plan.SweepPlan, error) {
+	pf, err := ReadPlanJSON(path)
+	if err != nil {
+		return nil, err
+	}
+	return PlanFromJSON(pf.Plan)
 }
 
 // PlanAuditRow is one phase of the plan-vs-profile traffic audit: the

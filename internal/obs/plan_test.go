@@ -78,6 +78,65 @@ func TestWritePlanJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPlanFromJSONFingerprint: dump → read → reconstruct must be lossless —
+// the round-tripped plan's Fingerprint is byte-equal to the original's,
+// with and without the overlap annotation. This is the contract plan
+// shipping rests on: a worker loading the dump executes the same schedule
+// the compiling node ran.
+func TestPlanFromJSONFingerprint(t *testing.T) {
+	m, err := core.NewGeneralized(4, []int{2, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range []plan.Overlap{{}, {Enabled: true}, {Enabled: true, Frac: 0.3}} {
+		pl, err := plan.Compile(plan.Spec{M: m, Eta: []int{8, 8, 8}, Solver: sweep.Tridiag{},
+			Halos: []int{2}, Batch: 8, Overlap: o})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "plan.json")
+		if err := WritePlanJSON(path, "fingerprint test", pl); err != nil {
+			t.Fatal(err)
+		}
+		pf, err := ReadPlanJSON(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := PlanFromJSON(pf.Plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Fingerprint() != pl.Fingerprint() {
+			t.Errorf("overlap %+v: round-tripped fingerprint differs from the original", o)
+		}
+		if got.Halos == nil || got.Halos[0] != 2 || got.Batch != 8 {
+			t.Errorf("overlap %+v: layout metadata lost: halos %v batch %d", o, got.Halos, got.Batch)
+		}
+		// LoadPlan is the one-call worker path.
+		got2, err := LoadPlan(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got2.Fingerprint() != pl.Fingerprint() {
+			t.Errorf("overlap %+v: LoadPlan fingerprint differs", o)
+		}
+	}
+
+	// A dump naming an unreserved tag space must fail to reconstruct.
+	pl := compileTestPlan(t)
+	pj := NewPlanJSON(pl)
+	pj.TagSpace = "no/such/space"
+	if _, err := PlanFromJSON(pj); err == nil {
+		t.Error("unknown tag space should fail reconstruction")
+	}
+	// A dump whose recorded range disagrees with the live reservation too.
+	pj = NewPlanJSON(pl)
+	pj.TagBase++
+	if _, err := PlanFromJSON(pj); err == nil {
+		t.Error("mismatched tag base should fail reconstruction")
+	}
+}
+
 func TestAuditPlanBytes(t *testing.T) {
 	pl := compileTestPlan(t)
 	steps := 2

@@ -11,7 +11,7 @@
 // The IR materializes, per rank × sweep dimension × direction, the full
 // phase schedule: neighbor ranks, tile line geometry in canonical
 // (row-major tile, row-major line) order, carry byte counts, and message
-// tags drawn from the shared sim.ReserveTags reservation. Validate checks
+// tags drawn from the shared xport.ReserveTags reservation. Validate checks
 // the properties the executors rely on: a single neighbor per direction
 // (the paper's neighbor property), tag disjointness per channel, and
 // byte-count symmetry between matching send/recv phases.
@@ -24,15 +24,15 @@ import (
 	"genmp/internal/core"
 	"genmp/internal/grid"
 	"genmp/internal/numutil"
-	"genmp/internal/sim"
 	"genmp/internal/sweep"
+	"genmp/internal/xport"
 )
 
 // SweepTags is the shared tag reservation all compiled sweep schedules mint
 // from. Both runtimes (dist and dmem) execute plans drawn from this single
 // space: their sweeps never share a machine, and per-channel FIFO order
 // disambiguates messages within one run.
-var SweepTags = sim.ReserveTags("plan/sweep", 1<<28, 1<<28)
+var SweepTags = xport.ReserveTags("plan/sweep", 1<<28, 1<<28)
 
 // Spec is the input of Compile: everything a multipartitioned sweep
 // schedule depends on.
@@ -54,7 +54,7 @@ type Spec struct {
 	Batch int
 	// Tags is the tag space messages are minted from; the zero value picks
 	// SweepTags.
-	Tags sim.TagSpace
+	Tags xport.TagSpace
 	// Overlap enables the boundary-first split annotation (see Overlap).
 	Overlap Overlap
 }
@@ -75,7 +75,7 @@ type WavefrontSpec struct {
 	// Batch is the executor's kernel panel-width knob (metadata).
 	Batch int
 	// Tags is the tag space; the zero value picks SweepTags.
-	Tags sim.TagSpace
+	Tags xport.TagSpace
 	// Overlap enables the boundary-first split annotation (see Overlap).
 	Overlap Overlap
 }
@@ -179,7 +179,7 @@ type SweepPlan struct {
 	Halos []int
 	Batch int
 	// Tags is the reservation every RecvTag/SendTag falls in.
-	Tags sim.TagSpace
+	Tags xport.TagSpace
 	// Overlap records whether (and how) the plan's phases carry the
 	// boundary-first split annotation. Executors switch schedules on it;
 	// plans compiled with it off are byte-identical to pre-overlap compiles.
@@ -209,7 +209,7 @@ func (pl *SweepPlan) Pass(q, dim int, backward bool) *Pass {
 // the (dim, direction) pair selects a 2²⁰-tag band, the boundary index the
 // offset within it. Identical to the formula both runtimes historically
 // used, so dist-side tag values are unchanged.
-func sweepTag(ts sim.TagSpace, dim int, backward bool, phase int) int {
+func sweepTag(ts xport.TagSpace, dim int, backward bool, phase int) int {
 	pass := 0
 	if backward {
 		pass = 1
@@ -291,7 +291,7 @@ func Compile(spec Spec) (pl *SweepPlan, err error) {
 
 // compileMultiPass resolves one rank's phase schedule for one (dim,
 // direction) from the runtime sweep schedule and the tile bounds.
-func compileMultiPass(spec Spec, tags sim.TagSpace, q, dim int, backward bool, carry int) []Phase {
+func compileMultiPass(spec Spec, tags xport.TagSpace, q, dim int, backward bool, carry int) []Phase {
 	step := 1
 	if backward {
 		step = -1
@@ -412,7 +412,7 @@ func CompileWavefront(spec WavefrontSpec) (pl *SweepPlan, err error) {
 
 // compileWavefrontPass resolves one rank's pipeline blocks for one
 // direction.
-func compileWavefrontPass(spec WavefrontSpec, tags sim.TagSpace, q int, backward bool, carry int) []Phase {
+func compileWavefrontPass(spec WavefrontSpec, tags xport.TagSpace, q int, backward bool, carry int) []Phase {
 	lo := make([]int, len(spec.Eta))
 	hi := numutil.CopyInts(spec.Eta)
 	lo[spec.Dim], hi[spec.Dim] = core.BlockRange(spec.Eta[spec.Dim], spec.P, q)

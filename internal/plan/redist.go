@@ -1,6 +1,6 @@
 package plan
 
-import "genmp/internal/sim"
+import "genmp/internal/xport"
 
 // RedistTags is the tag reservation redistribution schedules mint from by
 // default — the plan layer's tag discipline (central reservation, Validate
@@ -9,4 +9,4 @@ import "genmp/internal/sim"
 // internal/redist. Wrappers that must reproduce a historical schedule
 // bit-for-bit (the dist and dmem halo exchanges) pass their legacy spaces
 // instead, so existing tag values on the wire are unchanged.
-var RedistTags = sim.ReserveTags("plan/redist", 1<<27, 64)
+var RedistTags = xport.ReserveTags("plan/redist", 1<<27, 64)

@@ -7,7 +7,7 @@ import (
 	"genmp/internal/grid"
 	"genmp/internal/numutil"
 	"genmp/internal/plan"
-	"genmp/internal/sim"
+	"genmp/internal/xport"
 )
 
 // Spec is the input of Compile: a full source→target redistribution.
@@ -25,7 +25,7 @@ type Spec struct {
 	// Tags is unused by OpAllToAll schedules (the collective brings its
 	// own space) but recorded for Validate; the zero value picks
 	// plan.RedistTags.
-	Tags sim.TagSpace
+	Tags xport.TagSpace
 }
 
 // HaloSpec is the input of CompileHalo: the stencil boundary exchange of a
@@ -42,7 +42,7 @@ type HaloSpec struct {
 	// Tags is the tag space of the per-direction messages; the zero value
 	// picks plan.RedistTags. The dist and dmem wrappers pass their legacy
 	// spaces so historical tag values are preserved.
-	Tags sim.TagSpace
+	Tags xport.TagSpace
 }
 
 // intersect returns the overlap of two rects and whether it is non-empty.

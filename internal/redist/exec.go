@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"genmp/internal/numutil"
-	"genmp/internal/sim"
+	"genmp/internal/xport"
 )
 
 // Binding locates a Move's data in one rank's storage. Extract packs the
@@ -20,7 +20,7 @@ type Binding interface {
 type ExecOpts struct {
 	// Coll selects the collective algorithm for OpAllToAll steps (AlgAuto
 	// defers to the machine default and then to the legacy pairwise walk).
-	Coll sim.Alg
+	Coll xport.Alg
 	// PerMessage is the per-message CPU overhead bracketing every
 	// constituent send and receive, as the historical paths charged.
 	PerMessage float64
@@ -31,28 +31,28 @@ type ExecOpts struct {
 	// OpExchange step waits its preposted request instead of issuing a
 	// blocking receive. nil falls back to the blocking exchange. The slice
 	// must come from PostRecvs(r, pl) with the same rank and plan.
-	Preposted []*sim.Request
+	Preposted []xport.Request
 }
 
 // PostRecvs posts nonblocking receives for every OpExchange step of the
 // plan, in schedule order, and returns the requests for a later Execute
 // with ExecOpts.Preposted. Waiting is free until the matching sends are
-// posted and the requests are waited (sim.Irecv costs nothing at post
+// posted and the requests are waited (Irecv costs nothing at post
 // time), so preposting across a compute region is timing-neutral in
 // virtual time while exercising the real MPI-style discipline. Returns nil
 // for ranks outside the plan's world or plans with no exchange steps.
-func PostRecvs(r *sim.Rank, pl *Plan) []*sim.Request {
-	if r.ID >= pl.P {
+func PostRecvs(t xport.Transport, pl *Plan) []xport.Request {
+	if t.Rank() >= pl.P {
 		return nil
 	}
-	var reqs []*sim.Request
+	var reqs []xport.Request
 	for si := range pl.Steps {
 		step := &pl.Steps[si]
 		if step.Op != OpExchange {
 			continue
 		}
-		e := step.Exch[r.ID]
-		reqs = append(reqs, r.Irecv(e.Src, e.Tag))
+		e := step.Exch[t.Rank()]
+		reqs = append(reqs, t.Irecv(e.Src, e.Tag))
 	}
 	return reqs
 }
@@ -78,29 +78,29 @@ type ExecStats struct {
 // operation order, message sizes, tags, per-message overhead bracketing —
 // reproduces the historical hand-built paths bit for bit when the plan came
 // from their wrappers.
-func Execute(r *sim.Rank, pl *Plan, o ExecOpts) ExecStats {
-	q := r.ID
+func Execute(t xport.Transport, pl *Plan, o ExecOpts) ExecStats {
+	q := t.Rank()
 	var st ExecStats
 	exch := 0
 	for si := range pl.Steps {
 		step := &pl.Steps[si]
 		switch step.Op {
 		case OpExchange:
-			var pre *sim.Request
+			var pre xport.Request
 			if exch < len(o.Preposted) {
 				pre = o.Preposted[exch]
 			}
 			exch++
-			execExchange(r, pl, step, q, o, &st, pre)
+			execExchange(t, pl, step, q, o, &st, pre)
 		default:
-			execAllToAll(r, pl, step, si, q, o, &st)
+			execAllToAll(t, pl, step, si, q, o, &st)
 		}
 	}
 	countExecute(st.SentBytes, st.LocalBytes, st.Messages)
 	return st
 }
 
-func execAllToAll(r *sim.Rank, pl *Plan, step *Step, si, q int, o ExecOpts, st *ExecStats) {
+func execAllToAll(t xport.Transport, pl *Plan, step *Step, si, q int, o ExecOpts, st *ExecStats) {
 	var sends, recvs, locals []Move
 	if q < pl.P {
 		sends, recvs, locals = step.Sends[q], step.Recvs[q], step.Locals[q]
@@ -111,31 +111,31 @@ func execAllToAll(r *sim.Rank, pl *Plan, step *Step, si, q int, o ExecOpts, st *
 		st.LocalBytes += m.Bytes
 		st.PeakBytes = numutil.MaxInt(st.PeakBytes, m.Bytes)
 		if o.Bind != nil {
-			buf := r.GetPayload(m.Bytes / 8)
+			buf := t.GetPayload(m.Bytes / 8)
 			o.Bind.Extract(m, buf)
 			o.Bind.Inject(m, buf)
-			r.PutPayload(buf)
+			t.PutPayload(buf)
 		}
 	}
 	// The collective round. P == 1 plans have no wire traffic and skip it
 	// entirely — the legacy single-rank transpose emitted nothing.
-	if r.P() == 1 {
+	if t.P() == 1 {
 		return
 	}
 	var sizes []int
 	if q < pl.P {
-		sizes = pl.SendSizes(q, si, r.P())
+		sizes = pl.SendSizes(q, si, t.P())
 	} else {
-		sizes = make([]int, r.P())
+		sizes = make([]int, t.P())
 	}
 	staged := 0
 	var data [][]float64
 	if o.Bind != nil {
-		data = make([][]float64, r.P())
-		pos := make([]int, r.P())
+		data = make([][]float64, t.P())
+		pos := make([]int, t.P())
 		for _, m := range sends {
 			if data[m.To] == nil {
-				data[m.To] = r.GetPayload(sizes[m.To] / 8)
+				data[m.To] = t.GetPayload(sizes[m.To] / 8)
 			}
 			n := m.Bytes / 8
 			o.Bind.Extract(m, data[m.To][pos[m.To]:pos[m.To]+n])
@@ -156,7 +156,7 @@ func execAllToAll(r *sim.Rank, pl *Plan, step *Step, si, q int, o ExecOpts, st *
 			st.Messages++
 		}
 	}
-	out := r.AllToAll(sizes, data, sim.CollOpts{Alg: o.Coll, PerMessage: o.PerMessage})
+	out := t.AllToAll(sizes, data, xport.CollOpts{Alg: o.Coll, PerMessage: o.PerMessage})
 	if o.Bind != nil {
 		pos := make([]int, pl.P)
 		for _, m := range recvs {
@@ -169,13 +169,13 @@ func execAllToAll(r *sim.Rank, pl *Plan, step *Step, si, q int, o ExecOpts, st *
 				if pos[src] != len(buf) {
 					panic(fmt.Sprintf("redist: rank %d consumed %d of %d words from rank %d", q, pos[src], len(buf), src))
 				}
-				r.PutPayload(buf)
+				t.PutPayload(buf)
 			}
 		}
 	}
 }
 
-func execExchange(r *sim.Rank, pl *Plan, step *Step, q int, o ExecOpts, st *ExecStats, pre *sim.Request) {
+func execExchange(t xport.Transport, pl *Plan, step *Step, q int, o ExecOpts, st *ExecStats, pre xport.Request) {
 	if q >= pl.P {
 		return // exchanges are point-to-point among the plan's ranks
 	}
@@ -189,28 +189,28 @@ func execExchange(r *sim.Rank, pl *Plan, step *Step, q int, o ExecOpts, st *Exec
 	// exchange runs the step's wire traffic: the blocking Exchange, or —
 	// with a preposted receive — the same send followed by waiting the
 	// request, which performs the identical virtual-time arithmetic.
-	exchange := func(m sim.Msg) sim.Msg {
+	exchange := func(m xport.Msg) xport.Msg {
 		if pre == nil {
-			return r.Exchange(e.Dst, e.Src, e.Tag, m, o.PerMessage)
+			return t.Exchange(e.Dst, e.Src, e.Tag, m, o.PerMessage)
 		}
-		r.Compute(o.PerMessage)
-		r.Send(e.Dst, e.Tag, m)
+		t.Compute(o.PerMessage)
+		t.Send(e.Dst, e.Tag, m)
 		got := pre.Wait()
-		r.Compute(o.PerMessage)
+		t.Compute(o.PerMessage)
 		return got
 	}
 	if o.Bind == nil {
-		exchange(sim.Msg{Bytes: e.SendBytes})
+		exchange(xport.Msg{Bytes: e.SendBytes})
 		return
 	}
-	payload := r.GetPayload(e.SendBytes / 8)
+	payload := t.GetPayload(e.SendBytes / 8)
 	pos := 0
 	for _, m := range step.Sends[q] {
 		n := m.Bytes / 8
 		o.Bind.Extract(m, payload[pos:pos+n])
 		pos += n
 	}
-	got := exchange(sim.Msg{Payload: payload})
+	got := exchange(xport.Msg{Payload: payload})
 	pos = 0
 	for _, m := range step.Recvs[q] {
 		n := m.Bytes / 8
@@ -220,5 +220,5 @@ func execExchange(r *sim.Rank, pl *Plan, step *Step, q int, o ExecOpts, st *Exec
 	if pos != len(got.Payload) {
 		panic(fmt.Sprintf("redist: rank %d consumed %d of %d words exchanging with rank %d", q, pos, len(got.Payload), e.Src))
 	}
-	r.PutPayload(got.Payload)
+	t.PutPayload(got.Payload)
 }

@@ -24,7 +24,7 @@ import (
 	"sync"
 
 	"genmp/internal/grid"
-	"genmp/internal/sim"
+	"genmp/internal/xport"
 )
 
 // Op is the collective primitive a Step lowers onto.
@@ -97,15 +97,15 @@ type Plan struct {
 	Kind Kind
 	// P is the world size the executor runs under: max(FromP, ToP). Ranks
 	// in [FromP, P) only receive; ranks in [ToP, P) only send.
-	P            int
-	FromP, ToP   int
-	From, To     string
-	Eta          []int
-	NGrids       int
+	P          int
+	FromP, ToP int
+	From, To   string
+	Eta        []int
+	NGrids     int
 	// Depth is the halo width of a KindHalo plan (0 otherwise).
 	Depth int
 	// Tags is the reservation every Exch tag falls in.
-	Tags sim.TagSpace
+	Tags xport.TagSpace
 	// MaxBytes is the accountant's per-rank staging budget (0 = unbounded:
 	// the whole move runs in one round).
 	MaxBytes int

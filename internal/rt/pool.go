@@ -1,0 +1,44 @@
+package rt
+
+import "sync"
+
+// payloadPool recycles message payload buffers machine-wide, mirroring the
+// simulator's pool: buffers hand off between ranks through messages, so
+// one shared LIFO keeps the population balanced no matter which direction
+// traffic flows. Safe for concurrent use by all rank goroutines.
+type payloadPool struct {
+	mu   sync.Mutex
+	bufs [][]float64
+}
+
+// poolMaxBufs bounds the free list; beyond it buffers go to the garbage
+// collector.
+const poolMaxBufs = 256
+
+func (p *payloadPool) get(n int) []float64 {
+	p.mu.Lock()
+	for i := len(p.bufs) - 1; i >= 0; i-- {
+		if cap(p.bufs[i]) >= n {
+			buf := p.bufs[i]
+			last := len(p.bufs) - 1
+			p.bufs[i] = p.bufs[last]
+			p.bufs[last] = nil
+			p.bufs = p.bufs[:last]
+			p.mu.Unlock()
+			return buf[:n]
+		}
+	}
+	p.mu.Unlock()
+	return make([]float64, n)
+}
+
+func (p *payloadPool) put(buf []float64) {
+	if cap(buf) == 0 {
+		return
+	}
+	p.mu.Lock()
+	if len(p.bufs) < poolMaxBufs {
+		p.bufs = append(p.bufs, buf)
+	}
+	p.mu.Unlock()
+}

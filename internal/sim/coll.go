@@ -11,70 +11,41 @@
 // one labeled collective interval instead of double-counted pieces.
 package sim
 
-import "fmt"
+import (
+	"fmt"
 
-// Alg selects a collective algorithm.
-type Alg int
+	"genmp/internal/xport"
+)
+
+// The algorithm enum and call options moved to internal/xport with the
+// transport carve-out (plan consumers carry them in transport-neutral
+// options structs); the aliases keep historical sim.AlgAuto / sim.CollOpts
+// spellings working unchanged.
+
+// Alg selects a collective algorithm (see xport.Alg).
+type Alg = xport.Alg
 
 const (
 	// AlgAuto picks the machine default (Machine.Coll), falling back to
 	// each primitive's legacy algorithm — the one whose timing matches the
 	// pre-collective hand-rolled loops bit for bit.
-	AlgAuto Alg = iota
+	AlgAuto = xport.AlgAuto
 	// AlgPairwise exchanges directly with every peer (p−1 messages each).
-	AlgPairwise
+	AlgPairwise = xport.AlgPairwise
 	// AlgRing forwards blocks around a ring in p−1 steps.
-	AlgRing
+	AlgRing = xport.AlgRing
 	// AlgDoubling exchanges with hypercube partners in ⌈log₂ p⌉ rounds.
-	AlgDoubling
+	AlgDoubling = xport.AlgDoubling
 	// AlgBruck is the log-round store-and-forward all-to-all; for tree
 	// collectives it selects the binomial tree.
-	AlgBruck
+	AlgBruck = xport.AlgBruck
 )
 
-// String names the algorithm as accepted by ParseAlg.
-func (a Alg) String() string {
-	switch a {
-	case AlgPairwise:
-		return "pairwise"
-	case AlgRing:
-		return "ring"
-	case AlgDoubling:
-		return "doubling"
-	case AlgBruck:
-		return "bruck"
-	default:
-		return "auto"
-	}
-}
-
 // ParseAlg parses a collective-algorithm name (the -coll flag values).
-func ParseAlg(s string) (Alg, error) {
-	switch s {
-	case "", "auto":
-		return AlgAuto, nil
-	case "pairwise", "direct":
-		return AlgPairwise, nil
-	case "ring":
-		return AlgRing, nil
-	case "doubling", "rd":
-		return AlgDoubling, nil
-	case "bruck":
-		return AlgBruck, nil
-	}
-	return AlgAuto, fmt.Errorf("sim: unknown collective algorithm %q (want auto, pairwise, ring, doubling or bruck)", s)
-}
+func ParseAlg(s string) (Alg, error) { return xport.ParseAlg(s) }
 
-// CollOpts tunes one collective call.
-type CollOpts struct {
-	// Alg selects the algorithm; AlgAuto defers to Machine.Coll and then
-	// to the primitive's legacy default.
-	Alg Alg
-	// PerMessage is CPU time charged around each constituent message
-	// (software packing overhead), matching the distribution layers'
-	// historical Compute(PerMessage) bracketing. Zero charges nothing.
-	PerMessage float64
-}
+// CollOpts tunes one collective call (see xport.CollOpts).
+type CollOpts = xport.CollOpts
 
 // resolveAlg applies the AlgAuto chain: call option, then machine default.
 // The caller maps a remaining AlgAuto to its own legacy algorithm.

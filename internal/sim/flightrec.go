@@ -152,8 +152,8 @@ func (mb *mailbox) mailboxState() (waiting map[int]msgKey, pending []pendingMsg)
 			continue
 		}
 		bytes := 0
-		for _, m := range q {
-			bytes += m.Bytes
+		for _, env := range q {
+			bytes += env.msg.Bytes
 		}
 		pending = append(pending, pendingMsg{src: k.src, dst: k.dst, tag: k.tag, count: len(q), bytes: bytes})
 	}

@@ -26,7 +26,11 @@
 // inherit the schedule unchanged.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"genmp/internal/xport"
+)
 
 // Request is the handle of one outstanding nonblocking operation. Every
 // request must be completed by exactly one Wait (or via WaitAll); a failed
@@ -66,7 +70,7 @@ func (q *Request) Tag() int { return q.tag }
 // bit-identical to Send posted at the same clock; the request handle exists
 // for completion discipline and post-mortems. The event kind is EvIsend so
 // traces and the causal DAG distinguish overlapped injections.
-func (r *Rank) Isend(dst, tag int, m Msg) *Request {
+func (r *Rank) Isend(dst, tag int, m Msg) xport.Request {
 	if dst < 0 || dst >= r.machine.P {
 		panic(fmt.Sprintf("sim: Isend to rank %d of %d", dst, r.machine.P))
 	}
@@ -77,7 +81,7 @@ func (r *Rank) Isend(dst, tag int, m Msg) *Request {
 	m.Tag = tag
 	r.clock += r.machine.Net.SendOverhead
 	r.addComm(r.machine.Net.SendOverhead)
-	m.sent = r.machine.Fabric.Inject(r.ID, dst, r.clock, m.Bytes)
+	sent := r.machine.Fabric.Inject(r.ID, dst, r.clock, m.Bytes)
 	r.addSent(dst, m.Bytes)
 	if mm := r.machine.mm; mm != nil {
 		mm.sent(r.ID, dst, m.Bytes)
@@ -86,7 +90,7 @@ func (r *Rank) Isend(dst, tag int, m Msg) *Request {
 	if r.observing() {
 		r.emit(Event{Rank: r.ID, Kind: EvIsend, Start: r.clock - r.machine.Net.SendOverhead, End: r.clock, Peer: dst, Bytes: m.Bytes, Tag: tag, Phase: r.phase})
 	}
-	r.mb.put(msgKey{src: r.ID, dst: dst, tag: tag}, m)
+	r.mb.put(msgKey{src: r.ID, dst: dst, tag: tag}, m, sent)
 	return r.newRequest(true, dst, tag, m.Bytes)
 }
 
@@ -94,7 +98,7 @@ func (r *Rank) Isend(dst, tag int, m Msg) *Request {
 // time — matching and every cost component happen at Wait — and leaves an
 // EvIrecv marker on the timeline so traces show where the post happened
 // relative to the compute that hides the wire.
-func (r *Rank) Irecv(src, tag int) *Request {
+func (r *Rank) Irecv(src, tag int) xport.Request {
 	if src < 0 || src >= r.machine.P {
 		panic(fmt.Sprintf("sim: Irecv from rank %d of %d", src, r.machine.P))
 	}
@@ -151,12 +155,12 @@ func (q *Request) Wait() Msg {
 	if fr := r.machine.Flight; fr != nil {
 		fr.record(r.ID, Event{Rank: r.ID, Kind: EvBlocked, Start: waitStart, End: waitStart, Peer: q.peer, Tag: q.tag, Phase: r.phase})
 	}
-	m, err := r.mb.get(key)
+	m, sent, err := r.mb.get(key)
 	if err != nil {
 		panic(err)
 	}
 	fab := r.machine.Fabric
-	headArrive := m.sent + fab.HeadLatency(q.peer, r.ID)
+	headArrive := sent + fab.HeadLatency(q.peer, r.ID)
 	wait := 0.0
 	if headArrive > r.clock {
 		wait = headArrive - r.clock
@@ -176,7 +180,7 @@ func (q *Request) Wait() Msg {
 
 // WaitAll completes every request in order. Callers that need the received
 // payloads should Wait the receive requests individually.
-func (r *Rank) WaitAll(reqs ...*Request) {
+func (r *Rank) WaitAll(reqs ...xport.Request) {
 	for _, q := range reqs {
 		if q != nil {
 			q.Wait()

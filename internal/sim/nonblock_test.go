@@ -4,6 +4,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"genmp/internal/xport"
 )
 
 // Isend + Wait must be timing-identical to Send: injection is eager and
@@ -110,13 +112,13 @@ func TestNonblockingFIFOMatching(t *testing.T) {
 	_, err := m.Run(func(r *Rank) {
 		const n = 4
 		if r.ID == 0 {
-			var reqs []*Request
+			var reqs []xport.Request
 			for k := 0; k < n; k++ {
 				reqs = append(reqs, r.Isend(1, 7, Msg{Payload: []float64{float64(k)}}))
 			}
 			r.WaitAll(reqs...)
 		} else {
-			var reqs []*Request
+			var reqs []xport.Request
 			for k := 0; k < n; k++ {
 				reqs = append(reqs, r.Irecv(0, 7))
 			}

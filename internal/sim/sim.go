@@ -22,7 +22,12 @@ import (
 	"sync"
 
 	"genmp/internal/obs/metrics"
+	"genmp/internal/xport"
 )
+
+// A Rank is the virtual-time implementation of the transport interface the
+// plan executors run against; internal/rt provides the wall-clock one.
+var _ xport.Transport = (*Rank)(nil)
 
 // Network models the communication fabric. Transit time of an n-byte
 // message is Latency + n/Bandwidth(p); the sender additionally spends
@@ -253,15 +258,21 @@ func (r Result) TotalMessages() int {
 	return n
 }
 
-// Msg is a point-to-point message.
-type Msg struct {
-	Src, Tag int
-	Bytes    int       // modeled size; 8·len(Payload) if left 0 with a payload
-	Payload  []float64 // optional data (nil in model-only runs)
-	sent     float64   // sender's virtual time at injection
-}
+// Msg is a point-to-point message (see xport.Msg; the struct moved with
+// the transport carve-out so plan consumers can build messages without
+// importing the simulator).
+type Msg = xport.Msg
 
 type msgKey struct{ src, dst, tag int }
+
+// envelope is a queued message plus the simulator-private injection
+// timestamp (the sender's virtual time when the fabric accepted it). The
+// timestamp used to be an unexported Msg field; it rides in the mailbox
+// now so Msg itself is transport-neutral.
+type envelope struct {
+	msg  Msg
+	sent float64
+}
 
 // mailbox matches sends to receives with per-(src,dst,tag) FIFO order.
 // Deadlock detection: when every live rank is blocked in a receive and none
@@ -272,11 +283,11 @@ type msgKey struct{ src, dst, tag int }
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queues map[msgKey][]*Msg
+	queues map[msgKey][]*envelope
 	// free recycles message envelopes, and drained queues keep their map
 	// entry and backing array, so steady-state messaging allocates nothing
 	// (the executors' hot loops send one message per phase or per block).
-	free     []*Msg
+	free     []*envelope
 	waiting  map[int]msgKey // dst rank → key it is blocked on
 	alive    int
 	blocked  int
@@ -293,7 +304,7 @@ const mailboxMaxFree = 1024
 
 func newMailbox(p int) *mailbox {
 	mb := &mailbox{
-		queues:  make(map[msgKey][]*Msg),
+		queues:  make(map[msgKey][]*envelope),
 		waiting: make(map[int]msgKey),
 		alive:   p,
 	}
@@ -308,7 +319,7 @@ func (mb *mailbox) reset(p int) {
 	mb.mu.Lock()
 	for k, q := range mb.queues {
 		for i, env := range q {
-			*env = Msg{}
+			*env = envelope{}
 			if len(mb.free) < mailboxMaxFree {
 				mb.free = append(mb.free, env)
 			}
@@ -339,9 +350,9 @@ func (mb *mailbox) isDeadlocked() bool {
 	return mb.deadlock
 }
 
-func (mb *mailbox) put(k msgKey, m Msg) {
+func (mb *mailbox) put(k msgKey, m Msg, sent float64) {
 	mb.mu.Lock()
-	var env *Msg
+	var env *envelope
 	if n := len(mb.free); n > 0 {
 		env = mb.free[n-1]
 		mb.free[n-1] = nil
@@ -351,13 +362,13 @@ func (mb *mailbox) put(k msgKey, m Msg) {
 			mb.mm.envReused.Inc()
 		}
 	} else {
-		env = new(Msg)
+		env = new(envelope)
 		mb.envNew++
 		if mb.mm != nil {
 			mb.mm.envNew.Inc()
 		}
 	}
-	*env = m
+	*env = envelope{msg: m, sent: sent}
 	mb.queues[k] = append(mb.queues[k], env)
 	mb.mu.Unlock()
 	mb.cond.Broadcast()
@@ -374,7 +385,7 @@ func (mb *mailbox) anyDeliverable() bool {
 	return false
 }
 
-func (mb *mailbox) get(k msgKey) (Msg, error) {
+func (mb *mailbox) get(k msgKey) (Msg, float64, error) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for {
@@ -385,19 +396,19 @@ func (mb *mailbox) get(k msgKey) (Msg, error) {
 			copy(q, q[1:])
 			q[len(q)-1] = nil
 			mb.queues[k] = q[:len(q)-1]
-			m := *env
-			*env = Msg{}
+			m, sent := env.msg, env.sent
+			*env = envelope{}
 			if len(mb.free) < mailboxMaxFree {
 				mb.free = append(mb.free, env)
 			}
-			return m, nil
+			return m, sent, nil
 		}
 		if mb.deadlock {
 			// Keep (or restore) the waiting entry: once the run is doomed it
 			// no longer drives progress detection, but the post-mortem
 			// (mailboxState) reads it to name what each rank was blocked on.
 			mb.waiting[k.dst] = k
-			return Msg{}, fmt.Errorf("sim: deadlock: rank %d waiting for message from %d tag %d", k.dst, k.src, k.tag)
+			return Msg{}, 0, fmt.Errorf("sim: deadlock: rank %d waiting for message from %d tag %d", k.dst, k.src, k.tag)
 		}
 		mb.waiting[k.dst] = k
 		mb.blocked++
@@ -405,7 +416,7 @@ func (mb *mailbox) get(k msgKey) (Msg, error) {
 			mb.deadlock = true
 			mb.blocked--
 			mb.cond.Broadcast()
-			return Msg{}, fmt.Errorf("sim: deadlock: all ranks blocked with nothing deliverable (rank %d waits on src %d tag %d)", k.dst, k.src, k.tag)
+			return Msg{}, 0, fmt.Errorf("sim: deadlock: all ranks blocked with nothing deliverable (rank %d waits on src %d tag %d)", k.dst, k.src, k.tag)
 		}
 		mb.cond.Wait()
 		mb.blocked--
@@ -537,6 +548,9 @@ type Rank struct {
 	reqFree []*Request
 	chanSeq map[msgKey]*chanOrder
 }
+
+// Rank returns the rank's id — the xport.Transport spelling of ID.
+func (r *Rank) Rank() int { return r.ID }
 
 // P returns the machine's rank count.
 func (r *Rank) P() int { return r.machine.P }
@@ -680,7 +694,7 @@ func (r *Rank) Send(dst, tag int, m Msg) {
 	// The fabric may delay the departure past the sender's clock when the
 	// egress link is still busy (contention); the sender itself does not
 	// stall — injection is eager.
-	m.sent = r.machine.Fabric.Inject(r.ID, dst, r.clock, m.Bytes)
+	sent := r.machine.Fabric.Inject(r.ID, dst, r.clock, m.Bytes)
 	r.addSent(dst, m.Bytes)
 	if mm := r.machine.mm; mm != nil {
 		mm.sent(r.ID, dst, m.Bytes)
@@ -688,7 +702,7 @@ func (r *Rank) Send(dst, tag int, m Msg) {
 	if r.observing() {
 		r.emit(Event{Rank: r.ID, Kind: EvSend, Start: r.clock - r.machine.Net.SendOverhead, End: r.clock, Peer: dst, Bytes: m.Bytes, Tag: tag, Phase: r.phase})
 	}
-	r.mb.put(msgKey{src: r.ID, dst: dst, tag: tag}, m)
+	r.mb.put(msgKey{src: r.ID, dst: dst, tag: tag}, m, sent)
 }
 
 // Recv blocks until the next message from src with the given tag arrives,
@@ -705,7 +719,7 @@ func (r *Rank) Recv(src, tag int) Msg {
 	if fr := r.machine.Flight; fr != nil {
 		fr.record(r.ID, Event{Rank: r.ID, Kind: EvBlocked, Start: recvStart, End: recvStart, Peer: src, Tag: tag, Phase: r.phase})
 	}
-	m, err := r.mb.get(msgKey{src: src, dst: r.ID, tag: tag})
+	m, sent, err := r.mb.get(msgKey{src: src, dst: r.ID, tag: tag})
 	if err != nil {
 		panic(err)
 	}
@@ -714,7 +728,7 @@ func (r *Rank) Recv(src, tag int) Msg {
 	// which serializes concurrent incoming traffic (all-to-alls pay for
 	// their volume).
 	fab := r.machine.Fabric
-	headArrive := m.sent + fab.HeadLatency(src, r.ID)
+	headArrive := sent + fab.HeadLatency(src, r.ID)
 	wait := 0.0
 	if headArrive > r.clock {
 		wait = headArrive - r.clock

@@ -1,85 +1,25 @@
 package sim
 
-import (
-	"fmt"
-	"sort"
-	"sync"
-)
+import "genmp/internal/xport"
+
+// The tag registry moved to internal/xport with the transport carve-out:
+// tag values are part of the compiled schedule, so they must be shared by
+// every backend. These aliases keep the historical sim.ReserveTags /
+// sim.TagSpace spellings (and every reservation made through them) working
+// unchanged — there is exactly one registry.
 
 // TagSpace is a reserved, half-open range [Base, Base+Size) of message
-// tags. Subsystems obtain one from ReserveTags at package init and mint
-// tags through Tag, replacing the historical scattered `1<<27 | ...`
-// literals whose disjointness nothing checked.
-type TagSpace struct {
-	name string
-	base int
-	size int
-}
+// tags (see xport.TagSpace).
+type TagSpace = xport.TagSpace
 
-// Name returns the owner name given at reservation.
-func (t TagSpace) Name() string { return t.name }
-
-// Base returns the first tag of the space.
-func (t TagSpace) Base() int { return t.base }
-
-// Size returns the number of tags in the space.
-func (t TagSpace) Size() int { return t.size }
-
-// Tag returns Base+off, panicking if off falls outside the reservation —
-// an out-of-range offset would silently collide with a neighboring space.
-func (t TagSpace) Tag(off int) int {
-	if off < 0 || off >= t.size {
-		panic(fmt.Sprintf("sim: tag offset %d outside space %q [%d,+%d)", off, t.name, t.base, t.size))
-	}
-	return t.base + off
-}
-
-// Contains reports whether tag falls inside the space.
-func (t TagSpace) Contains(tag int) bool { return tag >= t.base && tag < t.base+t.size }
-
-var (
-	tagMu     sync.Mutex
-	tagSpaces []TagSpace
-)
-
-// ReserveTags registers the half-open tag range [base, base+size) under the
-// given owner name. It panics if the range is empty, negative, or overlaps
-// any existing reservation: a collision would let two subsystems' messages
-// match each other's receives, which the simulator cannot detect at
-// runtime.
+// ReserveTags registers the half-open tag range [base, base+size) under
+// the given owner name in the shared registry (see xport.ReserveTags).
 func ReserveTags(name string, base, size int) TagSpace {
-	if name == "" {
-		panic("sim: ReserveTags needs a non-empty owner name")
-	}
-	if base < 0 || size < 1 {
-		panic(fmt.Sprintf("sim: ReserveTags(%q, %d, %d): range must be non-negative and non-empty", name, base, size))
-	}
-	t := TagSpace{name: name, base: base, size: size}
-	tagMu.Lock()
-	defer tagMu.Unlock()
-	for _, ex := range tagSpaces {
-		if t.base < ex.base+ex.size && ex.base < t.base+t.size {
-			panic(fmt.Sprintf("sim: tag space %q [%d,+%d) overlaps %q [%d,+%d)",
-				name, base, size, ex.name, ex.base, ex.size))
-		}
-		if ex.name == name {
-			panic(fmt.Sprintf("sim: tag space name %q already reserved", name))
-		}
-	}
-	tagSpaces = append(tagSpaces, t)
-	return t
+	return xport.ReserveTags(name, base, size)
 }
 
-// TagSpaces returns a snapshot of all reservations sorted by base — the
-// registry's table of record for docs and tests.
-func TagSpaces() []TagSpace {
-	tagMu.Lock()
-	defer tagMu.Unlock()
-	out := make([]TagSpace, len(tagSpaces))
-	copy(out, tagSpaces)
-	sort.Slice(out, func(i, j int) bool { return out[i].base < out[j].base })
-	return out
-}
+// TagSpaces returns a snapshot of all reservations sorted by base.
+func TagSpaces() []TagSpace { return xport.TagSpaces() }
 
 // collTags is the tag space of the built-in collective primitives
 // (AllToAll, AllGather, GatherTo, Bcast).
